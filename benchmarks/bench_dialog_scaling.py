@@ -1,0 +1,62 @@
+"""Added experiment: dialog length scales with object complexity.
+
+The definition-time dialog asks a bounded number of questions per
+relation (three for island relations, three for the others, plus the
+per-class gates and deletion repairs). On the synthetic chain the
+question count is a simple affine function of the island depth — the
+series quantifies the *one-time* cost the paper amortizes "over all the
+times that updates against the view are subsequently requested".
+"""
+
+import pytest
+
+from repro.dialog.answers import ConstantAnswers
+from repro.dialog.drivers import run_definition_dialog
+from repro.workloads.synthetic import chain_object, chain_schema
+
+DEPTHS = [1, 2, 4, 6]
+
+
+@pytest.mark.benchmark(group="dialog-scaling")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_bench_dialog_length_vs_depth(benchmark, depth):
+    graph = chain_schema(depth=depth)
+    view_object = chain_object(graph, depth)
+    policy, transcript = benchmark(
+        run_definition_dialog, view_object, ConstantAnswers(True)
+    )
+    # Gates: insertion, deletion, replacement = 3.
+    # Deletion repair: one per relation referencing an island relation
+    # (the PENINSULA -> R0 reference) = 1.
+    # Replacement: 3 island questions per chain level, 3 modification
+    # questions for each of PENINSULA and LOOKUP.
+    expected = 3 + 1 + 3 * (depth + 1) + 3 * 2
+    assert len(transcript) == expected
+    print(f"depth={depth}: {len(transcript)} questions")
+
+
+@pytest.mark.benchmark(group="dialog-scaling")
+def test_bench_dialog_university_vs_hospital(benchmark):
+    """Question counts for the real objects (complexity 5 vs 7)."""
+    from repro.workloads.figures import course_info_object
+    from repro.workloads.hospital import hospital_schema, patient_chart_object
+    from repro.workloads.university import university_schema
+
+    omega = course_info_object(university_schema())
+    chart = patient_chart_object(hospital_schema())
+
+    def run():
+        __, omega_transcript = run_definition_dialog(
+            omega, ConstantAnswers(True)
+        )
+        __, chart_transcript = run_definition_dialog(
+            chart, ConstantAnswers(True)
+        )
+        return omega_transcript, chart_transcript
+
+    omega_transcript, chart_transcript = benchmark(run)
+    print(
+        f"course_info: {len(omega_transcript)} questions; "
+        f"patient_chart: {len(chart_transcript)} questions"
+    )
+    assert len(chart_transcript) > len(omega_transcript)

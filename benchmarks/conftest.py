@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or an added
+experiment) and measures the cost of the machinery behind it. Mutating
+benchmarks build fresh engines per round via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.information_metric import InformationMetric
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.sqlite_engine import SqliteEngine
+from repro.workloads.figures import alternate_course_object, course_info_object
+from repro.workloads.university import (
+    UniversityConfig,
+    populate_university,
+    university_schema,
+)
+
+
+def build_university_engine(backend="memory", config=None, with_indexes=True):
+    graph = university_schema()
+    if backend == "memory":
+        engine = MemoryEngine(use_indexes=with_indexes)
+    else:
+        engine = SqliteEngine()
+    graph.install(engine, with_indexes=with_indexes)
+    populate_university(engine, config or UniversityConfig())
+    return graph, engine
+
+
+@pytest.fixture(scope="module")
+def university():
+    """A populated university database shared by read-only benches."""
+    return build_university_engine()
+
+
+@pytest.fixture(scope="module")
+def university_graph(university):
+    return university[0]
+
+
+@pytest.fixture(scope="module")
+def university_engine(university):
+    return university[1]
+
+
+@pytest.fixture(scope="module")
+def omega(university_graph):
+    return course_info_object(university_graph)
+
+
+@pytest.fixture(scope="module")
+def omega_prime(university_graph):
+    return alternate_course_object(university_graph)
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return InformationMetric()

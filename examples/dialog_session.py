@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""An interactive translator-definition session (Section 6).
+
+Plays the DBA: the script builds ω and walks you through the actual
+dialog. With a terminal attached you answer yes/no yourself; otherwise
+(piped stdin, CI) it replays the paper's answers and prints the
+resulting transcript.
+
+Run:  python examples/dialog_session.py
+"""
+
+import sys
+
+from repro import Penguin, ScriptedAnswers
+from repro.dialog import InteractiveAnswers
+from repro.workloads import populate_university, university_schema
+from repro.workloads.figures import course_info_object
+
+PAPER_ANSWERS = [
+    True,                       # insertion gate
+    True,                       # deletion gate
+    True,                       # CURRICULUM repair on deletion
+    True, True, True, False,    # replacement gate + COURSES island
+    True, True, True,           # CURRICULUM
+    True, True, True,           # DEPARTMENT
+    True, True, False,          # GRADES island
+    True, True, True,           # STUDENT
+]
+
+
+def main() -> None:
+    penguin = Penguin(university_schema())
+    populate_university(penguin.engine)
+    omega = course_info_object(penguin.graph)
+    penguin.register_object(omega)
+
+    print("view object under definition:")
+    print(omega.describe())
+    print()
+
+    if sys.stdin.isatty():
+        print("answer the system's questions (yes/no):")
+        source = InteractiveAnswers()
+    else:
+        print("no terminal attached; replaying the paper's answers")
+        source = ScriptedAnswers(PAPER_ANSWERS)
+
+    translator, transcript = penguin.choose_translator("course_info", source)
+
+    print()
+    print("=== transcript ===")
+    print(transcript.render())
+    print()
+    print("translator chosen. it will now serve every update on ω")
+    print("without further questions — for example:")
+
+    course_id = next(iter(penguin.engine.scan("COURSES")))[0]
+    old = penguin.get("course_info", (course_id,))
+    new = old.to_dict()
+    new["units"] = (new["units"] % 5) + 1
+    plan = penguin.replace("course_info", old, new)
+    print()
+    print(plan.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Patient records: the medical-informatics motivation.
+
+The work behind the paper was funded by the National Library of
+Medicine; a patient chart is the canonical complex object. This example
+runs a chart through its life cycle on a three-level dependency island
+(PATIENT --* VISIT --* {DIAGNOSIS, PRESCRIPTION, LAB_RESULT}).
+
+Run:  python examples/hospital_records.py
+"""
+
+import copy
+
+from repro import Penguin
+from repro.workloads import (
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+
+
+def main() -> None:
+    penguin = Penguin(hospital_schema())
+    counts = populate_hospital(penguin.engine)
+    print("hospital populated:", counts)
+
+    chart = patient_chart_object(penguin.graph)
+    penguin.register_object(chart)
+    print()
+    print(chart.describe())
+
+    from repro import analyze_island
+
+    analysis = analyze_island(chart)
+    print()
+    print(analysis.describe())
+
+    # Query: patients with many diagnoses seen by a cardiologist.
+    print()
+    print("charts with >= 5 diagnoses and a cardiology visit:")
+    results = penguin.query(
+        "patient_chart",
+        "count(DIAGNOSIS) >= 5 and PHYSICIAN.specialty = 'cardiology'",
+    )
+    for instance in results[:3]:
+        print(
+            f"  patient {instance.key[0]}: "
+            f"{instance.count_at('VISIT')} visits, "
+            f"{instance.count_at('DIAGNOSIS')} diagnoses, "
+            f"{instance.count_at('PRESCRIPTION')} prescriptions"
+        )
+
+    # Admit a new patient with one visit.
+    print()
+    print("admitting patient 9001 ...")
+    plan = penguin.insert(
+        "patient_chart",
+        {
+            "patient_id": 9001,
+            "name": "Thierry B.",
+            "birth_year": 1960,
+            "ward_name": "East-1",
+            "VISIT": [
+                {
+                    "patient_id": 9001,
+                    "visit_no": 1,
+                    "visit_date": "1991-05-29",
+                    "physician_id": 9000,
+                    "reason": "checkup",
+                    "DIAGNOSIS": [
+                        {
+                            "patient_id": 9001,
+                            "visit_no": 1,
+                            "diag_no": 1,
+                            "code": "hypertension",
+                            "severity": "mild",
+                        }
+                    ],
+                    "PRESCRIPTION": [
+                        {
+                            "patient_id": 9001,
+                            "visit_no": 1,
+                            "rx_no": 1,
+                            "med_id": "MED-03",
+                            "days": 30,
+                        }
+                    ],
+                    "LAB_RESULT": [],
+                    "PHYSICIAN": [],
+                }
+            ],
+        },
+    )
+    print(plan.describe())
+
+    # A follow-up visit arrives: replacement with an appended component.
+    print()
+    print("recording a follow-up visit via replacement ...")
+    old = penguin.get("patient_chart", (9001,))
+    new = copy.deepcopy(old.to_dict())
+    new["VISIT"].append(
+        {
+            "patient_id": 9001,
+            "visit_no": 2,
+            "visit_date": "1991-07-02",
+            "physician_id": 9001,
+            "reason": "followup",
+            "DIAGNOSIS": [],
+            "PRESCRIPTION": [],
+            "LAB_RESULT": [
+                {
+                    "patient_id": 9001,
+                    "visit_no": 2,
+                    "test_no": 1,
+                    "test_name": "BMP",
+                    "value": 7.2,
+                }
+            ],
+        }
+    )
+    plan = penguin.replace("patient_chart", old, new)
+    print(plan.describe())
+
+    # Archive: complete deletion cascades the whole chart...
+    print()
+    print("archiving the chart (complete deletion) ...")
+    plan = penguin.delete("patient_chart", (9001,))
+    print(plan.describe())
+    # ...but shared reference data survives.
+    print(
+        "physicians and medications untouched:",
+        penguin.engine.count("PHYSICIAN"),
+        penguin.engine.count("MEDICATION"),
+    )
+    print("database consistent:", penguin.is_consistent())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim for offline environments.
+
+`pip install -e .` needs the `wheel` package (PEP 517/660 editable
+installs build a wheel); fully offline boxes without it can install
+with ``python setup.py develop`` instead. Metadata lives in
+pyproject.toml either way.
+"""
+
+from setuptools import setup
+
+setup()

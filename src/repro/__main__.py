@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — regenerate the paper's figures and the Section 6 dialog
+  transcript on the university workload;
+* ``dump --workload NAME DIR`` — generate a workload and write its
+  structural schema and data as JSON;
+* ``check DIR`` — reload a dumped workload and run the structural
+  integrity checker;
+* ``query --workload NAME --object OBJECT TEXT`` — run an object query
+  against a freshly generated workload and print the instances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.dependency_island import analyze_island
+from repro.core.query import execute_query
+from repro.core.tree_builder import build_maximal_tree
+from repro.core.information_metric import InformationMetric
+from repro.dialog.answers import ScriptedAnswers
+from repro.dialog.drivers import run_replacement_dialog
+from repro.dialog.transcript import Transcript
+from repro.core.updates.policy import TranslatorPolicy
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.persistence import dump_database, load_database
+from repro.structural.integrity import IntegrityChecker
+from repro.structural.rendering import to_ascii
+from repro.structural.serialization import graph_from_dict, graph_to_dict
+from repro.workloads.cad import assembly_object, cad_schema, populate_cad
+from repro.workloads.figures import alternate_course_object, course_info_object
+from repro.workloads.hospital import (
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+from repro.workloads.university import populate_university, university_schema
+
+WORKLOADS = {
+    "university": (university_schema, populate_university),
+    "hospital": (hospital_schema, populate_hospital),
+    "cad": (cad_schema, populate_cad),
+}
+
+OBJECTS = {
+    ("university", "course_info"): course_info_object,
+    ("university", "course_staffing"): alternate_course_object,
+    ("hospital", "patient_chart"): patient_chart_object,
+    ("cad", "assembly_bom"): assembly_object,
+}
+
+PAPER_ANSWERS = [
+    True, True, True, False,
+    True, True, True,
+    True, True, True,
+    True, True, False,
+    True, True, True,
+]
+
+
+def _build(workload: str):
+    schema_factory, populate = WORKLOADS[workload]
+    graph = schema_factory()
+    engine = MemoryEngine()
+    graph.install(engine)
+    populate(engine)
+    return graph, engine
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    graph, engine = _build("university")
+    print("=== Figure 1: structural schema ===")
+    print(to_ascii(graph))
+    metric = InformationMetric()
+    subgraph = metric.extract_subgraph(graph, "COURSES")
+    print("\n=== Figure 2(a): relevant subgraph G ===")
+    print(subgraph.describe())
+    tree = build_maximal_tree(graph, subgraph, metric.weights)
+    print("\n=== Figure 2(b): maximal tree T ===")
+    print(tree.describe())
+    omega = course_info_object(graph)
+    print("\n=== Figure 2(c): view object ω ===")
+    print(omega.describe())
+    print("\n=== Section 5: island analysis ===")
+    print(analyze_island(omega).describe())
+    omega_prime = alternate_course_object(graph)
+    print("\n=== Figure 3: ω' ===")
+    print(omega_prime.describe())
+    print("\n=== Figure 4: graduate courses with < 5 students ===")
+    for instance in execute_query(
+        omega, engine, "level = 'graduate' and count(STUDENT) < 5"
+    ):
+        print(instance.describe())
+    print("\n=== Section 6: translator dialog (replacement portion) ===")
+    policy = TranslatorPolicy()
+    transcript = Transcript()
+    run_replacement_dialog(
+        omega, ScriptedAnswers(PAPER_ANSWERS), policy, transcript
+    )
+    print(transcript.render())
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    graph, engine = _build(args.workload)
+    target = Path(args.directory)
+    target.mkdir(parents=True, exist_ok=True)
+    (target / "schema.json").write_text(
+        json.dumps(graph_to_dict(graph), indent=2)
+    )
+    (target / "data.json").write_text(json.dumps(dump_database(engine)))
+    print(f"dumped workload {args.workload!r} to {target}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    target = Path(args.directory)
+    graph = graph_from_dict(
+        json.loads((target / "schema.json").read_text())
+    )
+    engine = MemoryEngine()
+    counts = load_database(
+        engine, json.loads((target / "data.json").read_text())
+    )
+    print("loaded:", counts)
+    violations = IntegrityChecker(graph).check(engine)
+    if not violations:
+        print("structural integrity: OK")
+        return 0
+    print(f"structural integrity: {len(violations)} violation(s)")
+    for violation in violations[:20]:
+        print("  -", violation.message)
+    return 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    factory = OBJECTS.get((args.workload, args.object))
+    if factory is None:
+        known = sorted(
+            name for workload, name in OBJECTS if workload == args.workload
+        )
+        print(
+            f"unknown object {args.object!r} for workload "
+            f"{args.workload!r}; known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    graph, engine = _build(args.workload)
+    view_object = factory(graph)
+    instances = execute_query(view_object, engine, args.text)
+    print(f"{len(instances)} instance(s)")
+    for instance in instances:
+        print(instance.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Updating Relational Databases "
+        "through Object-Based Views' (SIGMOD 1991)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="regenerate the paper's figures")
+
+    dump = commands.add_parser("dump", help="dump a generated workload")
+    dump.add_argument("--workload", choices=sorted(WORKLOADS), default="university")
+    dump.add_argument("directory")
+
+    check = commands.add_parser("check", help="integrity-check a dump")
+    check.add_argument("directory")
+
+    query = commands.add_parser("query", help="run an object query")
+    query.add_argument("--workload", choices=sorted(WORKLOADS), default="university")
+    query.add_argument("--object", default="course_info")
+    query.add_argument("text")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "demo": cmd_demo,
+        "dump": cmd_dump,
+        "check": cmd_check,
+        "query": cmd_query,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Dynamic instantiation of view objects (Figure 4).
+
+"A query on a view object is composed dynamically with the object's
+structure to obtain a relational query that can be executed against the
+database. View-object instances are assembled from the set of relational
+tuples satisfying the request."
+
+The :class:`Instantiator` binds base tuples into hierarchical instances:
+starting from pivot tuples selected by a relational predicate, it walks
+every tree edge — including composite multi-connection paths (Figure 3)
+— collecting the connected tuples at each node, then projects them onto
+the node's projection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InstantiationError
+from repro.core.instance import ComponentTuple, Instance
+from repro.core.view_object import ViewObjectDefinition
+from repro.relational.engine import Engine
+from repro.relational.expressions import Expression, TRUE
+from repro.structural.integrity import connected_tuples
+from repro.structural.paths import ConnectionPath
+
+__all__ = ["Instantiator"]
+
+
+class Instantiator:
+    """Assembles instances of one view object from an engine."""
+
+    def __init__(self, view_object: ViewObjectDefinition) -> None:
+        self.view_object = view_object
+        self.graph = view_object.graph
+
+    # -- public API ---------------------------------------------------------------
+
+    def by_key(self, engine: Engine, key: Sequence[Any]) -> Optional[Instance]:
+        """The instance whose object key equals ``key``, or ``None``."""
+        pivot = self.view_object.pivot_relation
+        values = engine.get(pivot, tuple(key))
+        if values is None:
+            return None
+        return self._assemble(engine, values)
+
+    def where(
+        self, engine: Engine, predicate: Expression = TRUE
+    ) -> List[Instance]:
+        """All instances whose pivot tuple satisfies ``predicate``."""
+        pivot = self.view_object.pivot_relation
+        instances = []
+        for values in engine.select(pivot, predicate):
+            instances.append(self._assemble(engine, values))
+        return instances
+
+    def all(self, engine: Engine) -> List[Instance]:
+        return self.where(engine, TRUE)
+
+    # -- assembly -------------------------------------------------------------------
+
+    def _assemble(self, engine: Engine, pivot_values: Tuple[Any, ...]) -> Instance:
+        root = self._bind(engine, self.view_object.pivot_node_id, pivot_values)
+        return Instance(self.view_object, root)
+
+    def _bind(
+        self, engine: Engine, node_id: str, base_values: Tuple[Any, ...]
+    ) -> ComponentTuple:
+        node = self.view_object.node(node_id)
+        schema = self.graph.relation(node.relation)
+        projection = self.view_object.projection(node_id)
+        values = {
+            name: value
+            for name, value in zip(
+                projection.attributes,
+                schema.project(base_values, projection.attributes),
+            )
+        }
+        children: Dict[str, List[ComponentTuple]] = {}
+        for child in self.view_object.tree.children(node_id):
+            bound = self._follow_path(engine, child.path, base_values)
+            children[child.node_id] = [
+                self._bind(engine, child.node_id, child_values)
+                for child_values in bound
+            ]
+        return ComponentTuple(node_id, values, children)
+
+    def _follow_path(
+        self,
+        engine: Engine,
+        path: ConnectionPath,
+        start_values: Tuple[Any, ...],
+    ) -> List[Tuple[Any, ...]]:
+        """All tuples at the end of ``path`` connected to ``start_values``.
+
+        Composite paths chain the per-connection matching; duplicates
+        (several routes to the same end tuple) collapse by key.
+        """
+        frontier = [start_values]
+        for traversal in path:
+            next_frontier: List[Tuple[Any, ...]] = []
+            seen = set()
+            end_schema = engine.schema(traversal.end)
+            for values in frontier:
+                for matched in connected_tuples(engine, traversal, values):
+                    key = end_schema.key_of(matched)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    next_frontier.append(matched)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier

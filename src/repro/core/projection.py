@@ -1,0 +1,70 @@
+"""Projections — the building blocks of view objects (Definition 3.1).
+
+A view object is "a nonempty element of Set(Π)", where Π is the domain
+of projections over base relations and ``d(π)`` names the relation a
+projection is defined on. :class:`Projection` is that π: a relation name
+plus an ordered tuple of retained attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ProjectionError
+from repro.relational.schema import RelationSchema
+
+__all__ = ["Projection"]
+
+
+class Projection:
+    """A projection π with ``d(π) = relation``."""
+
+    __slots__ = ("relation", "attributes")
+
+    def __init__(self, relation: str, attributes: Sequence[str]) -> None:
+        if not attributes:
+            raise ProjectionError(
+                f"projection on {relation!r} must keep at least one attribute"
+            )
+        attributes = tuple(attributes)
+        if len(set(attributes)) != len(attributes):
+            raise ProjectionError(
+                f"projection on {relation!r} repeats an attribute"
+            )
+        self.relation = relation
+        self.attributes = attributes
+
+    def validate_against(self, schema: RelationSchema) -> None:
+        """Check the projection fits the relation schema."""
+        if schema.name != self.relation:
+            raise ProjectionError(
+                f"projection targets {self.relation!r} but was validated "
+                f"against schema {schema.name!r}"
+            )
+        for name in self.attributes:
+            if not schema.has_attribute(name):
+                raise ProjectionError(
+                    f"projection on {self.relation!r} keeps unknown "
+                    f"attribute {name!r}"
+                )
+
+    def includes_key_of(self, schema: RelationSchema) -> bool:
+        """True if all of ``K(d(π))`` is retained (Definition 3.2 needs
+        this for the pivot projection)."""
+        return set(schema.key) <= set(self.attributes)
+
+    def covers(self, names: Sequence[str]) -> bool:
+        return set(names) <= set(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Projection)
+            and other.relation == self.relation
+            and other.attributes == self.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"Projection({self.relation}: {', '.join(self.attributes)})"

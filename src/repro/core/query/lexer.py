@@ -1,0 +1,121 @@
+"""Tokenizer for the object query language."""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple, Optional
+
+from repro.errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_OPERATOR_CHARS = "=!<>"
+_OPERATORS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+_KEYWORDS = {
+    "and", "or", "not", "is", "null", "true", "false",
+    "count", "min", "max", "sum", "avg", "in", "like",
+    "order", "by", "asc", "desc", "limit",
+}
+
+
+class Token(NamedTuple):
+    kind: str  # IDENT KEYWORD STRING NUMBER OP LPAREN RPAREN DOT COMMA EOF
+    value: Any
+    position: int
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_#"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split query text into tokens; raise on malformed input."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == "(":
+            tokens.append(Token("LPAREN", "(", index))
+            index += 1
+        elif ch == ")":
+            tokens.append(Token("RPAREN", ")", index))
+            index += 1
+        elif ch == ".":
+            tokens.append(Token("DOT", ".", index))
+            index += 1
+        elif ch == ",":
+            tokens.append(Token("COMMA", ",", index))
+            index += 1
+        elif ch == "'":
+            end = index + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise QuerySyntaxError(
+                        "unterminated string literal", position=index
+                    )
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append("'")  # doubled quote escapes
+                        end += 2
+                        continue
+                    break
+                chunks.append(text[end])
+                end += 1
+            tokens.append(Token("STRING", "".join(chunks), index))
+            index = end + 1
+        elif ch in _OPERATOR_CHARS:
+            two = text[index : index + 2]
+            if two in _OPERATORS:
+                tokens.append(Token("OP", "!=" if two == "<>" else two, index))
+                index += 2
+            elif ch in ("=", "<", ">"):
+                tokens.append(Token("OP", ch, index))
+                index += 1
+            else:
+                raise QuerySyntaxError(
+                    f"unexpected character {ch!r}", position=index
+                )
+        elif ch.isdigit() or (
+            ch == "-" and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index + 1
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # A dot not followed by a digit belongs to syntax,
+                    # not the number.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            raw = text[index:end]
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(Token("NUMBER", value, index))
+            index = end
+        elif _is_ident_start(ch):
+            end = index + 1
+            while end < length and _is_ident_char(text[end]):
+                end += 1
+            word = text[index:end]
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(Token("KEYWORD", lowered, index))
+            else:
+                tokens.append(Token("IDENT", word, index))
+            index = end
+        else:
+            raise QuerySyntaxError(
+                f"unexpected character {ch!r}", position=index
+            )
+    tokens.append(Token("EOF", None, length))
+    return tokens

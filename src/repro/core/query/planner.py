@@ -1,0 +1,104 @@
+"""Query planning: pushing pivot-only conditions into the engine.
+
+"A query on a view object is composed dynamically with the object's
+structure to obtain a relational query that can be executed against the
+database." The planner decomposes the query's top-level conjunction and
+pushes every conjunct that touches only pivot attributes and literals
+down to the storage engine as a relational predicate; the residual
+(component references, counts) is evaluated on assembled instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.core.query.ast import (
+    QAggregate,
+    QAnd,
+    QAttr,
+    QCompare,
+    QCount,
+    QIn,
+    QIsNull,
+    QLike,
+    QLiteral,
+    QNot,
+    QOr,
+    QueryNode,
+)
+from repro.relational import expressions as rel
+
+__all__ = ["plan_query", "QueryPlan"]
+
+
+class QueryPlan:
+    """A pushed-down relational predicate plus a residual condition."""
+
+    __slots__ = ("pushed", "residual")
+
+    def __init__(
+        self, pushed: rel.Expression, residual: Optional[QueryNode]
+    ) -> None:
+        self.pushed = pushed
+        self.residual = residual
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryPlan(pushed={self.pushed!r}, residual={self.residual!r})"
+
+
+def _is_pivot_only(node: QueryNode) -> bool:
+    if isinstance(node, QAttr):
+        return node.node is None
+    if isinstance(node, (QCount, QAggregate)):
+        return False
+    if isinstance(node, QLiteral):
+        return True
+    return all(_is_pivot_only(child) for child in node.children())
+
+
+def _to_relational(node: QueryNode) -> rel.Expression:
+    if isinstance(node, QAttr):
+        return rel.Attr(node.name)
+    if isinstance(node, QLiteral):
+        return rel.Const(node.value)
+    if isinstance(node, QCompare):
+        return rel.Comparison(
+            node.op, _to_relational(node.left), _to_relational(node.right)
+        )
+    if isinstance(node, QIsNull):
+        test = rel.IsNull(_to_relational(node.operand))
+        return rel.Not(test) if node.negated else test
+    if isinstance(node, QIn):
+        test = rel.In(_to_relational(node.operand), node.values)
+        return rel.Not(test) if node.negated else test
+    if isinstance(node, QLike):
+        test = rel.Like(_to_relational(node.operand), node.pattern)
+        return rel.Not(test) if node.negated else test
+    if isinstance(node, QAnd):
+        return rel.And(*[_to_relational(part) for part in node.parts])
+    if isinstance(node, QOr):
+        return rel.Or(*[_to_relational(part) for part in node.parts])
+    if isinstance(node, QNot):
+        return rel.Not(_to_relational(node.part))
+    raise QueryError(f"cannot push down query node {node!r}")
+
+
+def plan_query(node: QueryNode) -> QueryPlan:
+    """Split a query into pushed-down and residual parts."""
+    conjuncts = node.parts if isinstance(node, QAnd) else [node]
+    pushed: List[rel.Expression] = []
+    residual: List[QueryNode] = []
+    for conjunct in conjuncts:
+        if _is_pivot_only(conjunct):
+            pushed.append(_to_relational(conjunct))
+        else:
+            residual.append(conjunct)
+    pushed_expression = rel.And(*pushed) if pushed else rel.TRUE
+    if not residual:
+        residual_node: Optional[QueryNode] = None
+    elif len(residual) == 1:
+        residual_node = residual[0]
+    else:
+        residual_node = QAnd(residual)
+    return QueryPlan(pushed_expression, residual_node)

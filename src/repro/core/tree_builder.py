@@ -1,0 +1,129 @@
+"""Converting the relevant subgraph G into the maximal tree T (Figure 2b).
+
+"G is then converted into a tree T. That translation demands that the
+circuits in G be broken. For that purpose, we expand all the paths in G
+emanating from the pivot relation until either we can go no further
+without creating a cycle or we reach a relation that is no longer
+relevant."
+
+We realize this as a **best-first unfolding**: starting from the pivot,
+tree nodes are expanded in decreasing order of path relevance (the
+product of traversal weights along their tree path), and every edge of G
+is used exactly once across the whole tree. When G contains a circuit,
+the circuit's edges are claimed one by one until the last edge attaches
+a *second copy* of an already-present relation — exactly how Figure 2(b)
+shows two copies of PEOPLE, one under DEPARTMENT and one under STUDENT.
+Because stronger-information paths claim shared edges first, the
+unfolding is deterministic and places duplicates at the
+least-relevant ends of the circuit.
+
+Pruning the maximal tree down to an actual view object (Figure 2c) is
+:func:`prune_tree`; nodes pruned from the *middle* of a branch collapse
+their edges into a multi-connection path (Figure 3's
+``COURSES --* GRADES *-- STUDENT``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ViewObjectError
+from repro.core.information_metric import (
+    InformationMetric,
+    MetricWeights,
+    RelevantSubgraph,
+)
+from repro.core.projection_tree import ProjectionTree, TreeNode
+from repro.structural.connections import Traversal
+from repro.structural.paths import ConnectionPath
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = ["build_maximal_tree", "prune_tree"]
+
+
+def build_maximal_tree(
+    graph: StructuralSchema,
+    subgraph: RelevantSubgraph,
+    weights: Optional[MetricWeights] = None,
+) -> ProjectionTree:
+    """Unfold the relevant subgraph G into the maximal tree T."""
+    weights = weights or MetricWeights()
+    pivot = subgraph.pivot
+    tree = ProjectionTree(pivot)
+    used_edges: Set[str] = set()
+    # Priority queue of tree nodes awaiting expansion:
+    # (-path_relevance, tiebreak counter, node_id).
+    heap: List[Tuple[float, int, str]] = [(-1.0, 0, tree.root_id)]
+    relevance_of_node: Dict[str, float] = {tree.root_id: 1.0}
+    counter = 0
+
+    while heap:
+        negative, __, node_id = heapq.heappop(heap)
+        node = tree.node(node_id)
+        # Candidate expansions: unused G-edges incident to this relation,
+        # ordered deterministically by reached relation then edge name.
+        candidates = []
+        for connection in subgraph.incident(node.relation):
+            if connection.name in used_edges:
+                continue
+            forward = connection.source == node.relation
+            if not forward and connection.target != node.relation:
+                continue
+            traversal = Traversal(connection, forward=forward)
+            candidates.append(traversal)
+        candidates.sort(key=lambda t: (t.end, t.connection.name))
+        for traversal in candidates:
+            if traversal.connection.name in used_edges:
+                continue
+            used_edges.add(traversal.connection.name)
+            child = tree.add_child(
+                node_id, traversal.end, ConnectionPath([traversal])
+            )
+            child_relevance = (-negative) * weights.weight(graph, traversal)
+            relevance_of_node[child.node_id] = child_relevance
+            counter += 1
+            heapq.heappush(heap, (-child_relevance, counter, child.node_id))
+    return tree
+
+
+def prune_tree(
+    tree: ProjectionTree,
+    keep: Iterable[str],
+) -> ProjectionTree:
+    """Restrict a maximal tree to the node ids in ``keep`` (Figure 2c).
+
+    The root must be kept. A kept node whose ancestors were pruned is
+    re-attached to its nearest kept ancestor; the traversals of the
+    pruned intermediates concatenate into one composite
+    :class:`ConnectionPath` — Figure 3's two-connection edge.
+    """
+    keep_set = set(keep)
+    for node_id in keep_set:
+        tree.node(node_id)  # validates existence
+    if tree.root_id not in keep_set:
+        raise ViewObjectError(
+            f"pruning must keep the pivot node {tree.root_id!r}"
+        )
+    pruned = ProjectionTree(tree.root.relation, root_id=tree.root_id)
+
+    def walk(
+        original_id: str,
+        kept_parent_id: str,
+        pending: List[Traversal],
+    ) -> None:
+        for child in tree.children(original_id):
+            trail = pending + list(child.path.traversals)
+            if child.node_id in keep_set:
+                pruned_node = pruned.add_child(
+                    kept_parent_id,
+                    child.relation,
+                    ConnectionPath(trail),
+                    node_id=child.node_id,
+                )
+                walk(child.node_id, pruned_node.node_id, [])
+            else:
+                walk(child.node_id, kept_parent_id, trail)
+
+    walk(tree.root_id, tree.root_id, [])
+    return pruned

@@ -1,0 +1,67 @@
+"""Update translation: the paper's Section 5 algorithms.
+
+The four logical steps of a view-object update — local validation,
+propagation within the object, translation into database operations,
+global validation against the structural model — live here, along with
+the translator policies that the Section 6 dialog configures.
+"""
+
+from repro.core.updates.context import TranslationContext
+from repro.core.updates.deletion import translate_complete_deletion
+from repro.core.updates.insertion import translate_complete_insertion
+from repro.core.updates.local_validation import (
+    validate_deletion,
+    validate_insertion,
+    validate_replacement,
+)
+from repro.core.updates.operations import (
+    CompleteDeletion,
+    CompleteInsertion,
+    PartialDeletion,
+    PartialInsertion,
+    PartialUpdate,
+    Replacement,
+    UpdateRequest,
+)
+from repro.core.updates.partial import (
+    translate_partial_deletion,
+    translate_partial_insertion,
+    translate_partial_update,
+)
+from repro.core.updates.policy import (
+    Completer,
+    ReferenceRepair,
+    RelationPolicy,
+    TranslatorPolicy,
+    null_completer,
+)
+from repro.core.updates.propagation import propagate_within_object
+from repro.core.updates.replacement import translate_replacement
+from repro.core.updates.translator import Translator
+
+__all__ = [
+    "Translator",
+    "TranslatorPolicy",
+    "RelationPolicy",
+    "ReferenceRepair",
+    "Completer",
+    "null_completer",
+    "TranslationContext",
+    "UpdateRequest",
+    "CompleteInsertion",
+    "CompleteDeletion",
+    "Replacement",
+    "PartialInsertion",
+    "PartialDeletion",
+    "PartialUpdate",
+    "translate_complete_insertion",
+    "translate_complete_deletion",
+    "translate_replacement",
+    "translate_partial_insertion",
+    "translate_partial_deletion",
+    "translate_partial_update",
+    "propagate_within_object",
+    "validate_insertion",
+    "validate_deletion",
+    "validate_replacement",
+]

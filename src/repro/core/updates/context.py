@@ -1,0 +1,156 @@
+"""Shared machinery of the translation algorithms.
+
+A :class:`TranslationContext` carries everything one update translation
+needs: the view object and its island analysis, the engine, the policy,
+the growing :class:`~repro.relational.operations.UpdatePlan`, and the
+work lists (deleted / inserted / replaced tuples, key changes) that the
+global-integrity pass consumes.
+
+All database mutations go through the context's ``insert`` / ``delete``
+/ ``replace`` so that the plan faithfully records what the translation
+did — the paper's "output is the set of database operations".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import UpdateRejectedError
+from repro.core.dependency_island import IslandAnalysis, analyze_island
+from repro.core.view_object import ViewObjectDefinition
+from repro.core.updates.policy import TranslatorPolicy
+from repro.relational.engine import Engine
+from repro.relational.operations import Delete, Insert, Replace, UpdatePlan
+from repro.relational.schema import RelationSchema
+
+__all__ = ["TranslationContext"]
+
+
+class TranslationContext:
+    """State of one in-flight update translation."""
+
+    def __init__(
+        self,
+        view_object: ViewObjectDefinition,
+        engine: Engine,
+        policy: TranslatorPolicy,
+        analysis: Optional[IslandAnalysis] = None,
+    ) -> None:
+        self.view_object = view_object
+        self.engine = engine
+        self.policy = policy
+        self.analysis = analysis or analyze_island(view_object)
+        self.graph = view_object.graph
+        self.plan = UpdatePlan()
+        # Work lists consumed by global-integrity maintenance. Tuples are
+        # full value tuples in schema order.
+        self.deleted: List[Tuple[str, Tuple[Any, ...]]] = []
+        self.inserted: List[Tuple[str, Tuple[Any, ...]]] = []
+        self.replaced: List[
+            Tuple[str, Tuple[Any, ...], Tuple[Any, ...]]
+        ] = []
+        self.key_changes: List[
+            Tuple[str, Tuple[Any, ...], Tuple[Any, ...]]
+        ] = []
+        # Progress cursors of the global-integrity passes: each pass
+        # resumes where it left off, so the passes can be interleaved
+        # and re-run (a key-change collision may append new deletions
+        # after the deletion pass already ran).
+        self.deletion_cursor = 0
+        self.insertion_cursor = 0
+        self.key_change_cursor = 0
+
+    # -- recorded mutations ------------------------------------------------------
+
+    def insert(self, relation: str, values: Tuple[Any, ...], reason: str) -> None:
+        self.engine.insert(relation, values)
+        self.plan.add(Insert(relation, values), reason)
+        self.inserted.append((relation, values))
+
+    def delete(self, relation: str, key: Tuple[Any, ...], reason: str) -> Tuple[Any, ...]:
+        old = self.engine.get(relation, key)
+        if old is None:
+            raise UpdateRejectedError(
+                f"cannot delete {relation!r} tuple {key!r}: not found",
+                relation=relation,
+            )
+        self.engine.delete(relation, key)
+        self.plan.add(Delete(relation, key), reason)
+        self.deleted.append((relation, old))
+        return old
+
+    def replace(
+        self,
+        relation: str,
+        key: Tuple[Any, ...],
+        new_values: Tuple[Any, ...],
+        reason: str,
+    ) -> Tuple[Any, ...]:
+        old = self.engine.get(relation, key)
+        if old is None:
+            raise UpdateRejectedError(
+                f"cannot replace {relation!r} tuple {key!r}: not found",
+                relation=relation,
+            )
+        self.engine.replace(relation, key, new_values)
+        self.plan.add(Replace(relation, key, new_values), reason)
+        self.replaced.append((relation, old, new_values))
+        new_key = self.schema(relation).key_of(new_values)
+        if new_key != tuple(key):
+            self.key_changes.append((relation, tuple(key), new_key))
+        return old
+
+    # -- helpers ------------------------------------------------------------------
+
+    def schema(self, relation: str) -> RelationSchema:
+        return self.graph.relation(relation)
+
+    def complete(
+        self, node_id: str, values: Dict[str, Any]
+    ) -> Tuple[Any, ...]:
+        """Extend a projected view-object tuple to a full value tuple."""
+        node = self.view_object.node(node_id)
+        schema = self.schema(node.relation)
+        completed = self.policy.completer(node.relation, schema, dict(values))
+        return schema.row_from_mapping(completed)
+
+    def merge_with_existing(
+        self,
+        node_id: str,
+        values: Dict[str, Any],
+        existing: Tuple[Any, ...],
+    ) -> Tuple[Any, ...]:
+        """Overlay projected attributes onto an existing full tuple."""
+        node = self.view_object.node(node_id)
+        schema = self.schema(node.relation)
+        mapping = schema.as_mapping(existing)
+        mapping.update(values)
+        return schema.row_from_mapping(mapping)
+
+    def key_from_values(
+        self, node_id: str, values: Dict[str, Any]
+    ) -> Tuple[Any, ...]:
+        """Primary key from a projected tuple (projections retain keys)."""
+        node = self.view_object.node(node_id)
+        schema = self.schema(node.relation)
+        try:
+            return tuple(values[k] for k in schema.key)
+        except KeyError as error:
+            raise UpdateRejectedError(
+                f"component tuple for {node_id!r} lacks key attribute "
+                f"{error.args[0]!r}",
+                relation=node.relation,
+            ) from None
+
+    def projected_values_match(
+        self, node_id: str, values: Dict[str, Any], existing: Tuple[Any, ...]
+    ) -> bool:
+        """Does the database tuple agree on every projected attribute?"""
+        node = self.view_object.node(node_id)
+        schema = self.schema(node.relation)
+        projection = self.view_object.projection(node_id)
+        existing_map = schema.as_mapping(existing)
+        return all(
+            existing_map[name] == values.get(name)
+            for name in projection.attributes
+        )

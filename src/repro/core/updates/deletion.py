@@ -1,0 +1,58 @@
+"""Algorithm VO-CD: translation of complete-deletion requests (§5.1).
+
+    o Isolate the dependency island
+    o For each projection in the island, delete all matching tuples
+      from the underlying relation
+    o Identify the referencing peninsulas
+    o For each peninsula, perform a replacement on the foreign key of
+      each matching tuple
+
+"In a case where replacements are not allowed on any of the referencing
+peninsulas, the transaction cannot be completed and has to be rolled
+back." The peninsula repair — and the two global-integrity obligations
+(cascade along outgoing ownership/subset connections; foreign-key
+repairs on any other referencing relation) — are carried out by
+:func:`~repro.core.updates.global_integrity.maintain_after_deletions`,
+driven by the same policy the dialog configured.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UpdateRejectedError
+from repro.core.instance import Instance
+from repro.core.updates import global_integrity
+from repro.core.updates.context import TranslationContext
+from repro.core.updates.local_validation import validate_deletion
+
+__all__ = ["translate_complete_deletion"]
+
+
+def translate_complete_deletion(
+    ctx: TranslationContext, instance: Instance
+) -> None:
+    """Run VO-CD for ``instance``; mutations are recorded in ``ctx``."""
+    validate_deletion(ctx, instance)
+    # Delete all matching tuples of every island projection, pivot first.
+    for node_id in ctx.analysis.island_nodes:
+        node = ctx.view_object.node(node_id)
+        for component in instance.tuples_at(node_id):
+            key = ctx.key_from_values(node_id, component.values)
+            if ctx.engine.get(node.relation, key) is None:
+                if node_id == ctx.view_object.pivot_node_id:
+                    raise UpdateRejectedError(
+                        f"complete deletion: pivot tuple {key!r} of "
+                        f"{node.relation!r} does not exist",
+                        relation=node.relation,
+                    )
+                # A non-pivot island tuple may already be gone (stale
+                # instance); the cascade would have removed it anyway.
+                continue
+            ctx.delete(
+                node.relation,
+                key,
+                reason=f"island deletion at node {node_id!r} (VO-CD)",
+            )
+    # Peninsula foreign-key repair, outgoing cascades, and repairs on
+    # outside referencing relations: all reference- and
+    # ownership/subset-rule maintenance to fixpoint.
+    global_integrity.maintain_after_deletions(ctx)

@@ -1,0 +1,400 @@
+"""Step 4: global validation against the structural model.
+
+After the translation proper, the database must be returned to global
+consistency using the connection rules of Section 2:
+
+* **Deletions** propagate along outgoing ownership and subset
+  connections ("repeatedly, if necessary"), and every relation
+  referencing a deleted tuple is repaired according to the policy —
+  delete the referencing tuples, nullify their connecting attributes,
+  or prohibit (roll back). "Note that no further propagation is needed
+  outside of the referencing relations."
+* **Insertions** must find their owning / general / referenced tuples
+  along inverse ownership, inverse subset, and reference connections;
+  "if no tuple satisfying the suitable dependency is found, one such
+  tuple must be inserted, and the process must be applied recursively".
+* **Key replacements** in the dependency island propagate to owned and
+  subset tuples outside the object and retarget the foreign keys of all
+  referencing tuples.
+
+Everything works off the :class:`TranslationContext` work lists, so one
+pass handles whatever mixture of mutations an algorithm produced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.errors import DuplicateKeyError, UpdateRejectedError
+from repro.core.updates.context import TranslationContext
+from repro.core.updates.policy import ReferenceRepair
+from repro.structural.connections import Connection, ConnectionKind, Traversal
+
+__all__ = [
+    "maintain_after_deletions",
+    "maintain_after_insertions",
+    "maintain_after_key_changes",
+    "maintain_all",
+]
+
+
+# ---------------------------------------------------------------------------
+# Deletions
+# ---------------------------------------------------------------------------
+
+
+def maintain_after_deletions(ctx: TranslationContext) -> None:
+    """Cascade deletions and repair references, to fixpoint.
+
+    Resumable: re-running the pass only processes deletions recorded
+    since the previous run (other passes may append more, e.g. a
+    key-change collision dropping a stale tuple).
+    """
+    while ctx.deletion_cursor < len(ctx.deleted):
+        relation, old_values = ctx.deleted[ctx.deletion_cursor]
+        ctx.deletion_cursor += 1
+        _cascade_children(ctx, relation, old_values)
+        _repair_incoming_references(ctx, relation, old_values)
+
+
+def _cascade_children(
+    ctx: TranslationContext, relation: str, old_values: Tuple[Any, ...]
+) -> None:
+    """Delete owned and subset tuples of a deleted tuple."""
+    for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+        for connection in ctx.graph.connections_from(relation, kind):
+            schema = ctx.schema(relation)
+            entry = schema.project(old_values, connection.source_attributes)
+            dependents = ctx.engine.find_by(
+                connection.target, connection.target_attributes, entry
+            )
+            child_schema = ctx.schema(connection.target)
+            for values in dependents:
+                ctx.delete(
+                    connection.target,
+                    child_schema.key_of(values),
+                    reason=f"cascade {kind.value} via {connection.name}",
+                )
+
+
+def _repair_incoming_references(
+    ctx: TranslationContext, relation: str, old_values: Tuple[Any, ...]
+) -> None:
+    """Fix tuples referencing a deleted tuple, per the policy."""
+    for connection in ctx.graph.connections_to(
+        relation, ConnectionKind.REFERENCE
+    ):
+        schema = ctx.schema(relation)
+        entry = schema.project(old_values, connection.target_attributes)
+        if any(v is None for v in entry):
+            continue
+        referencing = ctx.engine.find_by(
+            connection.source, connection.source_attributes, entry
+        )
+        if not referencing:
+            continue
+        action = _resolve_repair(ctx, connection)
+        source_schema = ctx.schema(connection.source)
+        for values in referencing:
+            key = source_schema.key_of(values)
+            if action is ReferenceRepair.DELETE:
+                ctx.delete(
+                    connection.source,
+                    key,
+                    reason=f"referencing tuple repair via {connection.name}",
+                )
+            elif action is ReferenceRepair.NULLIFY:
+                mapping = source_schema.as_mapping(values)
+                for name in connection.source_attributes:
+                    mapping[name] = None
+                ctx.replace(
+                    connection.source,
+                    key,
+                    source_schema.row_from_mapping(mapping),
+                    reason=f"nullify foreign key via {connection.name}",
+                )
+            else:  # PROHIBIT
+                raise UpdateRejectedError(
+                    f"deletion of {relation!r} tuple is referenced by "
+                    f"{connection.source!r} and the translator prohibits "
+                    f"repairing that reference (connection "
+                    f"{connection.name!r})",
+                    relation=connection.source,
+                )
+
+
+def _resolve_repair(
+    ctx: TranslationContext, connection: Connection
+) -> ReferenceRepair:
+    """Resolve AUTO to NULLIFY when legal, otherwise DELETE."""
+    action = ctx.policy.for_relation(connection.source).on_reference_delete
+    if action is not ReferenceRepair.AUTO:
+        return action
+    schema = ctx.schema(connection.source)
+    nullable_nonkey = all(
+        schema.attribute(name).nullable and not schema.is_key_attribute(name)
+        for name in connection.source_attributes
+    )
+    return ReferenceRepair.NULLIFY if nullable_nonkey else ReferenceRepair.DELETE
+
+
+# ---------------------------------------------------------------------------
+# Insertions
+# ---------------------------------------------------------------------------
+
+
+def maintain_after_insertions(ctx: TranslationContext) -> None:
+    """Insert missing owners / generals / referenced tuples, recursively.
+
+    Also checks replaced tuples whose referencing attributes changed.
+    Resumable like the deletion pass.
+    """
+    while ctx.insertion_cursor < len(ctx.inserted):
+        relation, values = ctx.inserted[ctx.insertion_cursor]
+        ctx.insertion_cursor += 1
+        _ensure_dependencies(ctx, relation, values)
+    for relation, old_values, new_values in ctx.replaced:
+        if _reference_attributes_changed(ctx, relation, old_values, new_values):
+            _ensure_dependencies(ctx, relation, new_values)
+
+
+def _reference_attributes_changed(
+    ctx: TranslationContext,
+    relation: str,
+    old_values: Tuple[Any, ...],
+    new_values: Tuple[Any, ...],
+) -> bool:
+    schema = ctx.schema(relation)
+    for connection in ctx.graph.connections_from(
+        relation, ConnectionKind.REFERENCE
+    ):
+        old_entry = schema.project(old_values, connection.source_attributes)
+        new_entry = schema.project(new_values, connection.source_attributes)
+        if old_entry != new_entry:
+            return True
+    # Ownership/subset target attributes sit in the key, so a key change
+    # is caught by maintain_after_key_changes; references are the only
+    # dependency insertions may break.
+    return False
+
+
+def _ensure_dependencies(
+    ctx: TranslationContext, relation: str, values: Tuple[Any, ...]
+) -> None:
+    """Every inserted tuple needs its owner, general, and referenced
+    tuples; insert skeletons where permitted."""
+    schema = ctx.schema(relation)
+    # Inverse ownership and inverse subset: this tuple is owned /
+    # specialized, so the source-side tuple must exist.
+    for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+        for connection in ctx.graph.connections_to(relation, kind):
+            entry = schema.project(values, connection.target_attributes)
+            if any(v is None for v in entry):
+                continue
+            existing = ctx.engine.find_by(
+                connection.source, connection.source_attributes, entry
+            )
+            if not existing:
+                _insert_skeleton(
+                    ctx,
+                    connection.source,
+                    connection.source_attributes,
+                    entry,
+                    reason=(
+                        f"missing {kind.value} parent via {connection.name}"
+                    ),
+                )
+    # Forward references: the referenced tuple must exist.
+    for connection in ctx.graph.connections_from(
+        relation, ConnectionKind.REFERENCE
+    ):
+        entry = schema.project(values, connection.source_attributes)
+        if any(v is None for v in entry):
+            continue
+        existing = ctx.engine.find_by(
+            connection.target, connection.target_attributes, entry
+        )
+        if not existing:
+            _insert_skeleton(
+                ctx,
+                connection.target,
+                connection.target_attributes,
+                entry,
+                reason=f"missing referenced tuple via {connection.name}",
+            )
+
+
+def _insert_skeleton(
+    ctx: TranslationContext,
+    relation: str,
+    attribute_names: Sequence[str],
+    entry: Tuple[Any, ...],
+    reason: str,
+) -> None:
+    """Insert a minimal tuple carrying ``entry``; recursion happens via
+    the work list."""
+    relation_policy = ctx.policy.for_relation(relation)
+    if not (relation_policy.can_modify and relation_policy.can_insert):
+        raise UpdateRejectedError(
+            f"global integrity requires inserting into {relation!r} but the "
+            f"translator does not allow insertions there",
+            relation=relation,
+        )
+    schema = ctx.schema(relation)
+    partial: Dict[str, Any] = dict(zip(attribute_names, entry))
+    completed = ctx.policy.completer(relation, schema, partial)
+    ctx.insert(
+        relation,
+        schema.row_from_mapping(completed),
+        reason=reason,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Key changes
+# ---------------------------------------------------------------------------
+
+
+def maintain_after_key_changes(ctx: TranslationContext) -> None:
+    """Propagate island key replacements outside the object.
+
+    For each key change (R, old_key, new_key): retarget the foreign keys
+    of all tuples referencing old_key, and rewrite the inherited key
+    attributes of owned / subset tuples still carrying old values —
+    which may change *their* keys, so the work list is run to fixpoint.
+    """
+    while ctx.key_change_cursor < len(ctx.key_changes):
+        relation, old_key, new_key = ctx.key_changes[ctx.key_change_cursor]
+        ctx.key_change_cursor += 1
+        _retarget_references(ctx, relation, old_key, new_key)
+        _propagate_key_to_dependents(ctx, relation, old_key, new_key)
+
+
+def _retarget_references(
+    ctx: TranslationContext,
+    relation: str,
+    old_key: Tuple[Any, ...],
+    new_key: Tuple[Any, ...],
+) -> None:
+    schema = ctx.schema(relation)
+    key_map = dict(zip(schema.key, old_key))
+    new_map = dict(zip(schema.key, new_key))
+    for connection in ctx.graph.connections_to(
+        relation, ConnectionKind.REFERENCE
+    ):
+        # X2 = K(relation): build old/new entries in X2 order.
+        old_entry = tuple(key_map[a] for a in connection.target_attributes)
+        new_entry = tuple(new_map[a] for a in connection.target_attributes)
+        referencing = ctx.engine.find_by(
+            connection.source, connection.source_attributes, old_entry
+        )
+        if not referencing:
+            continue
+        if not ctx.policy.for_relation(connection.source).can_modify:
+            raise UpdateRejectedError(
+                f"key replacement in {relation!r} requires modifying "
+                f"referencing relation {connection.source!r}, which the "
+                f"translator prohibits",
+                relation=connection.source,
+            )
+        source_schema = ctx.schema(connection.source)
+        for values in referencing:
+            key = source_schema.key_of(values)
+            mapping = source_schema.as_mapping(values)
+            mapping.update(zip(connection.source_attributes, new_entry))
+            new_values = source_schema.row_from_mapping(mapping)
+            target_key = source_schema.key_of(new_values)
+            if target_key != key and ctx.engine.contains(
+                connection.source, target_key
+            ):
+                # The retargeted tuple already exists (e.g. state I
+                # inserted it from the new instance): drop the stale one.
+                ctx.delete(
+                    connection.source,
+                    key,
+                    reason=(
+                        f"retarget via {connection.name} collided with an "
+                        f"existing tuple; old reference dropped"
+                    ),
+                )
+            else:
+                ctx.replace(
+                    connection.source,
+                    key,
+                    new_values,
+                    reason=f"retarget foreign key via {connection.name}",
+                )
+
+
+def _propagate_key_to_dependents(
+    ctx: TranslationContext,
+    relation: str,
+    old_key: Tuple[Any, ...],
+    new_key: Tuple[Any, ...],
+) -> None:
+    schema = ctx.schema(relation)
+    key_map = dict(zip(schema.key, old_key))
+    new_map = dict(zip(schema.key, new_key))
+    for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+        for connection in ctx.graph.connections_from(relation, kind):
+            # X1 = K(relation): entries in X1 order.
+            old_entry = tuple(
+                key_map[a] for a in connection.source_attributes
+            )
+            new_entry = tuple(
+                new_map[a] for a in connection.source_attributes
+            )
+            if old_entry == new_entry:
+                continue
+            dependents = ctx.engine.find_by(
+                connection.target, connection.target_attributes, old_entry
+            )
+            child_schema = ctx.schema(connection.target)
+            for values in dependents:
+                key = child_schema.key_of(values)
+                mapping = child_schema.as_mapping(values)
+                mapping.update(
+                    zip(connection.target_attributes, new_entry)
+                )
+                new_values = child_schema.row_from_mapping(mapping)
+                target_key = child_schema.key_of(new_values)
+                if target_key != key and ctx.engine.contains(
+                    connection.target, target_key
+                ):
+                    ctx.delete(
+                        connection.target,
+                        key,
+                        reason=(
+                            f"inherited-key propagation via "
+                            f"{connection.name} collided; stale tuple dropped"
+                        ),
+                    )
+                else:
+                    ctx.replace(
+                        connection.target,
+                        key,
+                        new_values,
+                        reason=(
+                            f"propagate inherited key via {connection.name}"
+                        ),
+                    )
+
+
+def maintain_all(ctx: TranslationContext) -> None:
+    """Run the three maintenance passes to a joint fixpoint.
+
+    Every pass runs at least once (the insertion pass also re-checks
+    replaced tuples with changed references, even when the work lists
+    are empty); then the loop continues while any pass produced work
+    for another.
+    """
+    while True:
+        maintain_after_deletions(ctx)
+        maintain_after_key_changes(ctx)
+        maintain_after_insertions(ctx)
+        if (
+            ctx.deletion_cursor >= len(ctx.deleted)
+            and ctx.key_change_cursor >= len(ctx.key_changes)
+            and ctx.insertion_cursor >= len(ctx.inserted)
+        ):
+            break

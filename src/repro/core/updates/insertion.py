@@ -1,0 +1,95 @@
+"""Algorithm VO-CI: translation of complete-insertion requests (§5.2).
+
+For each tuple in each projection of the view object, three cases:
+
+* CASE 1 — an identical tuple exists in the database: reject if the
+  relation belongs to the dependency island, otherwise do nothing;
+* CASE 2 — the new tuple matches no existing key: insert it;
+* CASE 3 — the key exists but nonkey values differ: reject inside the
+  island, otherwise replace the existing tuple with the view-object
+  tuple.
+
+"Each view-object tuple inserted in the database needs to be extended
+with some values for the attributes that have been projected out" — the
+policy's completer supplies those values.
+
+Afterwards, global integrity inserts any missing tuples along inverse
+ownership, inverse subset, and reference connections, recursively
+(:func:`~repro.core.updates.global_integrity.maintain_after_insertions`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UpdateRejectedError
+from repro.core.instance import Instance
+from repro.core.updates import global_integrity
+from repro.core.updates.context import TranslationContext
+from repro.core.updates.local_validation import validate_insertion
+
+__all__ = ["translate_complete_insertion"]
+
+
+def translate_complete_insertion(
+    ctx: TranslationContext, instance: Instance
+) -> None:
+    """Run VO-CI for ``instance``; mutations are recorded in ``ctx``."""
+    validate_insertion(ctx, instance)
+    for node in ctx.view_object.tree.bfs():
+        node_id = node.node_id
+        in_island = ctx.analysis.is_island(node_id)
+        relation_policy = ctx.policy.for_relation(node.relation)
+        for component in instance.tuples_at(node_id):
+            key = ctx.key_from_values(node_id, component.values)
+            existing = ctx.engine.get(node.relation, key)
+            if existing is None:
+                # CASE 2: the new tuple matches no existing key.
+                if not in_island and not (
+                    relation_policy.can_modify and relation_policy.can_insert
+                ):
+                    raise UpdateRejectedError(
+                        f"insertion needs a new tuple in {node.relation!r} "
+                        f"but the translator does not allow insertions there",
+                        relation=node.relation,
+                    )
+                ctx.insert(
+                    node.relation,
+                    ctx.complete(node_id, component.values),
+                    reason=f"CASE 2 insertion at node {node_id!r} (VO-CI)",
+                )
+            elif ctx.projected_values_match(node_id, component.values, existing):
+                # CASE 1: an identical tuple already exists.
+                if in_island:
+                    raise UpdateRejectedError(
+                        f"complete insertion rejected: identical tuple "
+                        f"{key!r} already exists in island relation "
+                        f"{node.relation!r} (CASE 1)",
+                        relation=node.relation,
+                    )
+                # Outside the island: do nothing.
+            else:
+                # CASE 3: key matches, nonkey values conflict.
+                if in_island:
+                    raise UpdateRejectedError(
+                        f"complete insertion rejected: tuple {key!r} exists "
+                        f"in island relation {node.relation!r} with "
+                        f"different values (CASE 3)",
+                        relation=node.relation,
+                    )
+                if not (
+                    relation_policy.can_modify
+                    and relation_policy.can_replace_existing
+                ):
+                    raise UpdateRejectedError(
+                        f"insertion needs to modify an existing tuple of "
+                        f"{node.relation!r} but the translator prohibits it",
+                        relation=node.relation,
+                    )
+                ctx.replace(
+                    node.relation,
+                    key,
+                    ctx.merge_with_existing(
+                        node_id, component.values, existing
+                    ),
+                    reason=f"CASE 3 replacement at node {node_id!r} (VO-CI)",
+                )
+    global_integrity.maintain_after_insertions(ctx)

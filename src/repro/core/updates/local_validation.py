@@ -1,0 +1,135 @@
+"""Step 1: local validation against the view-object definition.
+
+The paper treats this step as "straightforward" and assumes it succeeds
+before translation; we implement it fully: the request's instances must
+belong to the right view object, the object must be updatable, the
+operation class must be allowed by the policy, and — for replacements —
+the structural restrictions of Section 5.3 hold:
+
+* keys may change only inside the dependency island (when the policy's
+  island answers allow it);
+* key replacements on referencing peninsulas are prohibited
+  ("inherently ambiguous"), modulo the connecting attributes that the
+  system itself rewrites when the referenced island key changes.
+"""
+
+from __future__ import annotations
+
+from itertools import zip_longest
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import LocalValidationError
+from repro.core.dependency_island import NodeRole
+from repro.core.instance import ComponentTuple, Instance
+from repro.core.updates.context import TranslationContext
+
+__all__ = [
+    "validate_instance_shape",
+    "validate_insertion",
+    "validate_deletion",
+    "validate_replacement",
+]
+
+
+def validate_instance_shape(ctx: TranslationContext, instance: Instance) -> None:
+    """The instance must belong to this translator's view object."""
+    if instance.view_object is not ctx.view_object:
+        if instance.view_object.name != ctx.view_object.name:
+            raise LocalValidationError(
+                f"instance belongs to view object "
+                f"{instance.view_object.name!r}, translator handles "
+                f"{ctx.view_object.name!r}"
+            )
+    if not ctx.view_object.updatable:
+        raise LocalValidationError(
+            f"view object {ctx.view_object.name!r} was defined query-only "
+            f"(updatable=False)"
+        )
+
+
+def validate_insertion(ctx: TranslationContext, instance: Instance) -> None:
+    validate_instance_shape(ctx, instance)
+    if not ctx.policy.allow_insertion:
+        raise LocalValidationError(
+            f"translator for {ctx.view_object.name!r} does not allow "
+            f"complete insertions"
+        )
+
+
+def validate_deletion(ctx: TranslationContext, instance: Instance) -> None:
+    validate_instance_shape(ctx, instance)
+    if not ctx.policy.allow_deletion:
+        raise LocalValidationError(
+            f"translator for {ctx.view_object.name!r} does not allow "
+            f"complete deletions"
+        )
+
+
+def validate_replacement(
+    ctx: TranslationContext, old: Instance, new: Instance
+) -> None:
+    validate_instance_shape(ctx, old)
+    validate_instance_shape(ctx, new)
+    if not ctx.policy.allow_replacement:
+        raise LocalValidationError(
+            f"translator for {ctx.view_object.name!r} does not allow "
+            f"replacements (the dialog's first answer was no)"
+        )
+    _validate_key_disciplines(ctx, old.root, new.root)
+
+
+def _validate_key_disciplines(
+    ctx: TranslationContext,
+    old_component: ComponentTuple,
+    new_component: ComponentTuple,
+) -> None:
+    """Recursive check of Section 5.3's key-replacement rules."""
+    node_id = old_component.node_id
+    role = ctx.analysis.role(node_id)
+    node = ctx.view_object.node(node_id)
+    schema = ctx.schema(node.relation)
+    old_key = _key_or_none(ctx, node_id, old_component)
+    new_key = _key_or_none(ctx, node_id, new_component)
+    keys_differ = (
+        old_key is not None and new_key is not None and old_key != new_key
+    )
+    if keys_differ and role is NodeRole.ISLAND:
+        relation_policy = ctx.policy.for_relation(node.relation)
+        if not relation_policy.allow_key_replacement:
+            raise LocalValidationError(
+                f"replacement changes the key of island relation "
+                f"{node.relation!r} ({old_key!r} -> {new_key!r}) but the "
+                f"translator prohibits key modification there"
+            )
+    if keys_differ and role is NodeRole.PENINSULA:
+        # The connecting (foreign-key) attributes are rewritten by the
+        # system when the referenced island key changes; a *user* key
+        # change is any difference beyond those attributes.
+        connecting = set(node.path.traversals[0].start_attributes)
+        changed_outside_fk = any(
+            old_component.values.get(a) != new_component.values.get(a)
+            for a in schema.key
+            if a not in connecting
+        )
+        if changed_outside_fk:
+            raise LocalValidationError(
+                f"replacement changes the key of referencing peninsula "
+                f"{node.relation!r}; such replacements are inherently "
+                f"ambiguous and prohibited"
+            )
+    for child in ctx.view_object.tree.children(node_id):
+        old_children = old_component.child_tuples(child.node_id)
+        new_children = new_component.child_tuples(child.node_id)
+        for old_child, new_child in zip(old_children, new_children):
+            _validate_key_disciplines(ctx, old_child, new_child)
+
+
+def _key_or_none(
+    ctx: TranslationContext, node_id: str, component: ComponentTuple
+) -> Optional[Tuple[Any, ...]]:
+    node = ctx.view_object.node(node_id)
+    schema = ctx.schema(node.relation)
+    try:
+        return tuple(component.values[k] for k in schema.key)
+    except KeyError:
+        return None

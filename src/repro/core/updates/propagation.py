@@ -1,0 +1,62 @@
+"""Step 2: propagation within the view object.
+
+Section 5.3 decomposes each island relation's key into the part
+inherited from its parent and the complement ``A_j``; only the
+complement is accessible at the child's level, and "a change to A_j has
+to be propagated down to R_j's children in the dependency island".
+
+We implement propagation uniformly for every single-connection tree
+edge: in a replacement's *new* instance, each child tuple's connecting
+attributes are rewritten to match its parent tuple's (new) connecting
+values. For island children that is exactly the inherited-key
+propagation; for peninsulas it rewrites the system-maintained foreign
+key; for referenced relations it keeps the child aligned with the
+parent's (possibly updated) reference attributes. Composite
+multi-connection edges (Figure 3) cannot be propagated at the instance
+level — the intermediate relations are not part of the object — and are
+reconciled during global validation instead.
+
+The pass returns a rewritten instance; the caller's original is left
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.instance import ComponentTuple, Instance
+from repro.core.view_object import ViewObjectDefinition
+
+__all__ = ["propagate_within_object"]
+
+
+def propagate_within_object(
+    view_object: ViewObjectDefinition, new_instance: Instance
+) -> Instance:
+    """Rewrite connecting attributes downward; return a new Instance."""
+
+    def rewrite(component: ComponentTuple) -> ComponentTuple:
+        node = view_object.node(component.node_id)
+        children: Dict[str, List[ComponentTuple]] = {}
+        for child_node in view_object.tree.children(component.node_id):
+            rebuilt: List[ComponentTuple] = []
+            single_hop = len(child_node.path) == 1
+            traversal = child_node.path.traversals[0]
+            for child in component.child_tuples(child_node.node_id):
+                if single_hop:
+                    parent_entry = [
+                        component.values.get(a)
+                        for a in traversal.start_attributes
+                    ]
+                    values = dict(child.values)
+                    values.update(
+                        zip(traversal.end_attributes, parent_entry)
+                    )
+                    child = ComponentTuple(
+                        child.node_id, values, child.children
+                    )
+                rebuilt.append(rewrite(child))
+            children[child_node.node_id] = rebuilt
+        return ComponentTuple(component.node_id, dict(component.values), children)
+
+    return Instance(view_object, rewrite(new_instance.root))

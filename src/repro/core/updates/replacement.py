@@ -1,0 +1,328 @@
+"""Algorithm VO-R: translation of replacement requests (§5.3).
+
+A depth-first walk over the view object's tree of relations, starting in
+state **R** (replacing) at the pivot and switching to state **I**
+(inserting) when moving down to a relation outside the dependency
+island:
+
+* R-1 — projections match exactly: nothing to do;
+* R-2 — projections differ, keys match: database replacement;
+* R-3 — keys differ (dependency island only): the old tuple is always
+  removed; the new tuple is either a key-changing replacement or — when
+  a tuple with the new key already exists — a deletion of the old tuple
+  plus a replacement of the existing one, which the dialog may forbid
+  ("The system might need to delete the old database tuple, and replace
+  it with an existing tuple with matching key. Do you allow this?");
+* I-1 — keys match: handled with the R rules for this pair;
+* I-2 — keys differ, new tuple absent: insert it (the paper's
+  "replacement on the key of a relation referenced by the dependency
+  island leads to an insertion, rather than a replacement" — this is
+  how replacing a course's department with a brand-new one *inserts*
+  the new DEPARTMENT tuple);
+* I-3 — keys differ, identical tuple present: nothing;
+* I-4 — keys differ, tuple present with conflicting values: replacement.
+
+Old/new component tuples at each node are aligned by key first and
+positionally for the remainder, so key-changing pairs (R-3) stay
+aligned. Steps 2 (in-object propagation) and 4 (validation against the
+structural model) wrap the walk, per the paper: "all three steps ...
+have to be executed sequentially".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import UpdateRejectedError
+from repro.core.dependency_island import NodeRole
+from repro.core.instance import ComponentTuple, Instance
+from repro.core.projection_tree import TreeNode
+from repro.core.updates import global_integrity
+from repro.core.updates.context import TranslationContext
+from repro.core.updates.local_validation import validate_replacement
+from repro.core.updates.propagation import propagate_within_object
+
+__all__ = ["translate_replacement"]
+
+
+def translate_replacement(
+    ctx: TranslationContext, old: Instance, new: Instance
+) -> None:
+    """Run VO-R; mutations are recorded in ``ctx``."""
+    # Step 1: local validation.
+    validate_replacement(ctx, old, new)
+    # Step 2: propagation within the view object.
+    new = propagate_within_object(ctx.view_object, new)
+    # Step 3: translation into database operations (the state machine).
+    _walk_node(
+        ctx,
+        ctx.view_object.tree.root,
+        [old.root],
+        [new.root],
+        in_island=True,
+    )
+    # Step 4: validation against the structural model. The passes run
+    # to a joint fixpoint: a key-change collision may drop stale tuples
+    # whose own cascades the deletion pass must then pick up.
+    global_integrity.maintain_all(ctx)
+
+
+# ---------------------------------------------------------------------------
+# Tree walk
+# ---------------------------------------------------------------------------
+
+
+def _walk_node(
+    ctx: TranslationContext,
+    node: TreeNode,
+    old_components: List[ComponentTuple],
+    new_components: List[ComponentTuple],
+    in_island: bool,
+) -> None:
+    pairs = _align(ctx, node.node_id, old_components, new_components)
+    for old_component, new_component in pairs:
+        if old_component is not None and new_component is not None:
+            if in_island:
+                _replace_case(ctx, node, old_component, new_component)
+            else:
+                _insert_case(ctx, node, old_component, new_component)
+        elif new_component is None:
+            _removed_component(ctx, node, old_component, in_island)
+        else:
+            _added_component(ctx, node, new_component, in_island)
+        # Depth-first: "move to the next relation down, then go to state
+        # I if we are outside the dependency island, R otherwise".
+        for child in ctx.view_object.tree.children(node.node_id):
+            child_in_island = ctx.analysis.is_island(child.node_id)
+            old_children = (
+                old_component.child_tuples(child.node_id)
+                if old_component is not None
+                else []
+            )
+            new_children = (
+                new_component.child_tuples(child.node_id)
+                if new_component is not None
+                else []
+            )
+            _walk_node(ctx, child, old_children, new_children, child_in_island)
+
+
+def _align(
+    ctx: TranslationContext,
+    node_id: str,
+    old_components: List[ComponentTuple],
+    new_components: List[ComponentTuple],
+) -> List[Tuple[Optional[ComponentTuple], Optional[ComponentTuple]]]:
+    """Pair old and new tuples: by key first, leftovers positionally."""
+    old_by_key: Dict[Tuple[Any, ...], ComponentTuple] = {}
+    for component in old_components:
+        old_by_key[ctx.key_from_values(node_id, component.values)] = component
+    pairs: List[Tuple[Optional[ComponentTuple], Optional[ComponentTuple]]] = []
+    unmatched_new: List[ComponentTuple] = []
+    for component in new_components:
+        key = ctx.key_from_values(node_id, component.values)
+        match = old_by_key.pop(key, None)
+        if match is not None:
+            pairs.append((match, component))
+        else:
+            unmatched_new.append(component)
+    leftovers_old = [
+        c for c in old_components
+        if ctx.key_from_values(node_id, c.values) in old_by_key
+    ]
+    for index in range(max(len(leftovers_old), len(unmatched_new))):
+        pairs.append(
+            (
+                leftovers_old[index] if index < len(leftovers_old) else None,
+                unmatched_new[index] if index < len(unmatched_new) else None,
+            )
+        )
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# State R — replacing (dependency island)
+# ---------------------------------------------------------------------------
+
+
+def _replace_case(
+    ctx: TranslationContext,
+    node: TreeNode,
+    old_component: ComponentTuple,
+    new_component: ComponentTuple,
+) -> None:
+    node_id = node.node_id
+    if old_component.values == new_component.values:
+        return  # CASE R-1: the projections match exactly.
+    old_key = ctx.key_from_values(node_id, old_component.values)
+    new_key = ctx.key_from_values(node_id, new_component.values)
+    existing = ctx.engine.get(node.relation, old_key)
+    if existing is None:
+        raise UpdateRejectedError(
+            f"replacement: island tuple {old_key!r} of {node.relation!r} "
+            f"no longer exists",
+            relation=node.relation,
+        )
+    if old_key == new_key:
+        # CASE R-2: the projections differ but the keys match.
+        ctx.replace(
+            node.relation,
+            old_key,
+            ctx.merge_with_existing(node_id, new_component.values, existing),
+            reason=f"CASE R-2 replacement at node {node_id!r} (VO-R)",
+        )
+        return
+    # CASE R-3: the projections differ and the keys differ — island only.
+    relation_policy = ctx.policy.for_relation(node.relation)
+    if not relation_policy.allow_db_key_replacement:
+        raise UpdateRejectedError(
+            f"replacement changes the database key of {node.relation!r} "
+            f"({old_key!r} -> {new_key!r}) but the translator prohibits "
+            f"replacing database keys",
+            relation=node.relation,
+        )
+    conflicting = ctx.engine.get(node.relation, new_key)
+    if conflicting is not None:
+        # Delete the old tuple and replace the existing one with the new
+        # view-object tuple — only if the dialog allowed the merge.
+        if not relation_policy.allow_merge_on_key_conflict:
+            raise UpdateRejectedError(
+                f"replacement would delete {node.relation!r} tuple "
+                f"{old_key!r} and overwrite existing tuple {new_key!r}; "
+                f"the translator prohibits this merge",
+                relation=node.relation,
+            )
+        ctx.delete(
+            node.relation,
+            old_key,
+            reason=f"CASE R-3 merge: old island tuple removed (VO-R)",
+        )
+        ctx.replace(
+            node.relation,
+            new_key,
+            ctx.merge_with_existing(
+                node_id, new_component.values, conflicting
+            ),
+            reason=f"CASE R-3 merge: existing tuple overwritten (VO-R)",
+        )
+        return
+    # Plain key-changing replacement ("if we have a deletion followed by
+    # an insertion, we perform a replacement instead").
+    ctx.replace(
+        node.relation,
+        old_key,
+        ctx.merge_with_existing(node_id, new_component.values, existing),
+        reason=f"CASE R-3 key-changing replacement at {node_id!r} (VO-R)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# State I — inserting (outside the island)
+# ---------------------------------------------------------------------------
+
+
+def _insert_case(
+    ctx: TranslationContext,
+    node: TreeNode,
+    old_component: ComponentTuple,
+    new_component: ComponentTuple,
+) -> None:
+    node_id = node.node_id
+    old_key = ctx.key_from_values(node_id, old_component.values)
+    new_key = ctx.key_from_values(node_id, new_component.values)
+    relation_policy = ctx.policy.for_relation(node.relation)
+    if old_key == new_key:
+        # CASE I-1: the keys match — treat with the R rules.
+        if old_component.values == new_component.values:
+            return
+        existing = ctx.engine.get(node.relation, old_key)
+        if existing is None:
+            _added_component(ctx, node, new_component, in_island=False)
+            return
+        if ctx.projected_values_match(
+            node_id, new_component.values, existing
+        ):
+            return
+        _require_modify_and_replace(ctx, node, relation_policy)
+        ctx.replace(
+            node.relation,
+            old_key,
+            ctx.merge_with_existing(node_id, new_component.values, existing),
+            reason=f"CASE I-1 nonkey replacement at node {node_id!r} (VO-R)",
+        )
+        return
+    # Keys differ: the old tuple is simply no longer referenced; the new
+    # one is brought into existence or reconciled.
+    _added_component(ctx, node, new_component, in_island=False)
+
+
+def _removed_component(
+    ctx: TranslationContext,
+    node: TreeNode,
+    old_component: ComponentTuple,
+    in_island: bool,
+) -> None:
+    """An old component tuple with no counterpart in the new instance."""
+    if not in_island:
+        return  # outside tuples survive; only the linkage changed
+    key = ctx.key_from_values(node.node_id, old_component.values)
+    if ctx.engine.get(node.relation, key) is not None:
+        ctx.delete(
+            node.relation,
+            key,
+            reason=(
+                f"island component removed by replacement at node "
+                f"{node.node_id!r} (VO-R)"
+            ),
+        )
+
+
+def _added_component(
+    ctx: TranslationContext,
+    node: TreeNode,
+    new_component: ComponentTuple,
+    in_island: bool,
+) -> None:
+    """A new component tuple with no old counterpart (also CASES I-2/3/4)."""
+    node_id = node.node_id
+    key = ctx.key_from_values(node_id, new_component.values)
+    existing = ctx.engine.get(node.relation, key)
+    relation_policy = ctx.policy.for_relation(node.relation)
+    if existing is None:
+        # CASE I-2 (or an island component addition): insert.
+        if not in_island and not (
+            relation_policy.can_modify and relation_policy.can_insert
+        ):
+            raise UpdateRejectedError(
+                f"replacement needs a new tuple in {node.relation!r} but "
+                f"the translator does not allow insertions there",
+                relation=node.relation,
+            )
+        ctx.insert(
+            node.relation,
+            ctx.complete(node_id, new_component.values),
+            reason=f"CASE I-2 insertion at node {node_id!r} (VO-R)",
+        )
+    elif ctx.projected_values_match(node_id, new_component.values, existing):
+        return  # CASE I-3: identical tuple already present.
+    else:
+        # CASE I-4: present with conflicting values — replacement.
+        if not in_island:
+            _require_modify_and_replace(ctx, node, relation_policy)
+        ctx.replace(
+            node.relation,
+            key,
+            ctx.merge_with_existing(node_id, new_component.values, existing),
+            reason=f"CASE I-4 replacement at node {node_id!r} (VO-R)",
+        )
+
+
+def _require_modify_and_replace(
+    ctx: TranslationContext, node: TreeNode, relation_policy
+) -> None:
+    if not (relation_policy.can_modify and relation_policy.can_replace_existing):
+        raise UpdateRejectedError(
+            f"replacement needs to modify an existing tuple of "
+            f"{node.relation!r} but the translator prohibits it",
+            relation=node.relation,
+        )

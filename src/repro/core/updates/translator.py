@@ -1,0 +1,379 @@
+"""The view-object update translator.
+
+"Once the DBA has chosen the translator, users can specify updates
+through the view object, which are then translated into database update
+operations." A :class:`Translator` binds a view object to a
+:class:`~repro.core.updates.policy.TranslatorPolicy` and exposes the
+three complete operations plus the partial ones. Every call runs inside
+an engine transaction: if any step rejects the update, the transaction
+is rolled back and nothing is left behind — the paper's all-or-nothing
+behaviour.
+
+Each call returns the :class:`~repro.relational.operations.UpdatePlan`
+that was applied (the "set of database operations"), with a reason
+attached to every operation for auditability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+
+from repro.errors import GlobalValidationError, UpdateError
+from repro.core.dependency_island import analyze_island
+from repro.core.instance import Instance, build_instance
+from repro.core.instantiation import Instantiator
+from repro.core.updates.context import TranslationContext
+from repro.core.updates.deletion import translate_complete_deletion
+from repro.core.updates.insertion import translate_complete_insertion
+from repro.core.updates.policy import TranslatorPolicy
+from repro.core.updates.replacement import translate_replacement
+from repro.core.view_object import ViewObjectDefinition
+from repro.relational.engine import Engine
+from repro.relational.operations import UpdatePlan
+from repro.structural.integrity import IntegrityChecker
+
+__all__ = ["Translator"]
+
+InstanceLike = Union[Instance, Mapping[str, Any]]
+
+
+class Translator:
+    """Translates updates on one view object into database operations.
+
+    Parameters
+    ----------
+    view_object:
+        The object this translator serves.
+    policy:
+        The semantics chosen at definition time (dialog output). The
+        default is fully permissive.
+    verify_integrity:
+        When True, every successful translation is followed by a full
+        structural-integrity check of the database; a violation raises
+        :class:`GlobalValidationError` and rolls the transaction back.
+        This is the belt-and-braces mode used by the test suite and the
+        integrity ablation.
+    """
+
+    def __init__(
+        self,
+        view_object: ViewObjectDefinition,
+        policy: Optional[TranslatorPolicy] = None,
+        verify_integrity: bool = False,
+        user: Optional[str] = None,
+    ) -> None:
+        self.view_object = view_object
+        self.policy = policy or TranslatorPolicy.permissive()
+        self.analysis = analyze_island(view_object)
+        self.verify_integrity = verify_integrity
+        self.user = user
+        self._instantiator = Instantiator(view_object)
+        self._checker = IntegrityChecker(view_object.graph)
+
+    def for_user(self, user: Optional[str]) -> "Translator":
+        """This translator bound to a specific user.
+
+        Step 1 of the paper checks "structural restrictions and user
+        authorizations": when the policy names authorized users, updates
+        from anyone else are rejected before translation starts.
+        """
+        bound = Translator.__new__(Translator)
+        bound.view_object = self.view_object
+        bound.policy = self.policy
+        bound.analysis = self.analysis
+        bound.verify_integrity = self.verify_integrity
+        bound.user = user
+        bound._instantiator = self._instantiator
+        bound._checker = self._checker
+        return bound
+
+    # -- public operations ---------------------------------------------------
+
+    def insert(self, engine: Engine, instance: InstanceLike) -> UpdatePlan:
+        """Complete insertion of a fully specified instance."""
+        instance = self._coerce_instance(instance)
+        return self._run(
+            engine, lambda ctx: translate_complete_insertion(ctx, instance)
+        )
+
+    def delete(
+        self,
+        engine: Engine,
+        instance: Union[InstanceLike, Sequence[Any], None] = None,
+        key: Optional[Sequence[Any]] = None,
+    ) -> UpdatePlan:
+        """Complete deletion, by instance or by object key."""
+        if key is not None:
+            instance = self.instantiate(engine, key)
+        elif not isinstance(instance, (Instance, Mapping)):
+            instance = self.instantiate(engine, instance)
+        instance = self._coerce_instance(instance)
+        return self._run(
+            engine, lambda ctx: translate_complete_deletion(ctx, instance)
+        )
+
+    def replace(
+        self,
+        engine: Engine,
+        old: Union[InstanceLike, Sequence[Any]],
+        new: InstanceLike,
+    ) -> UpdatePlan:
+        """Replacement: old instance (or its key) and its replacement."""
+        if not isinstance(old, (Instance, Mapping)):
+            old = self.instantiate(engine, old)
+        old = self._coerce_instance(old)
+        new = self._coerce_instance(new)
+        return self._run(
+            engine, lambda ctx: translate_replacement(ctx, old, new)
+        )
+
+    # -- partial operations --------------------------------------------------------
+
+    def insert_component(
+        self,
+        engine: Engine,
+        instance: Union[InstanceLike, Sequence[Any]],
+        node_id: str,
+        values: Dict[str, Any],
+    ) -> UpdatePlan:
+        """Partial insertion: add one component tuple at ``node_id``."""
+        from repro.core.updates.partial import translate_partial_insertion
+
+        instance = self._resolve_instance(engine, instance)
+        return self._run(
+            engine,
+            lambda ctx: translate_partial_insertion(
+                ctx, instance, node_id, values
+            ),
+        )
+
+    def delete_component(
+        self,
+        engine: Engine,
+        instance: Union[InstanceLike, Sequence[Any]],
+        node_id: str,
+        values: Dict[str, Any],
+    ) -> UpdatePlan:
+        """Partial deletion: remove one component tuple at ``node_id``."""
+        from repro.core.updates.partial import translate_partial_deletion
+
+        instance = self._resolve_instance(engine, instance)
+        return self._run(
+            engine,
+            lambda ctx: translate_partial_deletion(
+                ctx, instance, node_id, values
+            ),
+        )
+
+    def update_component(
+        self,
+        engine: Engine,
+        instance: Union[InstanceLike, Sequence[Any]],
+        node_id: str,
+        old_values: Dict[str, Any],
+        new_values: Dict[str, Any],
+    ) -> UpdatePlan:
+        """Partial update: modify one component tuple's nonkey attributes."""
+        from repro.core.updates.partial import translate_partial_update
+
+        instance = self._resolve_instance(engine, instance)
+        return self._run(
+            engine,
+            lambda ctx: translate_partial_update(
+                ctx, instance, node_id, old_values, new_values
+            ),
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _resolve_instance(
+        self, engine: Engine, instance: Union[InstanceLike, Sequence[Any]]
+    ) -> Instance:
+        if isinstance(instance, (Instance, Mapping)):
+            return self._coerce_instance(instance)
+        return self.instantiate(engine, instance)
+
+    def instantiate(self, engine: Engine, key: Sequence[Any]) -> Instance:
+        """Fetch the current instance with object key ``key``."""
+        instance = self._instantiator.by_key(engine, key)
+        if instance is None:
+            raise UpdateError(
+                f"view object {self.view_object.name!r}: no instance with "
+                f"key {tuple(key)!r}"
+            )
+        return instance
+
+    def _coerce_instance(self, instance: InstanceLike) -> Instance:
+        if isinstance(instance, Instance):
+            return instance
+        return build_instance(self.view_object, instance)
+
+    def _run(
+        self, engine: Engine, translation, preview: bool = False
+    ) -> UpdatePlan:
+        if not self.policy.authorizes(self.user):
+            from repro.errors import LocalValidationError
+
+            raise LocalValidationError(
+                f"user {self.user!r} is not authorized to update through "
+                f"view object {self.view_object.name!r}"
+            )
+        ctx = TranslationContext(
+            self.view_object, engine, self.policy, self.analysis
+        )
+        engine.begin()
+        try:
+            translation(ctx)
+            if self.verify_integrity:
+                violations = self._checker.check(engine)
+                if violations:
+                    raise GlobalValidationError(
+                        f"translation left {len(violations)} integrity "
+                        f"violations: "
+                        + "; ".join(v.message for v in violations[:5])
+                    )
+        except Exception:
+            engine.rollback()
+            raise
+        if preview:
+            engine.rollback()
+        else:
+            engine.commit()
+        return ctx.plan
+
+    # -- previews (translate, report the plan, change nothing) ----------------
+
+    def preview_insert(self, engine: Engine, instance: InstanceLike) -> UpdatePlan:
+        """The plan :meth:`insert` would apply, with the database untouched."""
+        instance = self._coerce_instance(instance)
+        return self._run(
+            engine,
+            lambda ctx: translate_complete_insertion(ctx, instance),
+            preview=True,
+        )
+
+    def preview_delete(
+        self,
+        engine: Engine,
+        instance: Union[InstanceLike, Sequence[Any], None] = None,
+        key: Optional[Sequence[Any]] = None,
+    ) -> UpdatePlan:
+        """The plan :meth:`delete` would apply, with the database untouched."""
+        if key is not None:
+            instance = self.instantiate(engine, key)
+        elif not isinstance(instance, (Instance, Mapping)):
+            instance = self.instantiate(engine, instance)
+        instance = self._coerce_instance(instance)
+        return self._run(
+            engine,
+            lambda ctx: translate_complete_deletion(ctx, instance),
+            preview=True,
+        )
+
+    def preview_replace(
+        self,
+        engine: Engine,
+        old: Union[InstanceLike, Sequence[Any]],
+        new: InstanceLike,
+    ) -> UpdatePlan:
+        """The plan :meth:`replace` would apply, with the database untouched."""
+        if not isinstance(old, (Instance, Mapping)):
+            old = self.instantiate(engine, old)
+        old = self._coerce_instance(old)
+        new = self._coerce_instance(new)
+        return self._run(
+            engine,
+            lambda ctx: translate_replacement(ctx, old, new),
+            preview=True,
+        )
+
+    # -- query-driven bulk operations ---------------------------------------------
+
+    def delete_where(self, engine: Engine, query: str) -> UpdatePlan:
+        """Complete deletion of every instance matching an object query.
+
+        "The query representation can also be used to formulate update
+        requests" — this is that formulation for deletions. All matched
+        instances are deleted in one transaction; any rejection rolls
+        the whole batch back.
+        """
+        from repro.core.query import execute_query
+
+        instances = execute_query(self.view_object, engine, query)
+        combined = UpdatePlan()
+        engine.begin()
+        try:
+            for instance in instances:
+                combined.extend(self.delete(engine, instance))
+        except Exception:
+            engine.rollback()
+            raise
+        engine.commit()
+        return combined
+
+    def update_where(
+        self,
+        engine: Engine,
+        query: str,
+        transform: Callable[[Dict[str, Any]], Dict[str, Any]],
+    ) -> UpdatePlan:
+        """Replace every matching instance by ``transform(instance_dict)``.
+
+        The transform receives each matched instance's nested-dictionary
+        form and returns the replacement's; the batch is atomic.
+        """
+        from repro.core.query import execute_query
+
+        instances = execute_query(self.view_object, engine, query)
+        combined = UpdatePlan()
+        engine.begin()
+        try:
+            for instance in instances:
+                new_data = transform(instance.to_dict())
+                combined.extend(self.replace(engine, instance, new_data))
+        except Exception:
+            engine.rollback()
+            raise
+        engine.commit()
+        return combined
+
+    # -- request-object dispatch ------------------------------------------------
+
+    def apply(self, engine: Engine, request: "UpdateRequest") -> UpdatePlan:
+        """Apply a first-class :class:`UpdateRequest` (Section 5's
+        operation taxonomy) through this translator."""
+        from repro.core.updates.operations import (
+            CompleteDeletion,
+            CompleteInsertion,
+            PartialDeletion,
+            PartialInsertion,
+            PartialUpdate,
+            Replacement,
+        )
+
+        if isinstance(request, CompleteInsertion):
+            return self.insert(engine, request.instance)
+        if isinstance(request, CompleteDeletion):
+            return self.delete(engine, request.instance)
+        if isinstance(request, Replacement):
+            return self.replace(engine, request.old, request.new)
+        if isinstance(request, PartialInsertion):
+            return self.insert_component(
+                engine, request.instance, request.node_id, request.values
+            )
+        if isinstance(request, PartialDeletion):
+            return self.delete_component(
+                engine, request.instance, request.node_id, request.values
+            )
+        if isinstance(request, PartialUpdate):
+            return self.update_component(
+                engine,
+                request.instance,
+                request.node_id,
+                request.old_values,
+                request.new_values,
+            )
+        raise UpdateError(f"unknown update request: {request!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Translator({self.view_object.name!r})"

@@ -1,0 +1,140 @@
+"""Question model for the translator-choosing dialog (Section 6).
+
+Each question is a yes/no prompt with a stable identifier, so scripted
+and programmatic answer sources can address questions without matching
+on display text. The display texts reproduce the paper's transcript
+verbatim for the questions that appear in it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Question"]
+
+
+class Question:
+    """One yes/no question of the definition-time dialog."""
+
+    __slots__ = ("qid", "text", "relation", "section")
+
+    def __init__(
+        self,
+        qid: str,
+        text: str,
+        relation: Optional[str] = None,
+        section: str = "",
+    ) -> None:
+        self.qid = qid
+        self.text = text
+        self.relation = relation
+        self.section = section
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Question({self.qid!r})"
+
+
+# -- question factories (texts from the paper where shown) -------------------
+
+
+def allow_replacement() -> Question:
+    return Question(
+        "replacement.allowed",
+        "Is replacement of tuples in an object instance allowed?",
+        section="replacement",
+    )
+
+
+def allow_insertion() -> Question:
+    return Question(
+        "insertion.allowed",
+        "Is insertion of new object instances allowed?",
+        section="insertion",
+    )
+
+
+def allow_deletion() -> Question:
+    return Question(
+        "deletion.allowed",
+        "Is deletion of object instances allowed?",
+        section="deletion",
+    )
+
+
+def island_key_modifiable(relation: str) -> Question:
+    return Question(
+        f"replacement.{relation}.key_modifiable",
+        f"The key of a tuple of relation {relation} could be modified "
+        f"during replacements. Do you allow this?",
+        relation=relation,
+        section="replacement",
+    )
+
+
+def island_db_key_replace(relation: str) -> Question:
+    return Question(
+        f"replacement.{relation}.db_key_replace",
+        "Can we replace the key of the corresponding database tuple?",
+        relation=relation,
+        section="replacement",
+    )
+
+
+def island_merge_on_conflict(relation: str) -> Question:
+    return Question(
+        f"replacement.{relation}.merge_on_conflict",
+        "The system might need to delete the old database tuple, and "
+        "replace it with an existing tuple with matching key. Do you "
+        "allow this?",
+        relation=relation,
+        section="replacement",
+    )
+
+
+def relation_modifiable(relation: str) -> Question:
+    return Question(
+        f"modify.{relation}.allowed",
+        f"Can the relation {relation} be modified during insertions "
+        f"(or replacements)?",
+        relation=relation,
+        section="replacement",
+    )
+
+
+def relation_insertable(relation: str) -> Question:
+    return Question(
+        f"modify.{relation}.insert",
+        "Can a new tuple be inserted?",
+        relation=relation,
+        section="replacement",
+    )
+
+
+def relation_replaceable(relation: str) -> Question:
+    return Question(
+        f"modify.{relation}.replace",
+        "Can an existing tuple be modified?",
+        relation=relation,
+        section="replacement",
+    )
+
+
+def deletion_repair_delete(referencing: str, referenced: str) -> Question:
+    return Question(
+        f"deletion.{referencing}.repair_delete",
+        f"Deleting an instance removes tuples of relation {referenced} "
+        f"that tuples of relation {referencing} reference. Can those "
+        f"referencing tuples be deleted?",
+        relation=referencing,
+        section="deletion",
+    )
+
+
+def deletion_repair_nullify(referencing: str, referenced: str) -> Question:
+    return Question(
+        f"deletion.{referencing}.repair_nullify",
+        f"Can the foreign key of relation {referencing} referencing "
+        f"{referenced} be set to null instead?",
+        relation=referencing,
+        section="deletion",
+    )

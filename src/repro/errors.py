@@ -1,0 +1,174 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. The hierarchy mirrors the
+layers of the system: relational engine errors, structural-model errors,
+view-object errors, and update-translation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by the relational engine."""
+
+
+class SchemaError(RelationalError):
+    """A relation schema is malformed (bad key, duplicate attribute, ...)."""
+
+
+class DomainError(RelationalError):
+    """A value does not belong to the domain declared for its attribute."""
+
+
+class UnknownRelationError(RelationalError):
+    """A relation name does not exist in the database catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(RelationalError):
+    """An attribute name does not exist in a relation schema."""
+
+    def __init__(self, relation: str, attribute: str) -> None:
+        super().__init__(f"relation {relation!r} has no attribute {attribute!r}")
+        self.relation = relation
+        self.attribute = attribute
+
+
+class DuplicateKeyError(RelationalError):
+    """An insertion would violate a primary-key constraint."""
+
+    def __init__(self, relation: str, key: tuple) -> None:
+        super().__init__(f"duplicate key {key!r} in relation {relation!r}")
+        self.relation = relation
+        self.key = key
+
+
+class NoSuchRowError(RelationalError):
+    """A deletion or replacement referenced a row that does not exist."""
+
+    def __init__(self, relation: str, key: tuple) -> None:
+        super().__init__(f"no row with key {key!r} in relation {relation!r}")
+        self.relation = relation
+        self.key = key
+
+
+class TransactionError(RelationalError):
+    """Illegal transaction operation (commit without begin, nested misuse)."""
+
+
+# ---------------------------------------------------------------------------
+# Structural model
+# ---------------------------------------------------------------------------
+
+
+class StructuralError(ReproError):
+    """Base class for errors in structural-model definitions."""
+
+
+class ConnectionError(StructuralError):
+    """A connection definition violates Definitions 2.1-2.4 of the paper."""
+
+
+class IntegrityError(StructuralError):
+    """Data violates the integrity rules carried by a connection."""
+
+    def __init__(self, message: str, violations: list = None) -> None:
+        super().__init__(message)
+        self.violations = violations or []
+
+
+# ---------------------------------------------------------------------------
+# View objects
+# ---------------------------------------------------------------------------
+
+
+class ViewObjectError(ReproError):
+    """Base class for errors in view-object definitions and instances."""
+
+
+class PivotError(ViewObjectError):
+    """The pivot relation violates Definition 3.2 of the paper."""
+
+
+class ProjectionError(ViewObjectError):
+    """A projection in a view object is malformed."""
+
+
+class InstantiationError(ViewObjectError):
+    """A view-object instance could not be assembled from base tuples."""
+
+
+class QueryError(ViewObjectError):
+    """An object query is syntactically or semantically invalid."""
+
+
+class QuerySyntaxError(QueryError):
+    """The object-query text failed to parse."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+# ---------------------------------------------------------------------------
+# Update translation
+# ---------------------------------------------------------------------------
+
+
+class UpdateError(ReproError):
+    """Base class for errors during view-object update translation."""
+
+
+class LocalValidationError(UpdateError):
+    """Step 1 failed: the request violates the view-object definition."""
+
+
+class PropagationError(UpdateError):
+    """Step 2 failed: in-object propagation of key changes is impossible."""
+
+
+class TranslationError(UpdateError):
+    """Step 3 failed: no valid translation into database operations."""
+
+
+class UpdateRejectedError(TranslationError):
+    """The chosen translator rejects this update (policy says no).
+
+    This mirrors the paper's behaviour: once a restrictive translator is
+    selected at definition time, updates that need a forbidden database
+    operation are rejected and the transaction is rolled back.
+    """
+
+    def __init__(self, message: str, relation: str = None) -> None:
+        super().__init__(message)
+        self.relation = relation
+
+
+class GlobalValidationError(UpdateError):
+    """Step 4 failed: the translated updates break structural integrity."""
+
+
+# ---------------------------------------------------------------------------
+# Dialog
+# ---------------------------------------------------------------------------
+
+
+class DialogError(ReproError):
+    """Base class for errors in the translator-choosing dialog."""
+
+
+class AnswerError(DialogError):
+    """An answer source produced an unusable answer."""

@@ -1,0 +1,43 @@
+"""Keller's relational-view update framework: the paper's baseline.
+
+Flat select-project-join views, the five validity criteria, candidate
+enumeration, and a definition-time-chosen translator — the approach the
+view-object algorithms of Section 5 extend.
+"""
+
+from repro.keller.criteria import (
+    no_delete_insert_pairs,
+    no_side_effects,
+    no_unnecessary_changes,
+    one_step_changes,
+    satisfies_all,
+    simplest_replacements,
+)
+from repro.keller.dialog import choose_flat_translator
+from repro.keller.enumeration import (
+    contributing_rows,
+    enumerate_deletions,
+    enumerate_insertions,
+    enumerate_replacements,
+    valid_translations,
+)
+from repro.keller.translator import KellerTranslator
+from repro.keller.views import JoinEdge, RelationalView
+
+__all__ = [
+    "RelationalView",
+    "JoinEdge",
+    "KellerTranslator",
+    "choose_flat_translator",
+    "contributing_rows",
+    "enumerate_deletions",
+    "enumerate_insertions",
+    "enumerate_replacements",
+    "valid_translations",
+    "one_step_changes",
+    "no_delete_insert_pairs",
+    "simplest_replacements",
+    "no_side_effects",
+    "no_unnecessary_changes",
+    "satisfies_all",
+]

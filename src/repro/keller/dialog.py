@@ -1,0 +1,83 @@
+"""Definition-time dialog for flat relational views.
+
+"In the case of relational views, these semantics are obtained by a
+dialog during view definition time by asking a series of questions to
+the view definer, typically the database administrator." The flat-view
+dialog asks which relation absorbs deletions, which relations accept
+insertions, and which side of a join absorbs join-attribute changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import DialogError
+from repro.dialog.answers import AnswerSource
+from repro.dialog.questions import Question
+from repro.dialog.transcript import Transcript
+from repro.keller.translator import KellerTranslator
+from repro.keller.views import RelationalView
+
+__all__ = ["choose_flat_translator"]
+
+
+def choose_flat_translator(
+    view: RelationalView,
+    source: AnswerSource,
+) -> Tuple[KellerTranslator, Transcript]:
+    """Run the flat-view dialog; return the configured translator."""
+    transcript = Transcript()
+
+    def ask(question: Question) -> bool:
+        answer = source.answer(question)
+        transcript.record(question, answer)
+        return answer
+
+    delete_target: Optional[str] = None
+    for relation in view.relations:
+        question = Question(
+            f"flat.delete.{relation}",
+            f"When a tuple of view {view.name} is deleted, should the "
+            f"deletion be performed on relation {relation}?",
+            relation=relation,
+            section="deletion",
+        )
+        if ask(question):
+            delete_target = relation
+            break
+    if delete_target is None:
+        raise DialogError(
+            f"view {view.name!r}: the dialog rejected every deletion "
+            f"target; deletions through this view are impossible"
+        )
+
+    insertable = []
+    for relation in view.relations:
+        question = Question(
+            f"flat.insert.{relation}",
+            f"Can relation {relation} receive insertions when a new "
+            f"{view.name} tuple is inserted?",
+            relation=relation,
+            section="insertion",
+        )
+        if ask(question):
+            insertable.append(relation)
+
+    join_change_side = "left"
+    if view.joins:
+        question = Question(
+            "flat.join_side",
+            f"When a join attribute of view {view.name} changes, should "
+            f"the change be applied to the referencing (left) relation "
+            f"only?",
+            section="replacement",
+        )
+        join_change_side = "left" if ask(question) else "both"
+
+    translator = KellerTranslator(
+        view,
+        delete_target=delete_target,
+        insertable=insertable,
+        join_change_side=join_change_side,
+    )
+    return translator, transcript

@@ -1,0 +1,154 @@
+"""Flat relational views: the substrate of Keller's approach (Section 4).
+
+"Keller's approach to updating relational databases through views starts
+with a relational view definition. This relational view differs from a
+view object in that each tuple is in first normal form."
+
+A :class:`RelationalView` is a select-project-join view: an ordered list
+of base relations, equi-join conditions given as connection-style
+attribute pairs, a selection predicate, and an output projection.
+Attribute names are qualified ``RELATION.attr`` internally to keep the
+join unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.engine import Engine
+from repro.relational.expressions import Expression, TRUE
+from repro.relational.schema import Attribute, RelationSchema
+
+__all__ = ["JoinEdge", "RelationalView"]
+
+
+class JoinEdge:
+    """One equi-join between two base relations of the view."""
+
+    __slots__ = ("left", "right", "pairs")
+
+    def __init__(
+        self, left: str, right: str, pairs: Sequence[Tuple[str, str]]
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.pairs = tuple(pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{a}={b}" for a, b in self.pairs)
+        return f"JoinEdge({self.left} * {self.right} on {pairs})"
+
+
+class RelationalView:
+    """A named select-project-join view over base relations.
+
+    Parameters
+    ----------
+    name:
+        View name.
+    relations:
+        Base relation names, in join order; the first is the view's
+        anchor (Keller's query-graph root).
+    joins:
+        Join edges; each must connect a later relation to an earlier
+        one, forming a join tree.
+    selection:
+        Predicate over *qualified* attribute names
+        (``"COURSES.level"``); default true.
+    projection:
+        Qualified attribute names the view exposes; default all.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relations: Sequence[str],
+        joins: Sequence[JoinEdge] = (),
+        selection: Expression = TRUE,
+        projection: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not relations:
+            raise SchemaError(f"view {name!r} needs at least one relation")
+        self.name = name
+        self.relations = tuple(relations)
+        self.joins = tuple(joins)
+        self.selection = selection
+        self.projection = tuple(projection) if projection is not None else None
+        placed = {self.relations[0]}
+        for edge in self.joins:
+            if edge.right in placed and edge.left not in placed:
+                edge = JoinEdge(
+                    edge.right, edge.left, [(b, a) for a, b in edge.pairs]
+                )
+            if edge.left not in placed:
+                raise SchemaError(
+                    f"view {name!r}: join edge touches {edge.left!r} before "
+                    f"it is reachable from {self.relations[0]!r}"
+                )
+            placed.add(edge.right)
+        missing = set(self.relations) - placed
+        if missing:
+            raise SchemaError(
+                f"view {name!r}: relations {sorted(missing)!r} are not "
+                f"connected by any join edge"
+            )
+
+    @property
+    def anchor(self) -> str:
+        return self.relations[0]
+
+    # -- evaluation ----------------------------------------------------------
+
+    def qualified(self, engine: Engine, relation: str) -> algebra.DerivedRelation:
+        """A base relation with ``RELATION.attr`` qualified names."""
+        base = algebra.from_engine(engine, relation)
+        renames = {
+            a.name: f"{relation}.{a.name}" for a in base.schema.attributes
+        }
+        return algebra.rename(base, renames, new_name=relation)
+
+    def materialize(self, engine: Engine) -> algebra.DerivedRelation:
+        """Evaluate the view body into a derived relation."""
+        current = self.qualified(engine, self.relations[0])
+        joined = {self.relations[0]}
+        pending = list(self.joins)
+        while pending:
+            progressed = False
+            for edge in list(pending):
+                left, right, pairs = edge.left, edge.right, edge.pairs
+                if right in joined and left not in joined:
+                    left, right = right, left
+                    pairs = [(b, a) for a, b in pairs]
+                if left not in joined or right in joined:
+                    continue
+                other = self.qualified(engine, right)
+                current = algebra.join(
+                    current,
+                    other,
+                    on=[
+                        (f"{left}.{a}", f"{right}.{b}")
+                        for a, b in pairs
+                    ],
+                    new_name=self.name,
+                )
+                joined.add(right)
+                pending.remove(edge)
+                progressed = True
+            if not progressed:  # pragma: no cover - guarded in __init__
+                raise SchemaError(
+                    f"view {self.name!r}: join graph is disconnected"
+                )
+        current = algebra.select(current, self.selection)
+        if self.projection is not None:
+            current = algebra.project(
+                current, self.projection, new_name=self.name
+            )
+        return current
+
+    def tuples(self, engine: Engine) -> List[Tuple]:
+        return list(self.materialize(engine).tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelationalView({self.name!r}, {'*'.join(self.relations)})"

@@ -1,0 +1,287 @@
+"""The PENGUIN facade: one object for the whole workflow.
+
+"A first prototype of our view-object model has been implemented in the
+PENGUIN system." :class:`Penguin` plays that role for this library: it
+owns a structural schema and an engine, defines view objects, runs the
+definition-time dialog, and routes queries and updates through the
+chosen translators.
+
+>>> from repro import Penguin
+>>> from repro.workloads import university_schema, populate_university
+>>> penguin = Penguin(university_schema())
+>>> __ = populate_university(penguin.engine)
+>>> omega = penguin.define_object(
+...     "course_info", pivot="COURSES",
+...     selections={"COURSES": ("course_id", "title", "units", "level",
+...                              "dept_name")})
+>>> len(penguin.query("course_info", "level = 'graduate'")) > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ViewObjectError
+from repro.core.information_metric import InformationMetric
+from repro.core.instance import Instance
+from repro.core.instantiation import Instantiator
+from repro.core.query import execute_query
+from repro.core.updates.policy import TranslatorPolicy
+from repro.core.updates.translator import Translator
+from repro.core.view_object import ViewObjectDefinition, define_view_object
+from repro.dialog.answers import (
+    AnswerSource,
+    ConstantAnswers,
+    MappingAnswers,
+    ScriptedAnswers,
+)
+from repro.dialog.drivers import choose_translator
+from repro.dialog.transcript import Transcript
+from repro.relational.engine import Engine
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.operations import UpdatePlan
+from repro.relational.sqlite_engine import SqliteEngine
+from repro.structural.integrity import IntegrityChecker, Violation
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = ["Penguin"]
+
+AnswersLike = Union[AnswerSource, Sequence[bool], Mapping[str, bool], bool, None]
+
+
+class Penguin:
+    """A session over one structural schema and one storage engine.
+
+    Parameters
+    ----------
+    graph:
+        The structural schema; its relations are installed into the
+        engine (with connection indexes) unless ``install=False``.
+    engine:
+        A storage engine; defaults to a fresh :class:`MemoryEngine`.
+        Pass ``backend="sqlite"`` instead to get an in-memory sqlite
+        engine.
+    metric:
+        The information metric used when defining objects.
+    """
+
+    def __init__(
+        self,
+        graph: StructuralSchema,
+        engine: Optional[Engine] = None,
+        backend: str = "memory",
+        metric: Optional[InformationMetric] = None,
+        install: bool = True,
+        verify_integrity: bool = False,
+    ) -> None:
+        self.graph = graph
+        if engine is None:
+            if backend == "memory":
+                engine = MemoryEngine()
+            elif backend == "sqlite":
+                engine = SqliteEngine()
+            else:
+                raise ValueError(f"unknown backend {backend!r}")
+        self.engine = engine
+        self.metric = metric or InformationMetric()
+        self.verify_integrity = verify_integrity
+        self._objects: Dict[str, ViewObjectDefinition] = {}
+        self._translators: Dict[str, Translator] = {}
+        self._checker = IntegrityChecker(graph)
+        if install:
+            graph.install(engine)
+
+    # -- object definition ------------------------------------------------------
+
+    def define_object(
+        self,
+        name: str,
+        pivot: str,
+        selections: Mapping[str, Sequence[str]],
+        updatable: bool = True,
+    ) -> ViewObjectDefinition:
+        """Define a view object (Figure 2 pipeline) and register it."""
+        if name in self._objects:
+            raise ViewObjectError(f"view object {name!r} already defined")
+        view_object = define_view_object(
+            self.graph,
+            name,
+            pivot,
+            selections,
+            metric=self.metric,
+            updatable=updatable,
+        )
+        self._objects[name] = view_object
+        return view_object
+
+    def register_object(self, view_object: ViewObjectDefinition) -> None:
+        """Register an externally built definition (e.g. from
+        :mod:`repro.workloads.figures`)."""
+        if view_object.name in self._objects:
+            raise ViewObjectError(
+                f"view object {view_object.name!r} already defined"
+            )
+        self._objects[view_object.name] = view_object
+
+    def object(self, name: str) -> ViewObjectDefinition:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise ViewObjectError(f"unknown view object: {name!r}") from None
+
+    @property
+    def object_names(self) -> Tuple[str, ...]:
+        return tuple(self._objects)
+
+    # -- translator choice --------------------------------------------------------
+
+    def choose_translator(
+        self, name: str, answers: AnswersLike = None
+    ) -> Tuple[Translator, Transcript]:
+        """Run the Section 6 dialog and bind the resulting translator.
+
+        ``answers`` may be an :class:`AnswerSource`, a sequence of
+        booleans (scripted), a mapping from question ids, a single
+        boolean (constant), or None (fully permissive).
+        """
+        view_object = self.object(name)
+        source = _coerce_answers(answers)
+        translator, transcript = choose_translator(
+            view_object, source, verify_integrity=self.verify_integrity
+        )
+        self._translators[name] = translator
+        return translator, transcript
+
+    def set_policy(self, name: str, policy: TranslatorPolicy) -> Translator:
+        """Bind a programmatically built policy instead of a dialog."""
+        translator = Translator(
+            self.object(name),
+            policy=policy,
+            verify_integrity=self.verify_integrity,
+        )
+        self._translators[name] = translator
+        return translator
+
+    def translator(self, name: str) -> Translator:
+        """The bound translator; a permissive one is created on demand."""
+        if name not in self._translators:
+            self._translators[name] = Translator(
+                self.object(name), verify_integrity=self.verify_integrity
+            )
+        return self._translators[name]
+
+    # -- queries --------------------------------------------------------------------
+
+    def query(self, name: str, text: str = None) -> List[Instance]:
+        """Run an object query; None or empty text returns all instances."""
+        view_object = self.object(name)
+        if not text:
+            return Instantiator(view_object).all(self.engine)
+        return execute_query(view_object, self.engine, text)
+
+    def get(self, name: str, key: Sequence[Any]) -> Optional[Instance]:
+        """One instance by object key, or None."""
+        return Instantiator(self.object(name)).by_key(self.engine, key)
+
+    # -- updates ----------------------------------------------------------------------
+
+    def insert(self, name: str, instance: Union[Instance, Mapping]) -> UpdatePlan:
+        return self.translator(name).insert(self.engine, instance)
+
+    def delete(
+        self, name: str, key_or_instance: Union[Instance, Mapping, Sequence[Any]]
+    ) -> UpdatePlan:
+        if isinstance(key_or_instance, (Instance, Mapping)):
+            return self.translator(name).delete(self.engine, key_or_instance)
+        return self.translator(name).delete(self.engine, key=key_or_instance)
+
+    def replace(
+        self,
+        name: str,
+        old: Union[Instance, Mapping, Sequence[Any]],
+        new: Union[Instance, Mapping],
+    ) -> UpdatePlan:
+        return self.translator(name).replace(self.engine, old, new)
+
+    def delete_where(self, name: str, query: str) -> UpdatePlan:
+        """Complete deletion of every instance matching an object query."""
+        return self.translator(name).delete_where(self.engine, query)
+
+    def update_where(self, name: str, query: str, transform) -> UpdatePlan:
+        """Replace every matching instance by ``transform(instance_dict)``."""
+        return self.translator(name).update_where(self.engine, query, transform)
+
+    # -- transactions ----------------------------------------------------------------
+
+    def transaction(self):
+        """Group several facade operations into one atomic unit.
+
+        >>> # with penguin.transaction():
+        >>> #     penguin.delete("course_info", ("CS101",))
+        >>> #     penguin.insert("course_info", {...})
+        On any exception, everything inside rolls back.
+        """
+        return self.engine.transaction()
+
+    # -- catalog persistence -------------------------------------------------------
+
+    def export_catalog(self) -> Dict[str, Any]:
+        """Serialize every defined object (and any bound policy).
+
+        "Only its definition is saved while base data remains stored in
+        the relational database" — this is that saved definition set.
+        """
+        from repro.core.serialization import policy_to_dict, view_object_to_dict
+
+        return {
+            "objects": [
+                view_object_to_dict(view_object)
+                for view_object in self._objects.values()
+            ],
+            "policies": {
+                name: policy_to_dict(translator.policy)
+                for name, translator in self._translators.items()
+            },
+        }
+
+    def import_catalog(self, catalog: Mapping[str, Any]) -> List[str]:
+        """Load definitions (and policies) produced by ``export_catalog``.
+
+        Returns the names of the objects loaded. Completers are code and
+        do not persist; re-attach them via :meth:`set_policy` if needed.
+        """
+        from repro.core.serialization import (
+            policy_from_dict,
+            view_object_from_dict,
+        )
+
+        loaded = []
+        for stored in catalog.get("objects", []):
+            view_object = view_object_from_dict(self.graph, stored)
+            self.register_object(view_object)
+            loaded.append(view_object.name)
+        for name, stored in catalog.get("policies", {}).items():
+            if name in self._objects:
+                self.set_policy(name, policy_from_dict(stored))
+        return loaded
+
+    # -- integrity ---------------------------------------------------------------------
+
+    def check_integrity(self) -> List[Violation]:
+        return self._checker.check(self.engine)
+
+    def is_consistent(self) -> bool:
+        return self._checker.is_consistent(self.engine)
+
+
+def _coerce_answers(answers: AnswersLike) -> AnswerSource:
+    if answers is None:
+        return ConstantAnswers(True)
+    if isinstance(answers, AnswerSource):
+        return answers
+    if isinstance(answers, bool):
+        return ConstantAnswers(answers)
+    if isinstance(answers, Mapping):
+        return MappingAnswers(dict(answers))
+    return ScriptedAnswers(list(answers))

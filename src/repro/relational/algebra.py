@@ -1,0 +1,293 @@
+"""Relational algebra over derived relations.
+
+The instantiation engine and the Keller baseline both manipulate
+intermediate results that are not stored tables: selections of a base
+relation, projections, and joins across connections. A
+:class:`DerivedRelation` is such an intermediate — a schema plus a list
+of value tuples — and this module provides the classical operators over
+them.
+
+Projection deduplicates (set semantics), matching the paper's relational
+setting; joins are hash joins on explicit attribute pairs, which is what
+a structural-model connection specifies (``<X1, X2>`` of Definition 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.expressions import Expression
+from repro.relational.schema import Attribute, RelationSchema
+
+__all__ = [
+    "DerivedRelation",
+    "from_engine",
+    "select",
+    "project",
+    "join",
+    "rename",
+    "union",
+    "difference",
+    "cross",
+    "aggregate",
+]
+
+
+class DerivedRelation:
+    """An intermediate query result: a schema and its value tuples."""
+
+    __slots__ = ("schema", "tuples")
+
+    def __init__(
+        self, schema: RelationSchema, tuples: Iterable[Tuple[Any, ...]]
+    ) -> None:
+        self.schema = schema
+        self.tuples = [tuple(t) for t in tuples]
+
+    def mappings(self) -> List[Dict[str, Any]]:
+        """All tuples rendered as attribute-name dictionaries."""
+        return [self.schema.as_mapping(t) for t in self.tuples]
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DerivedRelation({self.schema.name!r}, {len(self.tuples)} tuples)"
+
+
+def from_engine(engine, name: str) -> DerivedRelation:
+    """Materialize a stored relation as a derived relation."""
+    return DerivedRelation(engine.schema(name), engine.scan(name))
+
+
+def select(relation: DerivedRelation, predicate: Expression) -> DerivedRelation:
+    """Tuples of ``relation`` satisfying ``predicate``."""
+    schema = relation.schema
+    kept = [
+        t for t in relation.tuples if predicate.evaluate(schema.as_mapping(t))
+    ]
+    return DerivedRelation(schema, kept)
+
+
+def project(
+    relation: DerivedRelation,
+    names: Sequence[str],
+    new_name: Optional[str] = None,
+    distinct: bool = True,
+) -> DerivedRelation:
+    """Projection onto ``names`` with optional deduplication."""
+    schema = relation.schema.restricted_to(names, new_name=new_name)
+    positions = relation.schema.positions(names)
+    seen = set()
+    result: List[Tuple[Any, ...]] = []
+    for t in relation.tuples:
+        projected = tuple(t[i] for i in positions)
+        if distinct:
+            if projected in seen:
+                continue
+            seen.add(projected)
+        result.append(projected)
+    return DerivedRelation(schema, result)
+
+
+def rename(
+    relation: DerivedRelation,
+    mapping: Dict[str, str],
+    new_name: Optional[str] = None,
+) -> DerivedRelation:
+    """Rename attributes; unmentioned names stay unchanged."""
+    attributes = []
+    for attr in relation.schema.attributes:
+        attributes.append(
+            Attribute(mapping.get(attr.name, attr.name), attr.domain, attr.nullable)
+        )
+    key = tuple(mapping.get(k, k) for k in relation.schema.key)
+    schema = RelationSchema(
+        new_name or relation.schema.name, attributes, key=key
+    )
+    return DerivedRelation(schema, relation.tuples)
+
+
+def _joined_schema(
+    left: RelationSchema,
+    right: RelationSchema,
+    new_name: str,
+    prefix_right: str,
+) -> Tuple[RelationSchema, Dict[str, str]]:
+    """Schema of a join result; right-side name clashes get prefixed."""
+    attributes = list(left.attributes)
+    taken = {a.name for a in attributes}
+    right_names: Dict[str, str] = {}
+    for attr in right.attributes:
+        name = attr.name
+        if name in taken:
+            name = f"{prefix_right}.{attr.name}"
+        if name in taken:
+            raise SchemaError(f"join would duplicate attribute {name!r}")
+        taken.add(name)
+        right_names[attr.name] = name
+        attributes.append(Attribute(name, attr.domain, attr.nullable))
+    key = tuple(left.key) + tuple(right_names[k] for k in right.key)
+    # Deduplicate key attribute names while preserving order.
+    seen = set()
+    unique_key = tuple(k for k in key if not (k in seen or seen.add(k)))
+    schema = RelationSchema(new_name, attributes, key=unique_key)
+    return schema, right_names
+
+
+def join(
+    left: DerivedRelation,
+    right: DerivedRelation,
+    on: Sequence[Tuple[str, str]],
+    new_name: Optional[str] = None,
+) -> DerivedRelation:
+    """Equi-join on explicit attribute pairs ``(left_attr, right_attr)``.
+
+    Null join values never match, per the structural model: a tuple with
+    null connecting attributes is connected to nothing.
+    """
+    name = new_name or f"{left.schema.name}*{right.schema.name}"
+    schema, __ = _joined_schema(left.schema, right.schema, name, right.schema.name)
+    left_positions = left.schema.positions([pair[0] for pair in on])
+    right_positions = right.schema.positions([pair[1] for pair in on])
+
+    buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for t in right.tuples:
+        entry = tuple(t[i] for i in right_positions)
+        if any(v is None for v in entry):
+            continue
+        buckets.setdefault(entry, []).append(t)
+
+    result: List[Tuple[Any, ...]] = []
+    for lt in left.tuples:
+        entry = tuple(lt[i] for i in left_positions)
+        if any(v is None for v in entry):
+            continue
+        for rt in buckets.get(entry, ()):
+            result.append(lt + rt)
+    return DerivedRelation(schema, result)
+
+
+def cross(
+    left: DerivedRelation,
+    right: DerivedRelation,
+    new_name: Optional[str] = None,
+) -> DerivedRelation:
+    """Cartesian product (used by the Keller baseline's view bodies)."""
+    name = new_name or f"{left.schema.name}x{right.schema.name}"
+    schema, __ = _joined_schema(left.schema, right.schema, name, right.schema.name)
+    result = [lt + rt for lt in left.tuples for rt in right.tuples]
+    return DerivedRelation(schema, result)
+
+
+_AGGREGATE_FUNCS = ("count", "min", "max", "sum", "avg")
+
+
+def aggregate(
+    relation: DerivedRelation,
+    group_by: Sequence[str],
+    aggregations: Dict[str, Tuple[str, Optional[str]]],
+    new_name: Optional[str] = None,
+) -> DerivedRelation:
+    """Group-by aggregation with SQL null semantics.
+
+    ``aggregations`` maps output attribute names to ``(func, attr)``
+    pairs; ``func`` is one of count/min/max/sum/avg, and ``attr`` may be
+    None for ``count`` (count of rows). Nulls are ignored by every
+    aggregate; min/max/sum/avg over an empty group yield null.
+
+    >>> # doctest-style illustration; see tests for executable examples
+    """
+    from repro.relational.domains import INTEGER, REAL
+
+    source = relation.schema
+    for name in group_by:
+        source.attribute(name)
+    attributes = [
+        Attribute(
+            name,
+            source.attribute(name).domain,
+            source.attribute(name).nullable,
+        )
+        for name in group_by
+    ]
+    for output, (func, attr_name) in aggregations.items():
+        if func not in _AGGREGATE_FUNCS:
+            raise SchemaError(f"unknown aggregate function {func!r}")
+        if func == "count":
+            domain = INTEGER
+        elif func in ("sum", "avg"):
+            domain = REAL
+        else:
+            if attr_name is None:
+                raise SchemaError(f"{func!r} needs an attribute")
+            domain = source.attribute(attr_name).domain
+        attributes.append(Attribute(output, domain, nullable=func != "count"))
+    key = tuple(group_by) if group_by else tuple(aggregations)
+    schema = RelationSchema(
+        new_name or f"agg({source.name})", attributes, key=key
+    )
+
+    group_positions = source.positions(group_by)
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in relation.tuples:
+        entry = tuple(row[i] for i in group_positions)
+        groups.setdefault(entry, []).append(row)
+
+    def compute(func: str, attr_name: Optional[str], rows) -> Any:
+        if func == "count" and attr_name is None:
+            return len(rows)
+        position = source.position(attr_name)
+        values = [r[position] for r in rows if r[position] is not None]
+        if func == "count":
+            return len(values)
+        if not values:
+            return None
+        if func == "min":
+            return min(values)
+        if func == "max":
+            return max(values)
+        if func == "sum":
+            return float(sum(values))
+        return float(sum(values)) / len(values)
+
+    result = []
+    for entry, rows in groups.items():
+        out = list(entry)
+        for output, (func, attr_name) in aggregations.items():
+            out.append(compute(func, attr_name, rows))
+        result.append(tuple(out))
+    return DerivedRelation(schema, result)
+
+
+def _check_compatible(left: DerivedRelation, right: DerivedRelation) -> None:
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError(
+            "set operation requires identical arity: "
+            f"{left.schema.arity} vs {right.schema.arity}"
+        )
+
+
+def union(left: DerivedRelation, right: DerivedRelation) -> DerivedRelation:
+    """Set union (deduplicated), keeping the left schema."""
+    _check_compatible(left, right)
+    seen = set()
+    result: List[Tuple[Any, ...]] = []
+    for t in list(left.tuples) + list(right.tuples):
+        if t not in seen:
+            seen.add(t)
+            result.append(t)
+    return DerivedRelation(left.schema, result)
+
+
+def difference(left: DerivedRelation, right: DerivedRelation) -> DerivedRelation:
+    """Set difference, keeping the left schema."""
+    _check_compatible(left, right)
+    removed = set(right.tuples)
+    return DerivedRelation(
+        left.schema, [t for t in left.tuples if t not in removed]
+    )

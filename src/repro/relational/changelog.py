@@ -1,0 +1,102 @@
+"""Change log: an audit trail of applied database operations.
+
+The memory engine records every applied mutation here. The log serves
+three purposes:
+
+* **undo** — transactions roll back by replaying inverse entries,
+* **audit** — tests assert on exactly which operations a translation
+  produced and applied,
+* **metrics** — the benchmark harness counts operations per kind to
+  report translation cost independently of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ChangeRecord", "ChangeLog"]
+
+
+class ChangeRecord:
+    """One applied mutation, with enough state to undo it."""
+
+    __slots__ = ("kind", "relation", "key", "new_values", "old_values")
+
+    def __init__(
+        self,
+        kind: str,
+        relation: str,
+        key: Tuple[Any, ...],
+        new_values: Optional[Tuple[Any, ...]] = None,
+        old_values: Optional[Tuple[Any, ...]] = None,
+    ) -> None:
+        self.kind = kind
+        self.relation = relation
+        self.key = key
+        self.new_values = new_values
+        self.old_values = old_values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChangeRecord({self.kind}, {self.relation}, key={self.key!r})"
+        )
+
+
+class ChangeLog:
+    """Append-only log of :class:`ChangeRecord` with per-kind counters."""
+
+    __slots__ = ("records", "counters")
+
+    def __init__(self) -> None:
+        self.records: List[ChangeRecord] = []
+        self.counters: Dict[str, int] = {"insert": 0, "delete": 0, "replace": 0}
+
+    def record_insert(
+        self, relation: str, key: Tuple[Any, ...], values: Tuple[Any, ...]
+    ) -> None:
+        self.records.append(ChangeRecord("insert", relation, key, new_values=values))
+        self.counters["insert"] += 1
+
+    def record_delete(
+        self, relation: str, key: Tuple[Any, ...], old_values: Tuple[Any, ...]
+    ) -> None:
+        self.records.append(
+            ChangeRecord("delete", relation, key, old_values=old_values)
+        )
+        self.counters["delete"] += 1
+
+    def record_replace(
+        self,
+        relation: str,
+        key: Tuple[Any, ...],
+        old_values: Tuple[Any, ...],
+        new_values: Tuple[Any, ...],
+    ) -> None:
+        self.records.append(
+            ChangeRecord(
+                "replace", relation, key, new_values=new_values, old_values=old_values
+            )
+        )
+        self.counters["replace"] += 1
+
+    def mark(self) -> int:
+        """A position marker for later truncation or undo."""
+        return len(self.records)
+
+    def since(self, mark: int) -> List[ChangeRecord]:
+        return self.records[mark:]
+
+    def truncate(self, mark: int) -> None:
+        dropped = self.records[mark:]
+        for record in dropped:
+            self.counters[record.kind] -= 1
+        del self.records[mark:]
+
+    def reset_counters(self) -> None:
+        self.counters = {"insert": 0, "delete": 0, "replace": 0}
+
+    def total(self) -> int:
+        return sum(self.counters.values())
+
+    def __len__(self) -> int:
+        return len(self.records)

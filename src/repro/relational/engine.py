@@ -1,0 +1,135 @@
+"""Abstract storage engine interface.
+
+Both backends — the from-scratch in-memory engine and the sqlite3
+backend — implement this interface, so every layer above (structural
+integrity, view-object instantiation, update translation) is backend
+agnostic. The benchmark harness exploits this to run identical update
+plans on both engines.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.relational.expressions import Expression
+from repro.relational.row import Row
+from repro.relational.schema import RelationSchema
+
+__all__ = ["Engine"]
+
+ValuesLike = Union[Sequence[Any], Mapping[str, Any]]
+
+
+class Engine:
+    """Common interface of all storage backends."""
+
+    # -- catalog -----------------------------------------------------------
+
+    def create_relation(self, schema: RelationSchema) -> None:
+        raise NotImplementedError
+
+    def drop_relation(self, name: str) -> None:
+        raise NotImplementedError
+
+    def relation_names(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def schema(self, name: str) -> RelationSchema:
+        raise NotImplementedError
+
+    def has_relation(self, name: str) -> bool:
+        return name in self.relation_names()
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, name: str, values: ValuesLike) -> Tuple[Any, ...]:
+        """Insert one row; return its primary key."""
+        raise NotImplementedError
+
+    def delete(self, name: str, key: Sequence[Any]) -> None:
+        raise NotImplementedError
+
+    def replace(self, name: str, key: Sequence[Any], values: ValuesLike) -> None:
+        raise NotImplementedError
+
+    def clear(self, name: str) -> None:
+        """Remove all rows of a relation."""
+        raise NotImplementedError
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, name: str, key: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        raise NotImplementedError
+
+    def contains(self, name: str, key: Sequence[Any]) -> bool:
+        return self.get(name, key) is not None
+
+    def scan(self, name: str) -> Iterator[Tuple[Any, ...]]:
+        raise NotImplementedError
+
+    def find_by(
+        self, name: str, attribute_names: Sequence[str], entry: Sequence[Any]
+    ) -> List[Tuple[Any, ...]]:
+        """All value tuples whose listed attributes equal ``entry``."""
+        raise NotImplementedError
+
+    def select(self, name: str, predicate: Expression) -> List[Tuple[Any, ...]]:
+        """All value tuples satisfying ``predicate``."""
+        schema = self.schema(name)
+        result = []
+        for values in self.scan(name):
+            if predicate.evaluate(schema.as_mapping(values)):
+                result.append(values)
+        return result
+
+    def count(self, name: str) -> int:
+        return sum(1 for _ in self.scan(name))
+
+    def rows(self, name: str) -> Iterator[Row]:
+        """Scan a relation yielding :class:`Row` objects."""
+        schema = self.schema(name)
+        for values in self.scan(name):
+            yield Row(schema, values)
+
+    def get_row(self, name: str, key: Sequence[Any]) -> Optional[Row]:
+        values = self.get(name, key)
+        if values is None:
+            return None
+        return Row(self.schema(name), values)
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, name: str, attribute_names: Sequence[str]) -> None:
+        """Create a secondary index (backends may treat this as a hint)."""
+        raise NotImplementedError
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self) -> None:
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        raise NotImplementedError
+
+    def rollback(self) -> None:
+        raise NotImplementedError
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Context manager: commit on success, roll back on error."""
+        self.begin()
+        try:
+            yield
+        except Exception:
+            self.rollback()
+            raise
+        self.commit()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _coerce_values(self, name: str, values: ValuesLike) -> Tuple[Any, ...]:
+        schema = self.schema(name)
+        if isinstance(values, Mapping):
+            return schema.row_from_mapping(values)
+        return schema.validate_row(values)

@@ -1,0 +1,378 @@
+"""Predicate expressions over rows.
+
+The object query language, the relational algebra, and the Keller
+baseline all select rows with predicates. An :class:`Expression` is a
+small immutable AST that can be
+
+* evaluated against an attribute-name mapping (``evaluate``),
+* compiled to a SQL fragment with bound parameters for the sqlite
+  backend (``to_sql``), and
+* inspected for the attributes it mentions (``attributes``).
+
+Comparisons against ``None`` follow SQL semantics: any comparison with a
+null operand is false, except the explicit ``IsNull`` test.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+from repro.errors import QueryError
+
+__all__ = [
+    "Expression",
+    "Attr",
+    "Const",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "IsNull",
+    "Like",
+    "In",
+    "TRUE",
+    "attr",
+    "const",
+]
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_SQL_OPERATORS = {
+    "=": "=",
+    "!=": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+class Expression:
+    """Base class of the predicate AST."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """Names of all attributes mentioned in this expression."""
+        raise NotImplementedError
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        """A SQL fragment and its positional parameters."""
+        raise NotImplementedError
+
+    # Convenience combinators so callers can write ``p & q | ~r``.
+    def __and__(self, other: "Expression") -> "Expression":
+        return And(self, other)
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or(self, other)
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+class Attr(Expression):
+    """Reference to an attribute of the row being tested."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryError(f"row has no attribute {self.name!r}") from None
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        return f'"{self.name}"', []
+
+    # Comparison builders: Attr("units") == 3 --> Comparison.
+    def __eq__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return Comparison("=", self, _wrap(other))
+
+    def __ne__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return Comparison("!=", self, _wrap(other))
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other: Any) -> "Comparison":
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return Comparison(">=", self, _wrap(other))
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self)
+
+    def __hash__(self) -> int:
+        return hash(("Attr", self.name))
+
+    def __repr__(self) -> str:
+        return f"Attr({self.name!r})"
+
+
+class Const(Expression):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        return "?", [self.value]
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+def _wrap(value: Any) -> Expression:
+    return value if isinstance(value, Expression) else Const(value)
+
+
+class Comparison(Expression):
+    """Binary comparison with SQL null semantics."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _OPERATORS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if lhs is None or rhs is None:
+            return False
+        return _OPERATORS[self.op](lhs, rhs)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        # COALESCE pins SQL's three-valued logic to our two-valued
+        # semantics: a comparison with a null operand is *false*, so a
+        # NOT above it selects the row (unlike bare SQL, where UNKNOWN
+        # stays UNKNOWN under NOT).
+        lsql, lparams = self.left.to_sql()
+        rsql, rparams = self.right.to_sql()
+        return (
+            f"(COALESCE(({lsql} {_SQL_OPERATORS[self.op]} {rsql}), 0))",
+            lparams + rparams,
+        )
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class And(Expression):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Expression) -> None:
+        self.parts = tuple(parts)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return all(part.evaluate(row) for part in self.parts)
+
+    def attributes(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.attributes()
+        return result
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        if not self.parts:
+            return "(1 = 1)", []
+        fragments, params = [], []
+        for part in self.parts:
+            sql, ps = part.to_sql()
+            fragments.append(sql)
+            params.extend(ps)
+        return "(" + " AND ".join(fragments) + ")", params
+
+    def __repr__(self) -> str:
+        return f"And({', '.join(map(repr, self.parts))})"
+
+
+class Or(Expression):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Expression) -> None:
+        self.parts = tuple(parts)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return any(part.evaluate(row) for part in self.parts)
+
+    def attributes(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.attributes()
+        return result
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        if not self.parts:
+            return "(1 = 0)", []
+        fragments, params = [], []
+        for part in self.parts:
+            sql, ps = part.to_sql()
+            fragments.append(sql)
+            params.extend(ps)
+        return "(" + " OR ".join(fragments) + ")", params
+
+    def __repr__(self) -> str:
+        return f"Or({', '.join(map(repr, self.parts))})"
+
+
+class Not(Expression):
+    __slots__ = ("part",)
+
+    def __init__(self, part: Expression) -> None:
+        self.part = part
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.part.evaluate(row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.part.attributes()
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        sql, params = self.part.to_sql()
+        return f"(NOT {sql})", params
+
+    def __repr__(self) -> str:
+        return f"Not({self.part!r})"
+
+
+class IsNull(Expression):
+    """Explicit null test (``attr IS NULL``)."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Expression) -> None:
+        self.part = part
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.part.evaluate(row) is None
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.part.attributes()
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        sql, params = self.part.to_sql()
+        return f"({sql} IS NULL)", params
+
+    def __repr__(self) -> str:
+        return f"IsNull({self.part!r})"
+
+
+class Like(Expression):
+    """SQL ``LIKE`` pattern match (``%`` any run, ``_`` one character).
+
+    Null operands never match, per SQL.
+    """
+
+    __slots__ = ("operand", "pattern", "_regex")
+
+    def __init__(self, operand: Expression, pattern: str) -> None:
+        import re
+
+        self.operand = operand
+        self.pattern = pattern
+        fragments = []
+        for ch in pattern:
+            if ch == "%":
+                fragments.append(".*")
+            elif ch == "_":
+                fragments.append(".")
+            else:
+                fragments.append(re.escape(ch))
+        self._regex = re.compile("^" + "".join(fragments) + "$", re.DOTALL)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None or not isinstance(value, str):
+            return False
+        return self._regex.match(value) is not None
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.operand.attributes()
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        sql, params = self.operand.to_sql()
+        return f"(COALESCE(({sql} LIKE ?), 0))", params + [self.pattern]
+
+    def __repr__(self) -> str:
+        return f"Like({self.operand!r}, {self.pattern!r})"
+
+
+class In(Expression):
+    """Membership in a literal list; null never matches."""
+
+    __slots__ = ("operand", "values")
+
+    def __init__(self, operand: Expression, values: Sequence[Any]) -> None:
+        self.operand = operand
+        self.values = tuple(values)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return value in self.values
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.operand.attributes()
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        sql, params = self.operand.to_sql()
+        if not self.values:
+            return "(1 = 0)", params
+        placeholders = ", ".join("?" for _ in self.values)
+        return (
+            f"(COALESCE(({sql} IN ({placeholders})), 0))",
+            params + list(self.values),
+        )
+
+    def __repr__(self) -> str:
+        return f"In({self.operand!r}, {self.values!r})"
+
+
+TRUE = And()
+"""The always-true predicate (an empty conjunction)."""
+
+
+def attr(name: str) -> Attr:
+    """Shorthand constructor for :class:`Attr`."""
+    return Attr(name)
+
+
+def const(value: Any) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)

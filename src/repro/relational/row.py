@@ -1,0 +1,97 @@
+"""Immutable row values bound to a relation schema.
+
+Rows are stored internally as plain tuples; :class:`Row` is the
+user-facing wrapper that carries the schema along so callers can access
+attributes by name, extract keys, and project without juggling column
+positions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
+
+from repro.relational.schema import RelationSchema
+
+__all__ = ["Row"]
+
+
+class Row:
+    """One tuple of a relation, with by-name access.
+
+    ``Row`` is immutable and hashable; two rows are equal when they come
+    from equally-named schemas and hold equal values.
+
+    Examples
+    --------
+    >>> from repro.relational.domains import TEXT
+    >>> from repro.relational.schema import Attribute, RelationSchema
+    >>> dept = RelationSchema("DEPT", [Attribute("name", TEXT)], key=("name",))
+    >>> row = Row(dept, ("Computer Science",))
+    >>> row["name"]
+    'Computer Science'
+    >>> row.key
+    ('Computer Science',)
+    """
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: RelationSchema, values: Sequence[Any]) -> None:
+        self.schema = schema
+        self.values = schema.validate_row(values)
+
+    @classmethod
+    def from_mapping(cls, schema: RelationSchema, mapping: Mapping[str, Any]) -> "Row":
+        """Build a row from an attribute-name dictionary."""
+        return cls(schema, schema.row_from_mapping(mapping))
+
+    @property
+    def key(self) -> Tuple[Any, ...]:
+        """The primary-key tuple of this row."""
+        return self.schema.key_of(self.values)
+
+    @property
+    def relation_name(self) -> str:
+        return self.schema.name
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[self.schema.position(name)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if not self.schema.has_attribute(name):
+            return default
+        return self.values[self.schema.position(name)]
+
+    def project(self, names: Sequence[str]) -> Tuple[Any, ...]:
+        """Values of the listed attributes, in the given order."""
+        return self.schema.project(self.values, names)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return self.schema.as_mapping(self.values)
+
+    def replacing(self, **changes: Any) -> "Row":
+        """A copy of this row with some attribute values changed."""
+        mapping = self.as_dict()
+        mapping.update(changes)
+        return Row.from_mapping(self.schema, mapping)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Row)
+            and other.schema.name == self.schema.name
+            and other.values == self.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema.name, self.values))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{a.name}={v!r}" for a, v in zip(self.schema.attributes, self.values)
+        )
+        return f"Row({self.schema.name}: {pairs})"

@@ -1,0 +1,288 @@
+"""Storage engine backed by the sqlite3 standard-library module.
+
+This backend demonstrates that every layer above the engine interface —
+the structural model, view-object instantiation, and the paper's update
+translators — runs unchanged on a real SQL substrate. The PENGUIN
+prototype sat on a commercial RDBMS; sqlite3 plays that role here.
+
+Value conversion: sqlite has no date or boolean column types, so DATE
+attributes are stored as ISO strings and BOOLEAN attributes as 0/1;
+conversion happens at the engine boundary so callers always see Python
+``datetime.date`` and ``bool`` values.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DuplicateKeyError,
+    NoSuchRowError,
+    SchemaError,
+    TransactionError,
+    UnknownRelationError,
+)
+from repro.relational.domains import BOOLEAN, DATE
+from repro.relational.engine import Engine, ValuesLike
+from repro.relational.expressions import Expression
+from repro.relational.schema import RelationSchema
+
+__all__ = ["SqliteEngine"]
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+class SqliteEngine(Engine):
+    """Engine storing relations as sqlite tables.
+
+    Parameters
+    ----------
+    path:
+        Database file path; the default ``":memory:"`` keeps everything
+        in RAM, matching the benchmarks' needs.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.isolation_level = None  # explicit transactions
+        # sqlite's LIKE is case-insensitive by default; the in-memory
+        # engine's pattern matching is case-sensitive (SQL standard), so
+        # align sqlite with it for cross-backend parity.
+        self._connection.execute("PRAGMA case_sensitive_like = ON")
+        self._schemas: Dict[str, RelationSchema] = {}
+        self._savepoint_depth = 0
+        self._index_counter = 0
+
+    # -- value conversion ----------------------------------------------------
+
+    @staticmethod
+    def _encode(schema: RelationSchema, values: Sequence[Any]) -> Tuple[Any, ...]:
+        encoded = []
+        for attr, value in zip(schema.attributes, values):
+            if value is None:
+                encoded.append(None)
+            elif attr.domain == DATE:
+                encoded.append(value.isoformat())
+            elif attr.domain == BOOLEAN:
+                encoded.append(int(value))
+            else:
+                encoded.append(value)
+        return tuple(encoded)
+
+    @staticmethod
+    def _decode(schema: RelationSchema, values: Sequence[Any]) -> Tuple[Any, ...]:
+        decoded = []
+        for attr, value in zip(schema.attributes, values):
+            if value is None:
+                decoded.append(None)
+            elif attr.domain == DATE:
+                decoded.append(datetime.date.fromisoformat(value))
+            elif attr.domain == BOOLEAN:
+                decoded.append(bool(value))
+            else:
+                decoded.append(value)
+        return tuple(decoded)
+
+    def _encode_key(self, schema: RelationSchema, key: Sequence[Any]) -> Tuple[Any, ...]:
+        encoded = []
+        for name, value in zip(schema.key, key):
+            domain = schema.attribute(name).domain
+            if domain == DATE and value is not None:
+                encoded.append(value.isoformat())
+            elif domain == BOOLEAN and value is not None:
+                encoded.append(int(value))
+            else:
+                encoded.append(value)
+        return tuple(encoded)
+
+    # -- catalog -----------------------------------------------------------------
+
+    def create_relation(self, schema: RelationSchema) -> None:
+        if schema.name in self._schemas:
+            raise SchemaError(f"relation {schema.name!r} already exists")
+        columns = []
+        for attr in schema.attributes:
+            null = "" if attr.nullable else " NOT NULL"
+            columns.append(f"{_quote(attr.name)} {attr.domain.sql_type}{null}")
+        key_list = ", ".join(_quote(k) for k in schema.key)
+        ddl = (
+            f"CREATE TABLE {_quote(schema.name)} ("
+            + ", ".join(columns)
+            + f", PRIMARY KEY ({key_list}))"
+        )
+        self._connection.execute(ddl)
+        self._schemas[schema.name] = schema
+
+    def drop_relation(self, name: str) -> None:
+        self._schema_for(name)
+        self._connection.execute(f"DROP TABLE {_quote(name)}")
+        del self._schemas[name]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._schemas)
+
+    def schema(self, name: str) -> RelationSchema:
+        return self._schema_for(name)
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._schemas
+
+    def _schema_for(self, name: str) -> RelationSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, name: str, values: ValuesLike) -> Tuple[Any, ...]:
+        schema = self._schema_for(name)
+        row = self._coerce_values(name, values)
+        placeholders = ", ".join("?" for _ in schema.attributes)
+        sql = f"INSERT INTO {_quote(name)} VALUES ({placeholders})"
+        try:
+            self._connection.execute(sql, self._encode(schema, row))
+        except sqlite3.IntegrityError:
+            raise DuplicateKeyError(name, schema.key_of(row)) from None
+        return schema.key_of(row)
+
+    def _key_clause(self, schema: RelationSchema) -> str:
+        return " AND ".join(f"{_quote(k)} = ?" for k in schema.key)
+
+    def delete(self, name: str, key: Sequence[Any]) -> None:
+        schema = self._schema_for(name)
+        sql = f"DELETE FROM {_quote(name)} WHERE {self._key_clause(schema)}"
+        cursor = self._connection.execute(sql, self._encode_key(schema, key))
+        if cursor.rowcount == 0:
+            raise NoSuchRowError(name, tuple(key))
+
+    def replace(self, name: str, key: Sequence[Any], values: ValuesLike) -> None:
+        schema = self._schema_for(name)
+        row = self._coerce_values(name, values)
+        # Error precedence matches the in-memory engine: a missing old
+        # row reports NoSuchRowError even if the new key also collides.
+        if not self.contains(name, key):
+            raise NoSuchRowError(name, tuple(key))
+        new_key = schema.key_of(row)
+        if tuple(key) != new_key and self.contains(name, new_key):
+            raise DuplicateKeyError(name, new_key)
+        assignments = ", ".join(f"{_quote(a.name)} = ?" for a in schema.attributes)
+        sql = (
+            f"UPDATE {_quote(name)} SET {assignments} "
+            f"WHERE {self._key_clause(schema)}"
+        )
+        params = self._encode(schema, row) + self._encode_key(schema, key)
+        cursor = self._connection.execute(sql, params)
+        if cursor.rowcount == 0:
+            raise NoSuchRowError(name, tuple(key))
+
+    def clear(self, name: str) -> None:
+        self._schema_for(name)
+        self._connection.execute(f"DELETE FROM {_quote(name)}")
+
+    # -- reads ---------------------------------------------------------------------
+
+    def get(self, name: str, key: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        schema = self._schema_for(name)
+        sql = f"SELECT * FROM {_quote(name)} WHERE {self._key_clause(schema)}"
+        cursor = self._connection.execute(sql, self._encode_key(schema, key))
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        return self._decode(schema, row)
+
+    def scan(self, name: str) -> Iterator[Tuple[Any, ...]]:
+        schema = self._schema_for(name)  # eager: unknown names raise here
+        cursor = self._connection.execute(f"SELECT * FROM {_quote(name)}")
+        return iter([self._decode(schema, row) for row in cursor.fetchall()])
+
+    def find_by(
+        self, name: str, attribute_names: Sequence[str], entry: Sequence[Any]
+    ) -> List[Tuple[Any, ...]]:
+        schema = self._schema_for(name)
+        conditions = []
+        params: List[Any] = []
+        for attr_name, value in zip(attribute_names, entry):
+            domain = schema.attribute(attr_name).domain
+            if value is None:
+                conditions.append(f"{_quote(attr_name)} IS NULL")
+            else:
+                conditions.append(f"{_quote(attr_name)} = ?")
+                if domain == DATE:
+                    params.append(value.isoformat())
+                elif domain == BOOLEAN:
+                    params.append(int(value))
+                else:
+                    params.append(value)
+        where = " AND ".join(conditions) if conditions else "1 = 1"
+        sql = f"SELECT * FROM {_quote(name)} WHERE {where}"
+        cursor = self._connection.execute(sql, params)
+        return [self._decode(schema, row) for row in cursor.fetchall()]
+
+    def select(self, name: str, predicate: Expression) -> List[Tuple[Any, ...]]:
+        schema = self._schema_for(name)
+        fragment, params = predicate.to_sql()
+        # DATE/BOOLEAN parameters need encoding for comparison in SQL.
+        encoded_params = [
+            p.isoformat()
+            if isinstance(p, datetime.date)
+            else int(p)
+            if isinstance(p, bool)
+            else p
+            for p in params
+        ]
+        sql = f"SELECT * FROM {_quote(name)} WHERE {fragment}"
+        cursor = self._connection.execute(sql, encoded_params)
+        return [self._decode(schema, row) for row in cursor.fetchall()]
+
+    def count(self, name: str) -> int:
+        self._schema_for(name)
+        cursor = self._connection.execute(f"SELECT COUNT(*) FROM {_quote(name)}")
+        return cursor.fetchone()[0]
+
+    # -- indexes ----------------------------------------------------------------------
+
+    def create_index(self, name: str, attribute_names: Sequence[str]) -> None:
+        self._schema_for(name)
+        self._index_counter += 1
+        index_name = f"idx_{name}_{self._index_counter}"
+        columns = ", ".join(_quote(a) for a in attribute_names)
+        self._connection.execute(
+            f"CREATE INDEX IF NOT EXISTS {_quote(index_name)} "
+            f"ON {_quote(name)} ({columns})"
+        )
+
+    # -- transactions -------------------------------------------------------------------
+
+    def begin(self) -> None:
+        self._savepoint_depth += 1
+        self._connection.execute(f"SAVEPOINT sp_{self._savepoint_depth}")
+
+    def commit(self) -> None:
+        if self._savepoint_depth == 0:
+            raise TransactionError("commit without matching begin")
+        self._connection.execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
+        self._savepoint_depth -= 1
+
+    def rollback(self) -> None:
+        if self._savepoint_depth == 0:
+            raise TransactionError("rollback without matching begin")
+        self._connection.execute(
+            f"ROLLBACK TO SAVEPOINT sp_{self._savepoint_depth}"
+        )
+        self._connection.execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
+        self._savepoint_depth -= 1
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._savepoint_depth > 0
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SqliteEngine({len(self._schemas)} relations)"

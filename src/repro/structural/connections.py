@@ -1,0 +1,203 @@
+"""Connections of the structural model (Section 2 of the paper).
+
+A connection relates two relations through an ordered pair of attribute
+lists ``<X1, X2>`` with matching arity and domains (Definition 2.1).
+Three kinds exist, each with its own key conditions and integrity rules:
+
+=============  ========  ===========================  ============
+kind           symbol    key conditions               cardinality
+=============  ========  ===========================  ============
+ownership      ``--*``   X1 = K(R1), X2 proper       1:n
+                         subset of K(R2)
+reference      ``-->``   X1 within K(R1) or within    n:1
+                         NK(R1); X2 = K(R2)
+subset         ``==>o``  X1 = K(R1), X2 = K(R2)       1:[0,1]
+=============  ========  ===========================  ============
+
+Every connection has an inverse (traversing the edge backwards); the
+view-object tree builder walks edges in both directions, so traversal is
+modeled explicitly by :class:`Traversal`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Sequence, Tuple
+
+__all__ = ["ConnectionKind", "Connection", "Traversal"]
+
+
+class ConnectionKind(enum.Enum):
+    """The three connection types of the structural model."""
+
+    OWNERSHIP = "ownership"
+    REFERENCE = "reference"
+    SUBSET = "subset"
+
+    @property
+    def symbol(self) -> str:
+        return {
+            ConnectionKind.OWNERSHIP: "--*",
+            ConnectionKind.REFERENCE: "-->",
+            ConnectionKind.SUBSET: "==>o",
+        }[self]
+
+
+class Connection:
+    """One directed connection ``R1 -> R2`` through ``<X1, X2>``.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a structural schema (used by dialogs and
+        error messages).
+    kind:
+        The :class:`ConnectionKind`.
+    source:
+        Name of relation ``R1`` (the owner / referencing / general
+        relation).
+    target:
+        Name of relation ``R2`` (the owned / referenced / specialized
+        relation).
+    source_attributes:
+        ``X1`` — attribute names of ``R1``, ordered.
+    target_attributes:
+        ``X2`` — attribute names of ``R2``, ordered, positionally
+        matched with ``X1``.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "source",
+        "target",
+        "source_attributes",
+        "target_attributes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: ConnectionKind,
+        source: str,
+        target: str,
+        source_attributes: Sequence[str],
+        target_attributes: Sequence[str],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.source = source
+        self.target = target
+        self.source_attributes = tuple(source_attributes)
+        self.target_attributes = tuple(target_attributes)
+
+    def endpoint_attributes(self, relation: str) -> Tuple[str, ...]:
+        """The connecting attributes on the ``relation`` side."""
+        if relation == self.source:
+            return self.source_attributes
+        if relation == self.target:
+            return self.target_attributes
+        raise ValueError(
+            f"relation {relation!r} is not an endpoint of connection {self.name!r}"
+        )
+
+    def other_endpoint(self, relation: str) -> str:
+        if relation == self.source:
+            return self.target
+        if relation == self.target:
+            return self.source
+        raise ValueError(
+            f"relation {relation!r} is not an endpoint of connection {self.name!r}"
+        )
+
+    def describe(self) -> str:
+        x1 = ",".join(self.source_attributes)
+        x2 = ",".join(self.target_attributes)
+        return (
+            f"{self.source}({x1}) {self.kind.symbol} {self.target}({x2})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Connection)
+            and other.name == self.name
+            and other.kind == self.kind
+            and other.source == self.source
+            and other.target == self.target
+            and other.source_attributes == self.source_attributes
+            and other.target_attributes == self.target_attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.kind, self.source, self.target))
+
+    def __repr__(self) -> str:
+        return f"Connection({self.name!r}: {self.describe()})"
+
+
+class Traversal:
+    """A connection together with a direction of travel.
+
+    ``forward`` means moving from ``connection.source`` toward
+    ``connection.target``; the inverse connection :math:`C^{-1}` of the
+    paper is the same :class:`Connection` traversed with
+    ``forward=False``.
+    """
+
+    __slots__ = ("connection", "forward")
+
+    def __init__(self, connection: Connection, forward: bool) -> None:
+        self.connection = connection
+        self.forward = forward
+
+    @property
+    def start(self) -> str:
+        return self.connection.source if self.forward else self.connection.target
+
+    @property
+    def end(self) -> str:
+        return self.connection.target if self.forward else self.connection.source
+
+    @property
+    def kind(self) -> ConnectionKind:
+        return self.connection.kind
+
+    @property
+    def start_attributes(self) -> Tuple[str, ...]:
+        return (
+            self.connection.source_attributes
+            if self.forward
+            else self.connection.target_attributes
+        )
+
+    @property
+    def end_attributes(self) -> Tuple[str, ...]:
+        return (
+            self.connection.target_attributes
+            if self.forward
+            else self.connection.source_attributes
+        )
+
+    def inverse(self) -> "Traversal":
+        return Traversal(self.connection, not self.forward)
+
+    def describe(self) -> str:
+        arrow = self.connection.kind.symbol if self.forward else (
+            "*--" if self.kind is ConnectionKind.OWNERSHIP
+            else "<--" if self.kind is ConnectionKind.REFERENCE
+            else "o<=="
+        )
+        return f"{self.start} {arrow} {self.end}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Traversal)
+            and other.connection == self.connection
+            and other.forward == self.forward
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.connection, self.forward))
+
+    def __repr__(self) -> str:
+        return f"Traversal({self.describe()}, via {self.connection.name!r})"

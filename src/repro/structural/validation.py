@@ -1,0 +1,161 @@
+"""Validation of connection definitions against relation schemas.
+
+Implements the key conditions the paper derives from Definitions
+2.2-2.4:
+
+* every connection: ``|X1| = |X2| > 0``, attributes exist, and domains
+  match pairwise (Definition 2.1);
+* ownership: ``X1 = K(R1)`` and ``X2`` a **proper** subset of ``K(R2)``
+  (an owned relation needs extra key attributes — the complement
+  ``A_j`` of Section 5.3 — otherwise the relationship is 1:1 and should
+  be a subset connection);
+* reference: ``X2 = K(R2)``, and ``X1`` entirely within ``K(R1)`` or
+  entirely within ``NK(R1)``;
+* subset: ``X1 = K(R1)`` and ``X2 = K(R2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.errors import ConnectionError
+from repro.relational.schema import RelationSchema
+from repro.structural.connections import Connection, ConnectionKind
+
+__all__ = ["validate_connection"]
+
+
+def _common_checks(
+    connection: Connection,
+    source: RelationSchema,
+    target: RelationSchema,
+) -> None:
+    x1, x2 = connection.source_attributes, connection.target_attributes
+    if not x1 or not x2:
+        raise ConnectionError(
+            f"connection {connection.name!r}: X1 and X2 must be nonempty"
+        )
+    if len(x1) != len(x2):
+        raise ConnectionError(
+            f"connection {connection.name!r}: X1 has {len(x1)} attributes "
+            f"but X2 has {len(x2)} (Definition 2.1 requires equal arity)"
+        )
+    if len(set(x1)) != len(x1) or len(set(x2)) != len(x2):
+        raise ConnectionError(
+            f"connection {connection.name!r}: connecting attribute lists "
+            "must not repeat attributes"
+        )
+    for name in x1:
+        if not source.has_attribute(name):
+            raise ConnectionError(
+                f"connection {connection.name!r}: {source.name!r} has no "
+                f"attribute {name!r}"
+            )
+    for name in x2:
+        if not target.has_attribute(name):
+            raise ConnectionError(
+                f"connection {connection.name!r}: {target.name!r} has no "
+                f"attribute {name!r}"
+            )
+    for a1, a2 in zip(x1, x2):
+        d1 = source.attribute(a1).domain
+        d2 = target.attribute(a2).domain
+        if d1 != d2:
+            raise ConnectionError(
+                f"connection {connection.name!r}: domain mismatch "
+                f"{source.name}.{a1} ({d1.name}) vs "
+                f"{target.name}.{a2} ({d2.name}) "
+                "(Definition 2.1 requires identical domains)"
+            )
+
+
+def _check_ownership(
+    connection: Connection,
+    source: RelationSchema,
+    target: RelationSchema,
+) -> None:
+    x1, x2 = set(connection.source_attributes), set(connection.target_attributes)
+    if x1 != set(source.key):
+        raise ConnectionError(
+            f"ownership {connection.name!r}: X1 must equal K({source.name}) "
+            f"= {source.key!r}, got {connection.source_attributes!r}"
+        )
+    key2 = set(target.key)
+    if not x2 <= key2:
+        raise ConnectionError(
+            f"ownership {connection.name!r}: X2 must lie within "
+            f"K({target.name}) = {target.key!r}"
+        )
+    if x2 == key2:
+        raise ConnectionError(
+            f"ownership {connection.name!r}: X2 equals K({target.name}); "
+            "a 1:1 dependency should be a subset connection"
+        )
+
+
+def _check_reference(
+    connection: Connection,
+    source: RelationSchema,
+    target: RelationSchema,
+) -> None:
+    x1, x2 = set(connection.source_attributes), set(connection.target_attributes)
+    if x2 != set(target.key):
+        raise ConnectionError(
+            f"reference {connection.name!r}: X2 must equal K({target.name}) "
+            f"= {target.key!r}, got {connection.target_attributes!r}"
+        )
+    key1 = set(source.key)
+    nonkey1 = set(source.nonkey_names)
+    if not (x1 <= key1 or x1 <= nonkey1):
+        raise ConnectionError(
+            f"reference {connection.name!r}: X1 must lie entirely within "
+            f"K({source.name}) or entirely within NK({source.name})"
+        )
+
+
+def _check_subset(
+    connection: Connection,
+    source: RelationSchema,
+    target: RelationSchema,
+) -> None:
+    x1, x2 = set(connection.source_attributes), set(connection.target_attributes)
+    if x1 != set(source.key):
+        raise ConnectionError(
+            f"subset {connection.name!r}: X1 must equal K({source.name}) "
+            f"= {source.key!r}"
+        )
+    if x2 != set(target.key):
+        raise ConnectionError(
+            f"subset {connection.name!r}: X2 must equal K({target.name}) "
+            f"= {target.key!r}"
+        )
+
+
+_CHECKS: Dict[ConnectionKind, Callable[..., None]] = {
+    ConnectionKind.OWNERSHIP: _check_ownership,
+    ConnectionKind.REFERENCE: _check_reference,
+    ConnectionKind.SUBSET: _check_subset,
+}
+
+
+def validate_connection(
+    connection: Connection,
+    schemas: Mapping[str, RelationSchema],
+) -> None:
+    """Raise :class:`ConnectionError` if ``connection`` is ill-formed."""
+    try:
+        source = schemas[connection.source]
+    except KeyError:
+        raise ConnectionError(
+            f"connection {connection.name!r}: unknown relation "
+            f"{connection.source!r}"
+        ) from None
+    try:
+        target = schemas[connection.target]
+    except KeyError:
+        raise ConnectionError(
+            f"connection {connection.name!r}: unknown relation "
+            f"{connection.target!r}"
+        ) from None
+    _common_checks(connection, source, target)
+    _CHECKS[connection.kind](connection, source, target)

@@ -1,0 +1,93 @@
+"""Canonical view objects of the paper's figures.
+
+* :func:`course_info_object` — ω of Figure 2(c): anchored on COURSES,
+  including DEPARTMENT, CURRICULUM, GRADES, and STUDENT; complexity 5.
+* :func:`alternate_course_object` — ω′ of Figure 3: still anchored on
+  COURSES but with FACULTY and STUDENT only, the latter reached through
+  the two-connection path ``COURSES --* GRADES *-- STUDENT`` since
+  GRADES is not part of ω′.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.information_metric import InformationMetric
+from repro.core.view_object import ViewObjectDefinition, define_view_object
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = ["course_info_object", "alternate_course_object", "person_object"]
+
+
+def course_info_object(
+    graph: StructuralSchema,
+    metric: Optional[InformationMetric] = None,
+    name: str = "course_info",
+) -> ViewObjectDefinition:
+    """ω of Figure 2(c)."""
+    return define_view_object(
+        graph,
+        name,
+        pivot="COURSES",
+        selections={
+            "COURSES": (
+                "course_id", "title", "units", "level", "dept_name",
+            ),
+            "DEPARTMENT": ("dept_name", "building"),
+            "CURRICULUM": ("degree", "course_id", "category"),
+            "GRADES": ("course_id", "student_id", "grade"),
+            "STUDENT": ("person_id", "degree_program", "year"),
+        },
+        metric=metric,
+    )
+
+
+def person_object(
+    graph: StructuralSchema,
+    metric: Optional[InformationMetric] = None,
+    name: str = "person_record",
+) -> ViewObjectDefinition:
+    """A person-centered object (not a paper figure, but the natural
+    third perspective on the Figure 1 schema).
+
+    Its dependency island contains the *subset* specializations —
+    PEOPLE ==>o STUDENT/FACULTY/STAFF — and, through STUDENT's forward
+    ownership, the student's GRADES: deleting a person removes their
+    specialization tuples and grades; re-keying a person propagates
+    through all of them.
+    """
+    return define_view_object(
+        graph,
+        name,
+        pivot="PEOPLE",
+        selections={
+            "PEOPLE": ("person_id", "name", "dept_name"),
+            "STUDENT": ("person_id", "degree_program", "year"),
+            "FACULTY": ("person_id", "rank", "office"),
+            "STAFF": ("person_id", "position", "salary"),
+            "GRADES": ("course_id", "student_id", "grade"),
+            "DEPARTMENT": ("dept_name", "building"),
+        },
+        metric=metric,
+    )
+
+
+def alternate_course_object(
+    graph: StructuralSchema,
+    metric: Optional[InformationMetric] = None,
+    name: str = "course_staffing",
+) -> ViewObjectDefinition:
+    """ω′ of Figure 3."""
+    return define_view_object(
+        graph,
+        name,
+        pivot="COURSES",
+        selections={
+            "COURSES": (
+                "course_id", "title", "units", "level", "instructor_id",
+            ),
+            "FACULTY": ("person_id", "rank", "office"),
+            "STUDENT": ("person_id", "degree_program", "year"),
+        },
+        metric=metric,
+    )

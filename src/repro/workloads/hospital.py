@@ -1,0 +1,302 @@
+"""A hospital patient-record database.
+
+The paper's work was funded by the National Library of Medicine; the
+authors' motivating domain was medical records, where a patient's chart
+is the archetypal complex object: visits, diagnoses, prescriptions, and
+lab results all hang off the patient. This workload exercises deeper
+dependency islands than the university schema — the patient-chart view
+object has a three-level ownership chain.
+
+Schema:
+
+* ``PATIENT --* VISIT --* DIAGNOSIS / PRESCRIPTION / LAB_RESULT``
+  (ownership chains: a chart component cannot outlive its visit);
+* ``VISIT --> PHYSICIAN`` (reference: the attending physician);
+* ``PRESCRIPTION --> MEDICATION`` (reference);
+* ``PATIENT --> WARD`` (nullable reference: current ward, if admitted).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.information_metric import InformationMetric
+from repro.core.view_object import ViewObjectDefinition, define_view_object
+from repro.relational.ddl import relation
+from repro.relational.engine import Engine
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = [
+    "hospital_schema",
+    "populate_hospital",
+    "patient_chart_object",
+    "HospitalConfig",
+]
+
+_WARDS = [("East-1", 1), ("East-2", 2), ("West-1", 1), ("ICU", 3)]
+_SPECIALTIES = ["cardiology", "oncology", "internal", "surgery", "neurology"]
+_DIAGNOSES = [
+    "hypertension", "diabetes", "influenza", "fracture", "migraine",
+    "anemia", "asthma", "arrhythmia",
+]
+_MEDICATIONS = [
+    ("MED-01", "aspirin", 81), ("MED-02", "metformin", 500),
+    ("MED-03", "lisinopril", 10), ("MED-04", "atorvastatin", 20),
+    ("MED-05", "amoxicillin", 250), ("MED-06", "ibuprofen", 200),
+]
+_TESTS = ["CBC", "BMP", "lipid panel", "A1C", "urinalysis", "ECG"]
+
+
+def hospital_schema(name: str = "hospital") -> StructuralSchema:
+    """Build the hospital structural schema."""
+    graph = StructuralSchema(name)
+    graph.add_relation(
+        relation("WARD")
+        .text("ward_name")
+        .integer("floor")
+        .key("ward_name")
+        .build()
+    )
+    graph.add_relation(
+        relation("PHYSICIAN")
+        .integer("physician_id")
+        .text("name", nullable=True)
+        .text("specialty", nullable=True)
+        .key("physician_id")
+        .build()
+    )
+    graph.add_relation(
+        relation("PATIENT")
+        .integer("patient_id")
+        .text("name", nullable=True)
+        .integer("birth_year", nullable=True)
+        .text("ward_name", nullable=True)
+        .key("patient_id")
+        .build()
+    )
+    graph.add_relation(
+        relation("VISIT")
+        .integer("patient_id")
+        .integer("visit_no")
+        .text("visit_date")
+        .integer("physician_id")
+        .text("reason", nullable=True)
+        .key("patient_id", "visit_no")
+        .build()
+    )
+    graph.add_relation(
+        relation("DIAGNOSIS")
+        .integer("patient_id")
+        .integer("visit_no")
+        .integer("diag_no")
+        .text("code")
+        .text("severity", nullable=True)
+        .key("patient_id", "visit_no", "diag_no")
+        .build()
+    )
+    graph.add_relation(
+        relation("MEDICATION")
+        .text("med_id")
+        .text("name", nullable=True)
+        .integer("dose_mg", nullable=True)
+        .key("med_id")
+        .build()
+    )
+    graph.add_relation(
+        relation("PRESCRIPTION")
+        .integer("patient_id")
+        .integer("visit_no")
+        .integer("rx_no")
+        .text("med_id")
+        .integer("days")
+        .key("patient_id", "visit_no", "rx_no")
+        .build()
+    )
+    graph.add_relation(
+        relation("LAB_RESULT")
+        .integer("patient_id")
+        .integer("visit_no")
+        .integer("test_no")
+        .text("test_name")
+        .real("value", nullable=True)
+        .key("patient_id", "visit_no", "test_no")
+        .build()
+    )
+
+    graph.reference(
+        "patient_ward", "PATIENT", "WARD", ["ward_name"], ["ward_name"]
+    )
+    graph.ownership(
+        "patient_visits", "PATIENT", "VISIT", ["patient_id"], ["patient_id"]
+    )
+    graph.reference(
+        "visit_physician", "VISIT", "PHYSICIAN",
+        ["physician_id"], ["physician_id"],
+    )
+    graph.ownership(
+        "visit_diagnoses", "VISIT", "DIAGNOSIS",
+        ["patient_id", "visit_no"], ["patient_id", "visit_no"],
+    )
+    graph.ownership(
+        "visit_prescriptions", "VISIT", "PRESCRIPTION",
+        ["patient_id", "visit_no"], ["patient_id", "visit_no"],
+    )
+    graph.reference(
+        "prescription_medication", "PRESCRIPTION", "MEDICATION",
+        ["med_id"], ["med_id"],
+    )
+    graph.ownership(
+        "visit_labs", "VISIT", "LAB_RESULT",
+        ["patient_id", "visit_no"], ["patient_id", "visit_no"],
+    )
+    return graph
+
+
+class HospitalConfig:
+    """Sizing knobs for the deterministic generator."""
+
+    def __init__(
+        self,
+        patients: int = 25,
+        physicians: int = 8,
+        visits_per_patient: int = 3,
+        seed: int = 4836,  # the NLM grant number's tail
+    ) -> None:
+        self.patients = patients
+        self.physicians = physicians
+        self.visits_per_patient = visits_per_patient
+        self.seed = seed
+
+
+def populate_hospital(
+    engine: Engine, config: Optional[HospitalConfig] = None
+) -> Dict[str, int]:
+    """Deterministically fill an installed hospital database."""
+    config = config or HospitalConfig()
+    rng = random.Random(config.seed)
+
+    for ward_name, floor in _WARDS:
+        engine.insert("WARD", {"ward_name": ward_name, "floor": floor})
+    for med_id, name, dose in _MEDICATIONS:
+        engine.insert(
+            "MEDICATION", {"med_id": med_id, "name": name, "dose_mg": dose}
+        )
+    physician_ids = []
+    for index in range(config.physicians):
+        pid = 9000 + index
+        engine.insert(
+            "PHYSICIAN",
+            {
+                "physician_id": pid,
+                "name": f"Dr. #{pid}",
+                "specialty": rng.choice(_SPECIALTIES),
+            },
+        )
+        physician_ids.append(pid)
+
+    for index in range(config.patients):
+        patient_id = 100 + index
+        engine.insert(
+            "PATIENT",
+            {
+                "patient_id": patient_id,
+                "name": f"Patient #{patient_id}",
+                "birth_year": rng.randint(1930, 2010),
+                "ward_name": rng.choice([w[0] for w in _WARDS] + [None]),
+            },
+        )
+        for visit_no in range(1, config.visits_per_patient + 1):
+            engine.insert(
+                "VISIT",
+                {
+                    "patient_id": patient_id,
+                    "visit_no": visit_no,
+                    "visit_date": f"199{rng.randint(0, 1)}-"
+                    f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+                    "physician_id": rng.choice(physician_ids),
+                    "reason": rng.choice(_DIAGNOSES),
+                },
+            )
+            for diag_no in range(1, rng.randint(1, 3) + 1):
+                engine.insert(
+                    "DIAGNOSIS",
+                    {
+                        "patient_id": patient_id,
+                        "visit_no": visit_no,
+                        "diag_no": diag_no,
+                        "code": rng.choice(_DIAGNOSES),
+                        "severity": rng.choice(["mild", "moderate", "severe"]),
+                    },
+                )
+            for rx_no in range(1, rng.randint(0, 2) + 1):
+                engine.insert(
+                    "PRESCRIPTION",
+                    {
+                        "patient_id": patient_id,
+                        "visit_no": visit_no,
+                        "rx_no": rx_no,
+                        "med_id": rng.choice(_MEDICATIONS)[0],
+                        "days": rng.randint(5, 30),
+                    },
+                )
+            for test_no in range(1, rng.randint(0, 3) + 1):
+                engine.insert(
+                    "LAB_RESULT",
+                    {
+                        "patient_id": patient_id,
+                        "visit_no": visit_no,
+                        "test_no": test_no,
+                        "test_name": rng.choice(_TESTS),
+                        "value": round(rng.uniform(0.5, 200.0), 1),
+                    },
+                )
+    return {
+        name: engine.count(name)
+        for name in (
+            "WARD",
+            "PHYSICIAN",
+            "PATIENT",
+            "VISIT",
+            "DIAGNOSIS",
+            "MEDICATION",
+            "PRESCRIPTION",
+            "LAB_RESULT",
+        )
+    }
+
+
+def patient_chart_object(
+    graph: StructuralSchema,
+    metric: Optional[InformationMetric] = None,
+    name: str = "patient_chart",
+) -> ViewObjectDefinition:
+    """The patient-chart view object: a three-level dependency island.
+
+    D_ω = {PATIENT, VISIT, DIAGNOSIS, PRESCRIPTION, LAB_RESULT};
+    PHYSICIAN and MEDICATION are referenced relations outside it.
+    """
+    return define_view_object(
+        graph,
+        name,
+        pivot="PATIENT",
+        selections={
+            "PATIENT": ("patient_id", "name", "birth_year", "ward_name"),
+            "VISIT": (
+                "patient_id", "visit_no", "visit_date", "physician_id",
+                "reason",
+            ),
+            "DIAGNOSIS": (
+                "patient_id", "visit_no", "diag_no", "code", "severity",
+            ),
+            "PRESCRIPTION": (
+                "patient_id", "visit_no", "rx_no", "med_id", "days",
+            ),
+            "LAB_RESULT": (
+                "patient_id", "visit_no", "test_no", "test_name", "value",
+            ),
+            "PHYSICIAN": ("physician_id", "name", "specialty"),
+            "MEDICATION": ("med_id", "name", "dose_mg"),
+        },
+        metric=metric,
+    )

@@ -1,0 +1,169 @@
+"""Scalable synthetic schemas for the benchmark sweeps.
+
+The paper gives no performance numbers, so the added benches need
+workloads whose size can be dialed: :func:`chain_schema` builds an
+ownership chain of configurable depth (the dependency island's height),
+each level with a configurable fan-out, plus an optional referencing
+peninsula and a referenced lookup relation at the pivot.
+
+Relation layout for ``depth=3``::
+
+    LOOKUP <-- R0 --* R1 --* R2 --* R3     (ownership chain)
+                ^
+                |                          (reference)
+              PENINSULA
+
+Keys accumulate one attribute per level (``k0``, ``k0,k1``, ...), the
+structural-model pattern for owned relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.information_metric import InformationMetric, MetricWeights
+from repro.core.view_object import ViewObjectDefinition, define_view_object
+from repro.relational.ddl import SchemaBuilder, relation
+from repro.relational.engine import Engine
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = [
+    "chain_schema",
+    "populate_chain",
+    "chain_object",
+    "chain_selections",
+]
+
+
+def _level_name(level: int) -> str:
+    return f"R{level}"
+
+
+def chain_schema(
+    depth: int = 3,
+    with_peninsula: bool = True,
+    with_lookup: bool = True,
+) -> StructuralSchema:
+    """An ownership chain R0 --* R1 --* ... --* R<depth>."""
+    graph = StructuralSchema(f"chain{depth}")
+    for level in range(depth + 1):
+        builder = SchemaBuilder(_level_name(level))
+        for key_level in range(level + 1):
+            builder.integer(f"k{key_level}")
+        builder.text("payload", nullable=True)
+        if level == 0 and with_lookup:
+            builder.integer("lookup_id")
+        builder.key(*[f"k{i}" for i in range(level + 1)])
+        graph.add_relation(builder.build())
+    for level in range(depth):
+        parent, child = _level_name(level), _level_name(level + 1)
+        keys = [f"k{i}" for i in range(level + 1)]
+        graph.ownership(f"own_{level}", parent, child, keys, keys)
+    if with_lookup:
+        graph.add_relation(
+            relation("LOOKUP")
+            .integer("lookup_id")
+            .text("info", nullable=True)
+            .key("lookup_id")
+            .build()
+        )
+        graph.reference(
+            "r0_lookup", "R0", "LOOKUP", ["lookup_id"], ["lookup_id"]
+        )
+    if with_peninsula:
+        graph.add_relation(
+            relation("PENINSULA")
+            .integer("pen_id")
+            .integer("k0")
+            .text("note", nullable=True)
+            .key("pen_id", "k0")
+            .build()
+        )
+        graph.reference("pen_r0", "PENINSULA", "R0", ["k0"], ["k0"])
+    return graph
+
+
+def populate_chain(
+    engine: Engine,
+    depth: int = 3,
+    roots: int = 10,
+    fanout: int = 3,
+    peninsula_refs: int = 2,
+    seed: int = 7,
+) -> Dict[str, int]:
+    """Fill a chain database: ``roots`` pivot tuples, ``fanout`` children
+    per tuple per level, ``peninsula_refs`` referencing tuples per root."""
+    rng = random.Random(seed)
+    has_lookup = engine.has_relation("LOOKUP")
+    if has_lookup:
+        for lookup_id in range(5):
+            engine.insert(
+                "LOOKUP", {"lookup_id": lookup_id, "info": f"L{lookup_id}"}
+            )
+
+    def insert_level(level: int, prefix: Tuple[int, ...]) -> None:
+        if level > depth:
+            return
+        name = _level_name(level)
+        mapping = {f"k{i}": v for i, v in enumerate(prefix)}
+        mapping["payload"] = f"{name}:{'/'.join(map(str, prefix))}"
+        if level == 0 and has_lookup:
+            mapping["lookup_id"] = rng.randrange(5)
+        engine.insert(name, mapping)
+        for child_index in range(fanout):
+            insert_level(level + 1, prefix + (child_index,))
+
+    for root in range(roots):
+        insert_level(0, (root,))
+        if engine.has_relation("PENINSULA"):
+            for pen in range(peninsula_refs):
+                engine.insert(
+                    "PENINSULA",
+                    {"pen_id": pen, "k0": root, "note": f"pen{pen}"},
+                )
+    return {name: engine.count(name) for name in engine.relation_names()}
+
+
+def chain_selections(
+    depth: int,
+    with_peninsula: bool = True,
+    with_lookup: bool = True,
+) -> Dict[str, List[str]]:
+    """The node->attributes selection for the full chain object."""
+    selections: Dict[str, List[str]] = {}
+    for level in range(depth + 1):
+        attrs = [f"k{i}" for i in range(level + 1)] + ["payload"]
+        if level == 0 and with_lookup:
+            attrs.append("lookup_id")
+        selections[_level_name(level)] = attrs
+    if with_peninsula:
+        selections["PENINSULA"] = ["pen_id", "k0", "note"]
+    if with_lookup:
+        selections["LOOKUP"] = ["lookup_id", "info"]
+    return selections
+
+
+def chain_object(
+    graph: StructuralSchema,
+    depth: int,
+    with_peninsula: bool = True,
+    with_lookup: bool = True,
+    name: Optional[str] = None,
+) -> ViewObjectDefinition:
+    """The view object spanning the whole chain.
+
+    Its dependency island is the full R0..R<depth> chain, so island size
+    scales directly with ``depth`` — the knob the scaling bench sweeps.
+    A generous metric threshold keeps deep chains inside the subgraph.
+    """
+    metric = InformationMetric(
+        weights=MetricWeights(hop_decay=0.98), threshold=0.1
+    )
+    return define_view_object(
+        graph,
+        name or f"chain_object_{depth}",
+        pivot="R0",
+        selections=chain_selections(depth, with_peninsula, with_lookup),
+        metric=metric,
+    )

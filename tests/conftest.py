@@ -1,0 +1,106 @@
+"""Shared fixtures: populated databases and canonical view objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.information_metric import InformationMetric
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.sqlite_engine import SqliteEngine
+from repro.workloads.cad import assembly_object, cad_schema, populate_cad
+from repro.workloads.figures import alternate_course_object, course_info_object
+from repro.workloads.hospital import (
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+from repro.workloads.university import populate_university, university_schema
+
+
+def make_engine(backend: str):
+    """Fresh engine by backend name (used by parametrized fixtures)."""
+    if backend == "memory":
+        return MemoryEngine()
+    if backend == "sqlite":
+        return SqliteEngine()
+    raise ValueError(backend)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request):
+    """Both storage backends; engine-contract tests run on each."""
+    return request.param
+
+
+@pytest.fixture
+def university_graph():
+    return university_schema()
+
+
+@pytest.fixture
+def university_engine(university_graph):
+    engine = MemoryEngine()
+    university_graph.install(engine)
+    populate_university(engine)
+    return engine
+
+
+@pytest.fixture
+def university_sqlite(university_graph):
+    engine = SqliteEngine()
+    university_graph.install(engine)
+    populate_university(engine)
+    return engine
+
+
+@pytest.fixture
+def omega(university_graph):
+    """ω of Figure 2(c)."""
+    return course_info_object(university_graph)
+
+
+@pytest.fixture
+def omega_prime(university_graph):
+    """ω′ of Figure 3."""
+    return alternate_course_object(university_graph)
+
+
+@pytest.fixture
+def metric():
+    return InformationMetric()
+
+
+@pytest.fixture
+def hospital_graph():
+    return hospital_schema()
+
+
+@pytest.fixture
+def hospital_engine(hospital_graph):
+    engine = MemoryEngine()
+    hospital_graph.install(engine)
+    populate_hospital(engine)
+    return engine
+
+
+@pytest.fixture
+def chart(hospital_graph):
+    return patient_chart_object(hospital_graph)
+
+
+@pytest.fixture
+def cad_graph():
+    return cad_schema()
+
+
+@pytest.fixture
+def cad_engine(cad_graph):
+    engine = MemoryEngine()
+    cad_graph.install(engine)
+    populate_cad(engine)
+    return engine
+
+
+@pytest.fixture
+def bom(cad_graph):
+    return assembly_object(cad_graph)

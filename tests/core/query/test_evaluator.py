@@ -1,0 +1,128 @@
+"""Query evaluation semantics on instances."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core.instance import build_instance
+from repro.core.query.evaluator import evaluate, validate_against
+from repro.core.query.parser import parse_query
+
+
+@pytest.fixture
+def instance(omega):
+    return build_instance(
+        omega,
+        {
+            "course_id": "CS145",
+            "title": "Databases",
+            "units": 4,
+            "level": "undergraduate",
+            "dept_name": "Computer Science",
+            "DEPARTMENT": [
+                {"dept_name": "Computer Science", "building": "Gates"}
+            ],
+            "CURRICULUM": [],
+            "GRADES": [
+                {
+                    "course_id": "CS145",
+                    "student_id": 1,
+                    "grade": "A",
+                    "STUDENT": [
+                        {"person_id": 1, "degree_program": "BSCS", "year": 2}
+                    ],
+                },
+                {
+                    "course_id": "CS145",
+                    "student_id": 2,
+                    "grade": "B",
+                    "STUDENT": [
+                        {"person_id": 2, "degree_program": "MSCS", "year": 5}
+                    ],
+                },
+            ],
+        },
+    )
+
+
+def holds(instance, text):
+    return evaluate(parse_query(text), instance)
+
+
+class TestPivotAttributes:
+    def test_equality(self, instance):
+        assert holds(instance, "level = 'undergraduate'")
+        assert not holds(instance, "level = 'graduate'")
+
+    def test_ordering(self, instance):
+        assert holds(instance, "units >= 4")
+        assert not holds(instance, "units > 4")
+
+    def test_unknown_attribute_raises(self, instance):
+        with pytest.raises(QueryError):
+            holds(instance, "credits = 1")
+
+
+class TestExistentialComponents:
+    def test_some_tuple_matches(self, instance):
+        assert holds(instance, "GRADES.grade = 'A'")
+        assert holds(instance, "GRADES.grade = 'B'")
+
+    def test_no_tuple_matches(self, instance):
+        assert not holds(instance, "GRADES.grade = 'F'")
+
+    def test_nested_component(self, instance):
+        assert holds(instance, "STUDENT.year > 4")
+        assert not holds(instance, "STUDENT.year > 5")
+
+    def test_empty_component_never_matches(self, instance):
+        assert not holds(instance, "CURRICULUM.degree = 'BSCS'")
+
+    def test_negated_existential(self, instance):
+        # NOT (exists grade = 'F') is true.
+        assert holds(instance, "not GRADES.grade = 'F'")
+
+
+class TestCounts:
+    def test_count(self, instance):
+        assert holds(instance, "count(GRADES) = 2")
+        assert holds(instance, "count(CURRICULUM) = 0")
+        assert holds(instance, "count(STUDENT) < 5")
+
+    def test_count_comparison_both_sides(self, instance):
+        assert holds(instance, "2 = count(GRADES)")
+
+
+class TestBooleans:
+    def test_and_or_not(self, instance):
+        assert holds(instance, "units = 4 and count(GRADES) = 2")
+        assert holds(instance, "units = 9 or count(GRADES) = 2")
+        assert not holds(instance, "not units = 4")
+
+
+class TestNulls:
+    def test_null_comparison_false(self, instance):
+        assert not holds(instance, "level = null")
+
+    def test_is_null_on_pivot(self, omega, instance):
+        assert not holds(instance, "title is null")
+        assert holds(instance, "title is not null")
+
+
+class TestValidateAgainst:
+    def test_valid_query(self, omega):
+        validate_against(
+            parse_query("level = 'x' and count(GRADES) > 0 and STUDENT.year = 1"),
+            omega,
+        )
+
+    def test_unknown_node(self, omega):
+        with pytest.raises(Exception):
+            validate_against(parse_query("count(PROFESSOR) > 0"), omega)
+
+    def test_unknown_pivot_attribute(self, omega):
+        with pytest.raises(QueryError):
+            validate_against(parse_query("credits = 1"), omega)
+
+    def test_unknown_component_attribute(self, omega):
+        with pytest.raises(QueryError):
+            validate_against(parse_query("STUDENT.gpa = 4"), omega)

@@ -1,0 +1,55 @@
+"""End-to-end object queries against live engines."""
+
+import pytest
+
+from repro.core.query import execute_query
+
+
+def test_pushdown_equals_full_scan(omega, university_engine):
+    fast = execute_query(
+        omega, university_engine, "level = 'graduate' and units >= 3"
+    )
+    # Same query phrased so nothing can be pushed down (count is residual).
+    slow = execute_query(
+        omega,
+        university_engine,
+        "level = 'graduate' and units >= 3 and count(COURSES) = 1",
+    )
+    assert {i.key for i in fast} == {i.key for i in slow}
+
+
+def test_component_condition(omega, university_engine):
+    results = execute_query(
+        omega, university_engine, "GRADES.grade = 'F'"
+    )
+    for instance in results:
+        grades = {g["grade"] for g in instance.tuples_at("GRADES")}
+        assert "F" in grades
+
+
+def test_empty_result(omega, university_engine):
+    assert execute_query(omega, university_engine, "units > 99") == []
+
+
+def test_hospital_query(chart, hospital_engine):
+    results = execute_query(
+        chart, hospital_engine, "count(DIAGNOSIS) >= 5"
+    )
+    for instance in results:
+        assert instance.count_at("DIAGNOSIS") >= 5
+
+
+def test_cad_query(bom, cad_engine):
+    results = execute_query(
+        bom, cad_engine, "count(RELEASED_ASSEMBLY) = 1 and PART.name = 'gear'"
+    )
+    for instance in results:
+        assert instance.count_at("RELEASED_ASSEMBLY") == 1
+        assert "gear" in {p["name"] for p in instance.tuples_at("PART")}
+
+
+def test_query_on_sqlite(omega, university_sqlite):
+    results = execute_query(
+        omega, university_sqlite, "level = 'graduate' and count(STUDENT) < 5"
+    )
+    assert len(results) >= 1

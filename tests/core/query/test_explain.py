@@ -1,0 +1,39 @@
+"""explain_query: the composed plan, human-readable."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core.query import explain_query
+
+
+def test_fully_pushed(omega):
+    text = explain_query(omega, "level = 'graduate' and units > 2")
+    assert "pushed to engine" in text
+    assert "level" in text and "units" in text
+    assert "fully pushed down" in text
+
+
+def test_mixed_plan(omega):
+    text = explain_query(
+        omega, "level = 'graduate' and count(STUDENT) < 5"
+    )
+    assert "residual" in text
+    assert "QCount(STUDENT)" in text
+    assert "existential" in text
+
+
+def test_mentions_pivot(omega):
+    assert "COURSES" in explain_query(omega, "units = 1")
+
+
+def test_validates_first(omega):
+    with pytest.raises(QueryError):
+        explain_query(omega, "bogus_attr = 1")
+
+
+def test_explains_order_and_limit(omega):
+    text = explain_query(
+        omega, "units > 1 order by count(STUDENT) desc limit 5"
+    )
+    assert "order by" in text
+    assert "limit            : 5" in text

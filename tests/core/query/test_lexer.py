@@ -1,0 +1,80 @@
+"""Query tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.core.query.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_simple_comparison():
+    assert kinds("level = 'graduate'") == ["IDENT", "OP", "STRING", "EOF"]
+
+
+def test_string_value():
+    assert values("'graduate'") == ["graduate"]
+
+
+def test_string_escape_doubled_quote():
+    assert values("'it''s'") == ["it's"]
+
+
+def test_unterminated_string():
+    with pytest.raises(QuerySyntaxError):
+        tokenize("'oops")
+
+
+def test_numbers():
+    assert values("42 -7 2.5") == [42, -7, 2.5]
+    assert isinstance(values("42")[0], int)
+    assert isinstance(values("2.5")[0], float)
+
+
+def test_operators():
+    assert values("= != <> < <= > >=") == ["=", "!=", "!=", "<", "<=", ">", ">="]
+
+
+def test_keywords_case_insensitive():
+    assert values("AND Or NOT Count IS NULL TRUE false") == [
+        "and", "or", "not", "count", "is", "null", "true", "false",
+    ]
+
+
+def test_identifier_with_hash():
+    tokens = tokenize("PEOPLE#2.name")
+    assert tokens[0].value == "PEOPLE#2"
+    assert tokens[1].kind == "DOT"
+    assert tokens[2].value == "name"
+
+
+def test_parens_and_count():
+    assert kinds("count(STUDENT) < 5") == [
+        "KEYWORD", "LPAREN", "IDENT", "RPAREN", "OP", "NUMBER", "EOF",
+    ]
+
+
+def test_whitespace_ignored():
+    assert kinds("  a   =  1 ") == ["IDENT", "OP", "NUMBER", "EOF"]
+
+
+def test_unexpected_character():
+    with pytest.raises(QuerySyntaxError):
+        tokenize("a @ b")
+
+
+def test_bang_without_equals():
+    with pytest.raises(QuerySyntaxError):
+        tokenize("a ! b")
+
+
+def test_positions_recorded():
+    tokens = tokenize("ab = 1")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 3

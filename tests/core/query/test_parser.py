@@ -1,0 +1,101 @@
+"""Query parser: AST shapes and error reporting."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.core.query.ast import (
+    QAnd,
+    QAttr,
+    QCompare,
+    QCount,
+    QIsNull,
+    QLiteral,
+    QNot,
+    QOr,
+)
+from repro.core.query.parser import parse_query
+
+
+def test_figure4_query():
+    ast = parse_query("level = 'graduate' and count(STUDENT) < 5")
+    assert isinstance(ast, QAnd)
+    left, right = ast.parts
+    assert isinstance(left, QCompare) and left.op == "="
+    assert isinstance(left.left, QAttr) and left.left.node is None
+    assert isinstance(right.left, QCount) and right.left.node == "STUDENT"
+    assert isinstance(right.right, QLiteral) and right.right.value == 5
+
+
+def test_qualified_attribute():
+    ast = parse_query("STUDENT.year >= 3")
+    assert ast.left.node == "STUDENT"
+    assert ast.left.name == "year"
+
+
+def test_or_precedence():
+    ast = parse_query("a = 1 or b = 2 and c = 3")
+    assert isinstance(ast, QOr)
+    assert isinstance(ast.parts[1], QAnd)
+
+
+def test_parentheses_override():
+    ast = parse_query("(a = 1 or b = 2) and c = 3")
+    assert isinstance(ast, QAnd)
+    assert isinstance(ast.parts[0], QOr)
+
+
+def test_not():
+    ast = parse_query("not a = 1")
+    assert isinstance(ast, QNot)
+    assert isinstance(ast.part, QCompare)
+
+
+def test_double_not():
+    ast = parse_query("not not a = 1")
+    assert isinstance(ast.part, QNot)
+
+
+def test_is_null():
+    ast = parse_query("instructor_id is null")
+    assert isinstance(ast, QIsNull) and not ast.negated
+
+
+def test_is_not_null():
+    ast = parse_query("instructor_id is not null")
+    assert isinstance(ast, QIsNull) and ast.negated
+
+
+def test_literals():
+    ast = parse_query("a = true and b = false and c = null and d = -3")
+    literals = [part.right.value for part in ast.parts]
+    assert literals == [True, False, None, -3]
+
+
+def test_literal_on_left():
+    ast = parse_query("5 > units")
+    assert isinstance(ast.left, QLiteral)
+
+
+def test_trailing_garbage():
+    with pytest.raises(QuerySyntaxError, match="trailing"):
+        parse_query("a = 1 b")
+
+
+def test_missing_operator():
+    with pytest.raises(QuerySyntaxError, match="comparison"):
+        parse_query("a")
+
+
+def test_missing_operand():
+    with pytest.raises(QuerySyntaxError, match="operand"):
+        parse_query("a = ")
+
+
+def test_unbalanced_paren():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("(a = 1")
+
+
+def test_count_requires_ident():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("count(5) = 1")

@@ -1,0 +1,134 @@
+"""ORDER BY / LIMIT statement layer."""
+
+import pytest
+
+from repro.errors import QueryError, QuerySyntaxError
+from repro.core.query import execute_query
+from repro.core.query.parser import parse_statement
+
+
+class TestParsing:
+    def test_plain_condition(self):
+        statement = parse_statement("units = 1")
+        assert statement.order_by == []
+        assert statement.limit is None
+
+    def test_order_by_single(self):
+        statement = parse_statement("units > 0 order by units")
+        assert len(statement.order_by) == 1
+        assert not statement.order_by[0].descending
+
+    def test_order_by_desc_and_multiple(self):
+        statement = parse_statement(
+            "units > 0 order by units desc, title asc, count(GRADES)"
+        )
+        directions = [t.descending for t in statement.order_by]
+        assert directions == [True, False, False]
+
+    def test_limit(self):
+        statement = parse_statement("units > 0 limit 3")
+        assert statement.limit == 3
+
+    def test_order_and_limit(self):
+        statement = parse_statement(
+            "units > 0 order by units desc limit 2"
+        )
+        assert statement.limit == 2
+        assert statement.order_by[0].descending
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("units > 0 limit 2.5")
+
+    def test_order_by_literal_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("units > 0 order by 5")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("units > 0 limit 2 extra")
+
+
+class TestExecution:
+    def test_order_ascending(self, omega, university_engine):
+        results = execute_query(
+            omega, university_engine, "units >= 1 order by units"
+        )
+        units = [i.root.values["units"] for i in results]
+        assert units == sorted(units)
+
+    def test_order_descending(self, omega, university_engine):
+        results = execute_query(
+            omega, university_engine, "units >= 1 order by units desc"
+        )
+        units = [i.root.values["units"] for i in results]
+        assert units == sorted(units, reverse=True)
+
+    def test_order_by_count(self, omega, university_engine):
+        results = execute_query(
+            omega,
+            university_engine,
+            "units >= 1 order by count(STUDENT) desc",
+        )
+        counts = [i.count_at("STUDENT") for i in results]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_order_by_aggregate(self, omega, university_engine):
+        results = execute_query(
+            omega,
+            university_engine,
+            "count(STUDENT) > 0 order by avg(STUDENT.year)",
+        )
+        averages = [
+            sum(s["year"] for s in i.tuples_at("STUDENT"))
+            / i.count_at("STUDENT")
+            for i in results
+        ]
+        assert averages == sorted(averages)
+
+    def test_secondary_sort_key(self, omega, university_engine):
+        results = execute_query(
+            omega,
+            university_engine,
+            "units >= 1 order by units, course_id",
+        )
+        keys = [
+            (i.root.values["units"], i.key[0]) for i in results
+        ]
+        assert keys == sorted(keys)
+
+    def test_limit_truncates(self, omega, university_engine):
+        total = len(execute_query(omega, university_engine, "units >= 1"))
+        limited = execute_query(
+            omega, university_engine, "units >= 1 limit 3"
+        )
+        assert len(limited) == min(3, total)
+
+    def test_limit_zero(self, omega, university_engine):
+        assert execute_query(omega, university_engine, "units >= 1 limit 0") == []
+
+    def test_top_n_pattern(self, omega, university_engine):
+        """The classic report: the 2 largest graduate courses."""
+        results = execute_query(
+            omega,
+            university_engine,
+            "level = 'graduate' order by count(STUDENT) desc limit 2",
+        )
+        assert len(results) == 2
+        assert results[0].count_at("STUDENT") >= results[1].count_at("STUDENT")
+
+    def test_component_attribute_order_rejected(
+        self, omega, university_engine
+    ):
+        with pytest.raises(QueryError, match="ambiguous"):
+            execute_query(
+                omega,
+                university_engine,
+                "units >= 1 order by STUDENT.year",
+            )
+
+    def test_order_by_unknown_attribute(self, omega, university_engine):
+        with pytest.raises(QueryError):
+            execute_query(
+                omega, university_engine, "units >= 1 order by credits"
+            )

@@ -1,0 +1,128 @@
+"""Instance diffing."""
+
+import copy
+
+import pytest
+
+from repro.core.diff import diff_instances, render_diff
+from repro.core.instance import build_instance
+from repro.errors import ViewObjectError
+
+
+@pytest.fixture
+def base(omega):
+    return {
+        "course_id": "CS145",
+        "title": "Databases",
+        "units": 4,
+        "level": "undergraduate",
+        "dept_name": "Computer Science",
+        "DEPARTMENT": [
+            {"dept_name": "Computer Science", "building": "Gates"}
+        ],
+        "CURRICULUM": [
+            {"degree": "BSCS", "course_id": "CS145", "category": "required"}
+        ],
+        "GRADES": [
+            {
+                "course_id": "CS145",
+                "student_id": 1,
+                "grade": "A",
+                "STUDENT": [
+                    {"person_id": 1, "degree_program": "BSCS", "year": 2}
+                ],
+            }
+        ],
+    }
+
+
+def make(omega, data):
+    return build_instance(omega, data)
+
+
+def test_identical_instances_empty_diff(omega, base):
+    changes = diff_instances(make(omega, base), make(omega, base))
+    assert changes == []
+    assert render_diff(changes) == "(no changes)"
+
+
+def test_modified_pivot_attribute(omega, base):
+    new = copy.deepcopy(base)
+    new["title"] = "Advanced Databases"
+    changes = diff_instances(make(omega, base), make(omega, new))
+    assert len(changes) == 1
+    change = changes[0]
+    assert change.node_id == "COURSES"
+    assert change.kind == "modified"
+    assert change.changes["title"] == ("Databases", "Advanced Databases")
+
+
+def test_added_component(omega, base):
+    new = copy.deepcopy(base)
+    new["GRADES"].append(
+        {
+            "course_id": "CS145",
+            "student_id": 2,
+            "grade": "B",
+            "STUDENT": [],
+        }
+    )
+    changes = diff_instances(make(omega, base), make(omega, new))
+    assert [c.kind for c in changes] == ["added"]
+    assert changes[0].key == ("CS145", 2)
+
+
+def test_removed_component(omega, base):
+    new = copy.deepcopy(base)
+    new["GRADES"] = []
+    changes = diff_instances(make(omega, base), make(omega, new))
+    assert [c.kind for c in changes] == ["removed"]
+
+
+def test_rekeyed_pivot(omega, base):
+    new = copy.deepcopy(base)
+    new["course_id"] = "EES345"
+    for grade in new["GRADES"]:
+        grade["course_id"] = "EES345"
+    for entry in new["CURRICULUM"]:
+        entry["course_id"] = "EES345"
+    changes = diff_instances(make(omega, base), make(omega, new))
+    pivot_changes = [c for c in changes if c.node_id == "COURSES"]
+    assert pivot_changes[0].kind == "rekeyed"
+    assert pivot_changes[0].key == ("CS145",)
+    assert pivot_changes[0].new_key == ("EES345",)
+    # Child key changes also surface as rekeys.
+    kinds = {c.node_id: c.kind for c in changes}
+    assert kinds["GRADES"] == "rekeyed"
+
+
+def test_nested_modification(omega, base):
+    new = copy.deepcopy(base)
+    new["GRADES"][0]["STUDENT"][0]["year"] = 3
+    changes = diff_instances(make(omega, base), make(omega, new))
+    assert len(changes) == 1
+    assert changes[0].node_id == "STUDENT"
+    assert changes[0].changes["year"] == (2, 3)
+
+
+def test_render_is_readable(omega, base):
+    new = copy.deepcopy(base)
+    new["units"] = 5
+    text = render_diff(diff_instances(make(omega, base), make(omega, new)))
+    assert "COURSES" in text
+    assert "4 -> 5" in text
+
+
+def test_cross_object_diff_rejected(omega, omega_prime, base):
+    other = build_instance(
+        omega_prime,
+        {
+            "course_id": "X",
+            "title": "t",
+            "units": 1,
+            "level": "graduate",
+            "instructor_id": None,
+        },
+    )
+    with pytest.raises(ViewObjectError):
+        diff_instances(make(omega, base), other)

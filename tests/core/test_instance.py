@@ -1,0 +1,114 @@
+"""Hierarchical instances: construction, flattening, rendering."""
+
+import pytest
+
+from repro.errors import ViewObjectError
+from repro.core.instance import build_instance
+
+
+@pytest.fixture
+def data():
+    return {
+        "course_id": "CS145",
+        "title": "Databases",
+        "units": 4,
+        "level": "undergraduate",
+        "dept_name": "Computer Science",
+        "DEPARTMENT": [
+            {"dept_name": "Computer Science", "building": "Gates"}
+        ],
+        "CURRICULUM": [
+            {"degree": "BSCS", "course_id": "CS145", "category": "required"},
+            {"degree": "MSCS", "course_id": "CS145", "category": "elective"},
+        ],
+        "GRADES": [
+            {
+                "course_id": "CS145",
+                "student_id": 1,
+                "grade": "A",
+                "STUDENT": [
+                    {"person_id": 1, "degree_program": "BSCS", "year": 2}
+                ],
+            },
+            {
+                "course_id": "CS145",
+                "student_id": 2,
+                "grade": "B",
+                "STUDENT": [
+                    {"person_id": 2, "degree_program": "MSCS", "year": 1}
+                ],
+            },
+        ],
+    }
+
+
+class TestBuild:
+    def test_key(self, omega, data):
+        instance = build_instance(omega, data)
+        assert instance.key == ("CS145",)
+
+    def test_counts(self, omega, data):
+        instance = build_instance(omega, data)
+        assert instance.count_at("GRADES") == 2
+        assert instance.count_at("STUDENT") == 2
+        assert instance.count_at("CURRICULUM") == 2
+        assert instance.count_at("DEPARTMENT") == 1
+        assert instance.count_at("COURSES") == 1
+
+    def test_missing_children_default_empty(self, omega, data):
+        del data["CURRICULUM"]
+        instance = build_instance(omega, data)
+        assert instance.count_at("CURRICULUM") == 0
+
+    def test_missing_attribute_rejected(self, omega, data):
+        del data["title"]
+        with pytest.raises(ViewObjectError, match="missing values"):
+            build_instance(omega, data)
+
+    def test_unknown_key_rejected(self, omega, data):
+        data["gpa"] = 4.0
+        with pytest.raises(ViewObjectError, match="neither"):
+            build_instance(omega, data)
+
+    def test_child_must_be_list(self, omega, data):
+        data["DEPARTMENT"] = {"dept_name": "CS", "building": "G"}
+        with pytest.raises(ViewObjectError, match="list"):
+            build_instance(omega, data)
+
+    def test_unprojected_attribute_rejected(self, omega, data):
+        data["GRADES"][0]["instructor"] = "Keller"
+        with pytest.raises(ViewObjectError):
+            build_instance(omega, data)
+
+
+class TestFlattening:
+    def test_tuples_at_nested(self, omega, data):
+        instance = build_instance(omega, data)
+        students = instance.tuples_at("STUDENT")
+        assert sorted(s["person_id"] for s in students) == [1, 2]
+
+    def test_iter_nodes_bfs(self, omega, data):
+        instance = build_instance(omega, data)
+        order = [node_id for node_id, __ in instance.iter_nodes()]
+        assert order[0] == "COURSES"
+        assert set(order) == set(omega.tree.node_ids)
+
+
+class TestConversion:
+    def test_round_trip(self, omega, data):
+        instance = build_instance(omega, data)
+        rebuilt = build_instance(omega, instance.to_dict())
+        assert rebuilt == instance
+
+    def test_describe_paper_style(self, omega, data):
+        text = build_instance(omega, data).describe()
+        assert text.startswith("(COURSES: CS145")
+        assert "(GRADES: CS145, 1" in text
+        assert "(STUDENT: 2" in text
+
+    def test_equality(self, omega, data):
+        a = build_instance(omega, data)
+        b = build_instance(omega, data)
+        assert a == b
+        data["units"] = 3
+        assert build_instance(omega, data) != a

@@ -1,0 +1,60 @@
+"""Projection value objects."""
+
+import pytest
+
+from repro.errors import ProjectionError
+from repro.core.projection import Projection
+from repro.workloads.university import university_schema
+
+
+@pytest.fixture
+def courses_schema():
+    return university_schema().relation("COURSES")
+
+
+def test_attributes_preserved_in_order():
+    projection = Projection("COURSES", ("course_id", "title"))
+    assert projection.attributes == ("course_id", "title")
+
+
+def test_empty_projection_rejected():
+    with pytest.raises(ProjectionError):
+        Projection("COURSES", ())
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(ProjectionError):
+        Projection("COURSES", ("course_id", "course_id"))
+
+
+def test_validate_against(courses_schema):
+    Projection("COURSES", ("course_id",)).validate_against(courses_schema)
+    with pytest.raises(ProjectionError):
+        Projection("COURSES", ("bogus",)).validate_against(courses_schema)
+
+
+def test_validate_against_wrong_relation(courses_schema):
+    with pytest.raises(ProjectionError):
+        Projection("GRADES", ("course_id",)).validate_against(courses_schema)
+
+
+def test_includes_key_of(courses_schema):
+    assert Projection("COURSES", ("course_id", "title")).includes_key_of(
+        courses_schema
+    )
+    assert not Projection("COURSES", ("title",)).includes_key_of(
+        courses_schema
+    )
+
+
+def test_covers():
+    projection = Projection("COURSES", ("course_id", "title", "units"))
+    assert projection.covers(("title",))
+    assert not projection.covers(("dept_name",))
+
+
+def test_equality_and_hash():
+    a = Projection("COURSES", ("course_id",))
+    b = Projection("COURSES", ("course_id",))
+    assert a == b and hash(a) == hash(b)
+    assert a != Projection("COURSES", ("title",))

@@ -1,0 +1,112 @@
+"""Tree building (Figure 2b) and pruning (Figures 2c / 3)."""
+
+import pytest
+
+from repro.errors import ViewObjectError
+from repro.core.information_metric import InformationMetric
+from repro.core.tree_builder import build_maximal_tree, prune_tree
+from repro.workloads.university import university_schema
+
+
+@pytest.fixture
+def graph():
+    return university_schema()
+
+
+@pytest.fixture
+def maximal(graph):
+    metric = InformationMetric()
+    subgraph = metric.extract_subgraph(graph, "COURSES")
+    return build_maximal_tree(graph, subgraph, metric.weights)
+
+
+class TestFigure2b:
+    def test_root_is_pivot(self, maximal):
+        assert maximal.root.relation == "COURSES"
+
+    def test_two_copies_of_people(self, maximal):
+        copies = maximal.nodes_for_relation("PEOPLE")
+        assert len(copies) == 2
+
+    def test_people_copy_parents(self, maximal):
+        parents = {
+            maximal.parent(node.node_id).relation
+            for node in maximal.nodes_for_relation("PEOPLE")
+        }
+        assert parents == {"DEPARTMENT", "STUDENT"}
+
+    def test_every_other_relation_once(self, maximal):
+        for relation in ("COURSES", "CURRICULUM", "DEPARTMENT", "FACULTY",
+                         "GRADES", "STUDENT"):
+            assert len(maximal.nodes_for_relation(relation)) == 1
+
+    def test_node_count(self, maximal):
+        # 7 relations in G + 1 duplicate from the single circuit.
+        assert len(maximal) == 8
+
+    def test_each_subgraph_edge_used_once(self, graph, maximal):
+        used = [
+            t.connection.name
+            for node in maximal.nodes()
+            if node.path is not None
+            for t in node.path
+        ]
+        assert len(used) == len(set(used)) == 7
+
+    def test_student_under_grades(self, maximal):
+        student = maximal.nodes_for_relation("STUDENT")[0]
+        assert maximal.parent(student.node_id).relation == "GRADES"
+
+    def test_courses_children(self, maximal):
+        children = {c.relation for c in maximal.children("COURSES")}
+        assert children == {"CURRICULUM", "DEPARTMENT", "FACULTY", "GRADES"}
+
+    def test_deterministic(self, graph):
+        metric = InformationMetric()
+        subgraph = metric.extract_subgraph(graph, "COURSES")
+        first = build_maximal_tree(graph, subgraph, metric.weights)
+        second = build_maximal_tree(graph, subgraph, metric.weights)
+        assert first.describe() == second.describe()
+
+
+class TestPruneFigure2c:
+    def test_prune_to_omega(self, maximal):
+        pruned = prune_tree(
+            maximal,
+            ["COURSES", "DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        assert len(pruned) == 5
+        assert {n.relation for n in pruned.nodes()} == {
+            "COURSES", "DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT",
+        }
+
+    def test_pruned_edges_single_hop(self, maximal):
+        pruned = prune_tree(
+            maximal,
+            ["COURSES", "DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        for node in pruned.nodes():
+            if node.path is not None:
+                assert len(node.path) == 1
+
+
+class TestPruneFigure3:
+    def test_collapsed_path(self, maximal):
+        pruned = prune_tree(maximal, ["COURSES", "FACULTY", "STUDENT"])
+        student = pruned.node("STUDENT")
+        assert len(student.path) == 2
+        assert student.path.describe() == "COURSES --* GRADES *-- STUDENT"
+
+    def test_faculty_direct(self, maximal):
+        pruned = prune_tree(maximal, ["COURSES", "FACULTY", "STUDENT"])
+        assert len(pruned.node("FACULTY").path) == 1
+
+
+class TestPruneErrors:
+    def test_must_keep_root(self, maximal):
+        with pytest.raises(ViewObjectError):
+            prune_tree(maximal, ["GRADES"])
+
+    def test_unknown_node(self, maximal):
+        with pytest.raises(ViewObjectError):
+            prune_tree(maximal, ["COURSES", "NOPE"])

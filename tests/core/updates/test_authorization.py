@@ -1,0 +1,84 @@
+"""Step 1's "user authorizations" check."""
+
+import pytest
+
+from repro.core.updates.policy import TranslatorPolicy
+from repro.core.updates.translator import Translator
+from repro.errors import LocalValidationError
+
+
+@pytest.fixture
+def restricted(omega):
+    policy = TranslatorPolicy(authorized_users=["dba", "registrar"])
+    return Translator(omega, policy=policy)
+
+
+def any_course(engine):
+    return next(iter(engine.scan("COURSES")))[0]
+
+
+def test_open_policy_allows_anonymous(omega, university_engine):
+    translator = Translator(omega)
+    translator.delete(university_engine, key=(any_course(university_engine),))
+
+
+def test_unbound_user_rejected(restricted, university_engine):
+    with pytest.raises(LocalValidationError, match="not authorized"):
+        restricted.delete(
+            university_engine, key=(any_course(university_engine),)
+        )
+
+
+def test_unauthorized_user_rejected(restricted, university_engine):
+    eve = restricted.for_user("eve")
+    with pytest.raises(LocalValidationError, match="'eve'"):
+        eve.delete(university_engine, key=(any_course(university_engine),))
+
+
+def test_authorized_user_allowed(restricted, university_engine):
+    registrar = restricted.for_user("registrar")
+    cid = any_course(university_engine)
+    registrar.delete(university_engine, key=(cid,))
+    assert university_engine.get("COURSES", (cid,)) is None
+
+
+def test_rejection_happens_before_any_mutation(
+    restricted, university_engine, university_graph
+):
+    before = {
+        name: sorted(university_engine.scan(name))
+        for name in university_graph.relation_names
+    }
+    with pytest.raises(LocalValidationError):
+        restricted.for_user("eve").delete(
+            university_engine, key=(any_course(university_engine),)
+        )
+    after = {
+        name: sorted(university_engine.scan(name))
+        for name in university_graph.relation_names
+    }
+    assert after == before
+
+
+def test_previews_also_gated(restricted, university_engine):
+    with pytest.raises(LocalValidationError):
+        restricted.for_user("eve").preview_delete(
+            university_engine, key=(any_course(university_engine),)
+        )
+
+
+def test_binding_does_not_mutate_original(restricted):
+    bound = restricted.for_user("dba")
+    assert bound.user == "dba"
+    assert restricted.user is None
+    assert bound.policy is restricted.policy
+
+
+def test_policy_authorizes():
+    open_policy = TranslatorPolicy()
+    assert open_policy.authorizes(None)
+    assert open_policy.authorizes("anyone")
+    closed = TranslatorPolicy(authorized_users=["a"])
+    assert closed.authorizes("a")
+    assert not closed.authorizes("b")
+    assert not closed.authorizes(None)

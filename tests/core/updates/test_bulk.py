@@ -1,0 +1,103 @@
+"""Query-driven bulk operations (delete_where / update_where)."""
+
+import pytest
+
+from repro.core.updates.policy import RelationPolicy, TranslatorPolicy
+from repro.core.updates.translator import Translator
+from repro.errors import UpdateRejectedError
+from repro.structural.integrity import IntegrityChecker
+
+
+@pytest.fixture
+def translator(omega):
+    return Translator(omega)
+
+
+class TestDeleteWhere:
+    def test_deletes_all_matching(self, translator, university_engine):
+        doomed = {
+            v[0]
+            for v in university_engine.scan("COURSES")
+            if v[4] == "Philosophy"
+        }
+        assert doomed
+        plan = translator.delete_where(
+            university_engine, "dept_name = 'Philosophy'"
+        )
+        for cid in doomed:
+            assert university_engine.get("COURSES", (cid,)) is None
+        survivors = {v[0] for v in university_engine.scan("COURSES")}
+        assert survivors  # other departments untouched
+        assert plan.count("delete") >= len(doomed)
+
+    def test_leaves_consistent_state(
+        self, translator, university_engine, university_graph
+    ):
+        translator.delete_where(university_engine, "units <= 2")
+        assert IntegrityChecker(university_graph).is_consistent(
+            university_engine
+        )
+
+    def test_no_matches_is_noop(self, translator, university_engine):
+        before = university_engine.count("COURSES")
+        plan = translator.delete_where(university_engine, "units > 999")
+        assert len(plan) == 0
+        assert university_engine.count("COURSES") == before
+
+    def test_batch_is_atomic(self, omega, university_engine):
+        policy = TranslatorPolicy()
+        from repro.core.updates.policy import ReferenceRepair
+
+        policy.set_relation(
+            "CURRICULUM",
+            RelationPolicy(on_reference_delete=ReferenceRepair.PROHIBIT),
+        )
+        translator = Translator(omega, policy=policy)
+        before = sorted(university_engine.scan("COURSES"))
+        # Some course in the batch has curriculum references -> the whole
+        # batch must roll back, including earlier successful deletions.
+        with pytest.raises(UpdateRejectedError):
+            translator.delete_where(university_engine, "units >= 1")
+        assert sorted(university_engine.scan("COURSES")) == before
+
+
+class TestUpdateWhere:
+    def test_transforms_all_matching(self, translator, university_engine):
+        def bump_units(data):
+            data = dict(data)
+            data["units"] = data["units"] + 10
+            return data
+
+        matched = [
+            v[0] for v in university_engine.scan("COURSES") if v[3] == "graduate"
+        ]
+        plan = translator.update_where(
+            university_engine, "level = 'graduate'", bump_units
+        )
+        assert plan.count("replace") == len(matched)
+        for cid in matched:
+            assert university_engine.get("COURSES", (cid,))[2] > 10
+
+    def test_identity_transform_is_noop(self, translator, university_engine):
+        plan = translator.update_where(
+            university_engine, "level = 'graduate'", lambda data: data
+        )
+        assert len(plan) == 0
+
+    def test_atomic_on_rejection(self, omega, university_engine):
+        policy = TranslatorPolicy()
+        policy.set_relation("DEPARTMENT", RelationPolicy(can_modify=False))
+        translator = Translator(omega, policy=policy)
+        before = sorted(university_engine.scan("COURSES"))
+
+        def reroute(data):
+            data = dict(data)
+            data["dept_name"] = "Nonexistent Dept"
+            data["DEPARTMENT"] = []
+            return data
+
+        with pytest.raises(UpdateRejectedError):
+            translator.update_where(
+                university_engine, "units >= 1", reroute
+            )
+        assert sorted(university_engine.scan("COURSES")) == before

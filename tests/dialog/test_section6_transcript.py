@@ -1,0 +1,121 @@
+"""Verbatim reproduction of the Section 6 dialog transcript.
+
+The paper shows the replacement portion of the dialog for ω (Figure 2c)
+with the DBA's answers; the generated transcript must match it word for
+word, including the question order (DFS over the object's tree, the
+same order VO-R walks) and the conditional skipping of footnote 5.
+"""
+
+import pytest
+
+from repro.core.updates.policy import TranslatorPolicy
+from repro.dialog.answers import ScriptedAnswers
+from repro.dialog.drivers import run_replacement_dialog
+from repro.dialog.transcript import Transcript
+
+PAPER_TRANSCRIPT = """\
+Is replacement of tuples in an object instance allowed? <YES>
+The key of a tuple of relation COURSES could be modified during replacements. Do you allow this? <YES>
+Can we replace the key of the corresponding database tuple? <YES>
+The system might need to delete the old database tuple, and replace it with an existing tuple with matching key. Do you allow this? <NO>
+Can the relation CURRICULUM be modified during insertions (or replacements)? <YES>
+Can a new tuple be inserted? <YES>
+Can an existing tuple be modified? <YES>
+Can the relation DEPARTMENT be modified during insertions (or replacements)? <YES>
+Can a new tuple be inserted? <YES>
+Can an existing tuple be modified? <YES>
+The key of a tuple of relation GRADES could be modified during replacements. Do you allow this? <YES>
+Can we replace the key of the corresponding database tuple? <YES>
+The system might need to delete the old database tuple, and replace it with an existing tuple with matching key. Do you allow this? <NO>
+Can the relation STUDENT be modified during insertions (or replacements)? <YES>
+Can a new tuple be inserted? <YES>
+Can an existing tuple be modified? <YES>"""
+
+PAPER_ANSWERS = [
+    True, True, True, False,   # gate + COURSES island triplet
+    True, True, True,          # CURRICULUM
+    True, True, True,          # DEPARTMENT
+    True, True, False,         # GRADES island triplet
+    True, True, True,          # STUDENT
+]
+
+
+@pytest.fixture
+def transcript_and_policy(omega):
+    policy = TranslatorPolicy()
+    transcript = Transcript()
+    run_replacement_dialog(
+        omega, ScriptedAnswers(PAPER_ANSWERS), policy, transcript
+    )
+    return transcript, policy
+
+
+def test_transcript_matches_paper_verbatim(transcript_and_policy):
+    transcript, __ = transcript_and_policy
+    assert transcript.render() == PAPER_TRANSCRIPT
+
+
+def test_sixteen_questions_asked(transcript_and_policy):
+    transcript, __ = transcript_and_policy
+    assert len(transcript) == 16
+
+
+def test_resulting_policy(transcript_and_policy):
+    __, policy = transcript_and_policy
+    assert policy.allow_replacement
+    courses = policy.for_relation("COURSES")
+    assert courses.allow_key_replacement
+    assert courses.allow_db_key_replacement
+    assert not courses.allow_merge_on_key_conflict  # the <NO> answers
+    grades = policy.for_relation("GRADES")
+    assert not grades.allow_merge_on_key_conflict
+    for relation in ("CURRICULUM", "DEPARTMENT", "STUDENT"):
+        relation_policy = policy.for_relation(relation)
+        assert relation_policy.can_modify
+        assert relation_policy.can_insert
+        assert relation_policy.can_replace_existing
+
+
+def test_footnote5_skipping(omega):
+    """Answering <NO> to 'Can the relation DEPARTMENT be modified...'
+    skips its two follow-up questions."""
+    answers = [
+        True, True, True, False,   # gate + COURSES
+        True, True, True,          # CURRICULUM
+        False,                     # DEPARTMENT gate: NO -> skip 2
+        True, True, False,         # GRADES
+        True, True, True,          # STUDENT
+    ]
+    policy = TranslatorPolicy()
+    transcript = Transcript()
+    run_replacement_dialog(omega, ScriptedAnswers(answers), policy, transcript)
+    assert len(transcript) == 14
+    department = policy.for_relation("DEPARTMENT")
+    assert not department.can_modify
+    assert not department.can_insert
+    assert not department.can_replace_existing
+
+
+def test_replacement_disallowed_short_circuits(omega):
+    policy = TranslatorPolicy()
+    transcript = Transcript()
+    run_replacement_dialog(omega, ScriptedAnswers([False]), policy, transcript)
+    assert len(transcript) == 1
+    assert not policy.allow_replacement
+
+
+def test_island_gate_no_skips_followups(omega):
+    answers = [
+        True,
+        False,                    # COURSES key not modifiable -> skip 2
+        True, True, True,         # CURRICULUM
+        True, True, True,         # DEPARTMENT
+        False,                    # GRADES key not modifiable -> skip 2
+        True, True, True,         # STUDENT
+    ]
+    policy = TranslatorPolicy()
+    transcript = Transcript()
+    run_replacement_dialog(omega, ScriptedAnswers(answers), policy, transcript)
+    assert len(transcript) == 12
+    assert not policy.for_relation("COURSES").allow_key_replacement
+    assert not policy.for_relation("COURSES").allow_db_key_replacement

@@ -1,0 +1,73 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_prints_all_figures(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "Figure 2(b)" in out
+    assert "PEOPLE#2" in out  # the duplicated node
+    assert "Figure 3" in out
+    assert "Figure 4" in out
+    assert (
+        "Is replacement of tuples in an object instance allowed? <YES>" in out
+    )
+
+
+def test_dump_and_check_round_trip(tmp_path, capsys):
+    assert main(["dump", "--workload", "university", str(tmp_path)]) == 0
+    assert (tmp_path / "schema.json").exists()
+    assert (tmp_path / "data.json").exists()
+    json.loads((tmp_path / "schema.json").read_text())
+    assert main(["check", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "structural integrity: OK" in out
+
+
+def test_check_detects_corruption(tmp_path, capsys):
+    main(["dump", "--workload", "university", str(tmp_path)])
+    data = json.loads((tmp_path / "data.json").read_text())
+    for entry in data["relations"]:
+        if entry["schema"]["name"] == "GRADES":
+            entry["rows"].append(["GHOST-COURSE", 999999, "A"])
+    (tmp_path / "data.json").write_text(json.dumps(data))
+    assert main(["check", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "violation" in out
+
+
+def test_query_command(capsys):
+    assert main(
+        [
+            "query",
+            "--workload",
+            "university",
+            "--object",
+            "course_info",
+            "level = 'graduate' and count(STUDENT) < 5",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "1 instance(s)" in out
+    assert "(COURSES:" in out
+
+
+def test_query_unknown_object(capsys):
+    assert main(
+        ["query", "--workload", "cad", "--object", "nope", "units = 1"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "assembly_bom" in err
+
+
+@pytest.mark.parametrize("workload", ["university", "hospital", "cad"])
+def test_dump_all_workloads(tmp_path, workload):
+    target = tmp_path / workload
+    assert main(["dump", "--workload", workload, str(target)]) == 0
+    assert main(["check", str(target)]) == 0

@@ -1,0 +1,139 @@
+"""The Penguin facade: full workflow in one session."""
+
+import pytest
+
+from repro.errors import UpdateRejectedError, ViewObjectError
+from repro.penguin import Penguin
+from repro.workloads.figures import course_info_object
+from repro.workloads.university import populate_university, university_schema
+
+
+@pytest.fixture
+def penguin():
+    session = Penguin(university_schema())
+    populate_university(session.engine)
+    return session
+
+
+@pytest.fixture
+def loaded(penguin):
+    penguin.register_object(course_info_object(penguin.graph))
+    return penguin
+
+
+class TestDefinition:
+    def test_define_object(self, penguin):
+        view_object = penguin.define_object(
+            "mini",
+            pivot="COURSES",
+            selections={"COURSES": ("course_id", "title", "dept_name")},
+        )
+        assert view_object.complexity == 1
+        assert penguin.object("mini") is view_object
+        assert "mini" in penguin.object_names
+
+    def test_duplicate_name_rejected(self, loaded):
+        with pytest.raises(ViewObjectError):
+            loaded.define_object(
+                "course_info",
+                pivot="COURSES",
+                selections={"COURSES": ("course_id",)},
+            )
+
+    def test_unknown_object(self, penguin):
+        with pytest.raises(ViewObjectError):
+            penguin.object("nope")
+
+
+class TestQueries:
+    def test_query_text(self, loaded):
+        results = loaded.query("course_info", "level = 'graduate'")
+        assert results
+        assert all(i.root.values["level"] == "graduate" for i in results)
+
+    def test_query_all(self, loaded):
+        assert len(loaded.query("course_info")) == loaded.engine.count(
+            "COURSES"
+        )
+
+    def test_get_by_key(self, loaded):
+        course_id = next(iter(loaded.engine.scan("COURSES")))[0]
+        instance = loaded.get("course_info", (course_id,))
+        assert instance.key == (course_id,)
+        assert loaded.get("course_info", ("GHOST",)) is None
+
+
+class TestUpdates:
+    def test_insert_delete_cycle(self, loaded):
+        data = {
+            "course_id": "PG1",
+            "title": "Facade Test",
+            "units": 2,
+            "level": "graduate",
+            "dept_name": "Physics",
+        }
+        loaded.insert("course_info", data)
+        assert loaded.engine.get("COURSES", ("PG1",)) is not None
+        loaded.delete("course_info", ("PG1",))
+        assert loaded.engine.get("COURSES", ("PG1",)) is None
+
+    def test_replace(self, loaded):
+        course_id = next(iter(loaded.engine.scan("COURSES")))[0]
+        old = loaded.get("course_info", (course_id,))
+        new = old.to_dict()
+        new["title"] = "Facade Replaced"
+        loaded.replace("course_info", old, new)
+        assert loaded.engine.get("COURSES", (course_id,))[1] == "Facade Replaced"
+
+    def test_consistency_check(self, loaded):
+        assert loaded.is_consistent()
+        assert loaded.check_integrity() == []
+
+
+class TestDialogIntegration:
+    def test_choose_translator_with_mapping(self, loaded):
+        translator, transcript = loaded.choose_translator(
+            "course_info", {"modify.DEPARTMENT.allowed": False}
+        )
+        assert len(transcript) > 0
+        course_id = next(iter(loaded.engine.scan("COURSES")))[0]
+        old = loaded.get("course_info", (course_id,))
+        new = old.to_dict()
+        new["dept_name"] = "Blocked Dept"
+        new["DEPARTMENT"] = [
+            {"dept_name": "Blocked Dept", "building": "X"}
+        ]
+        with pytest.raises(UpdateRejectedError):
+            loaded.replace("course_info", old, new)
+
+    def test_constant_false_blocks_everything(self, loaded):
+        from repro.errors import LocalValidationError
+
+        loaded.choose_translator("course_info", False)
+        with pytest.raises(LocalValidationError):
+            loaded.delete(
+                "course_info",
+                (next(iter(loaded.engine.scan("COURSES")))[0],),
+            )
+
+    def test_set_policy_programmatically(self, loaded):
+        from repro.core.updates.policy import TranslatorPolicy
+
+        translator = loaded.set_policy(
+            "course_info", TranslatorPolicy.read_only()
+        )
+        assert loaded.translator("course_info") is translator
+
+
+class TestBackends:
+    def test_sqlite_backend(self):
+        session = Penguin(university_schema(), backend="sqlite")
+        populate_university(session.engine)
+        session.register_object(course_info_object(session.graph))
+        results = session.query("course_info", "count(STUDENT) < 5")
+        assert isinstance(results, list)
+        assert session.is_consistent()
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            Penguin(university_schema(), backend="oracle")

@@ -1,0 +1,70 @@
+"""Atomic multi-operation sessions via Penguin.transaction()."""
+
+import pytest
+
+from repro.errors import UpdateRejectedError
+from repro.penguin import Penguin
+from repro.workloads.figures import course_info_object
+from repro.workloads.university import populate_university, university_schema
+
+
+@pytest.fixture
+def penguin():
+    session = Penguin(university_schema())
+    populate_university(session.engine)
+    session.register_object(course_info_object(session.graph))
+    return session
+
+
+def some_courses(penguin, n):
+    return sorted(v[0] for v in penguin.engine.scan("COURSES"))[:n]
+
+
+def test_commit_on_success(penguin):
+    first, second = some_courses(penguin, 2)
+    with penguin.transaction():
+        penguin.delete("course_info", (first,))
+        penguin.delete("course_info", (second,))
+    assert penguin.engine.get("COURSES", (first,)) is None
+    assert penguin.engine.get("COURSES", (second,)) is None
+
+
+def test_rollback_on_error(penguin):
+    first, __ = some_courses(penguin, 2)
+    with pytest.raises(UpdateRejectedError):
+        with penguin.transaction():
+            penguin.delete("course_info", (first,))
+            # Second operation fails: identical pivot already exists.
+            penguin.insert(
+                "course_info",
+                {
+                    "course_id": some_courses(penguin, 2)[1],
+                    "title": "clash",
+                    "units": 1,
+                    "level": "graduate",
+                    "dept_name": "Physics",
+                },
+            )
+    # The earlier deletion must have rolled back too.
+    assert penguin.engine.get("COURSES", (first,)) is not None
+    assert penguin.is_consistent()
+
+
+def test_swap_pattern(penguin):
+    """Move all grades of one course onto a fresh course atomically."""
+    cid = next(
+        v[0]
+        for v in penguin.engine.scan("COURSES")
+        if penguin.engine.find_by("GRADES", ("course_id",), (v[0],))
+    )
+    old = penguin.get("course_info", (cid,))
+    with penguin.transaction():
+        new = old.to_dict()
+        new["course_id"] = "SWAP1"
+        for grade in new.get("GRADES", []):
+            grade["course_id"] = "SWAP1"
+        for entry in new.get("CURRICULUM", []):
+            entry["course_id"] = "SWAP1"
+        penguin.replace("course_info", old, new)
+    assert penguin.engine.get("COURSES", ("SWAP1",)) is not None
+    assert penguin.is_consistent()

@@ -1,0 +1,108 @@
+"""The five validity criteria."""
+
+import pytest
+
+from repro.keller import criteria
+from repro.keller.views import JoinEdge, RelationalView
+from repro.relational.expressions import attr
+from repro.relational.operations import Delete, Insert, Replace
+
+
+@pytest.fixture
+def view():
+    return RelationalView(
+        "cd",
+        ["COURSES", "DEPARTMENT"],
+        [JoinEdge("COURSES", "DEPARTMENT", [("dept_name", "dept_name")])],
+        projection=["COURSES.course_id", "DEPARTMENT.dept_name"],
+    )
+
+
+class TestSyntacticCriteria:
+    def test_one_step_changes_ok(self, university_engine):
+        plan = [Delete("COURSES", ("a",)), Delete("COURSES", ("b",))]
+        assert criteria.one_step_changes(plan)
+
+    def test_one_step_changes_violated(self, university_engine):
+        plan = [
+            Replace("COURSES", ("a",), ("a", "t", 1, "g", "d", None)),
+            Delete("COURSES", ("a",)),
+        ]
+        assert not criteria.one_step_changes(plan)
+
+    def test_no_delete_insert_pairs_ok(self, university_engine):
+        plan = [
+            Delete("COURSES", ("a",)),
+            Insert("DEPARTMENT", ("x", None, None)),
+        ]
+        assert criteria.no_delete_insert_pairs(plan, university_engine)
+
+    def test_delete_insert_pair_detected(self, university_engine):
+        plan = [
+            Delete("COURSES", ("a",)),
+            Insert("COURSES", ("a", "t", 1, "g", "Physics", None)),
+        ]
+        assert not criteria.no_delete_insert_pairs(plan, university_engine)
+
+
+class TestSemanticCriteria:
+    def test_no_side_effects_valid_plan(self, view, university_engine):
+        rows = view.tuples(university_engine)
+        victim = rows[0]
+        expected = [t for t in rows if t != victim]
+        plan = [Delete("COURSES", (victim[0],))]
+        assert criteria.no_side_effects(view, university_engine, plan, expected)
+
+    def test_side_effects_detected(self, view, university_engine):
+        rows = view.tuples(university_engine)
+        victim = rows[0]
+        expected = [t for t in rows if t != victim]
+        # Deleting the department kills every course in it: side effect.
+        plan = [Delete("DEPARTMENT", (victim[1],))]
+        n_in_dept = sum(1 for t in rows if t[1] == victim[1])
+        if n_in_dept > 1:
+            assert not criteria.no_side_effects(
+                view, university_engine, plan, expected
+            )
+
+    def test_no_side_effects_restores_database(self, view, university_engine):
+        """The check must leave the database untouched."""
+        rows = view.tuples(university_engine)
+        before = sorted(university_engine.scan("COURSES"))
+        criteria.no_side_effects(
+            view,
+            university_engine,
+            [Delete("COURSES", (rows[0][0],))],
+            [t for t in rows if t != rows[0]],
+        )
+        assert sorted(university_engine.scan("COURSES")) == before
+
+    def test_unnecessary_changes_detected(self, view, university_engine):
+        rows = view.tuples(university_engine)
+        victim = rows[0]
+        expected = [t for t in rows if t != victim]
+        # A plan with a redundant extra operation is not minimal, as long
+        # as the extra operation does not affect the view.
+        extra = Insert("STUDENT", (31337, "MSCS", 1))
+        plan = [Delete("COURSES", (victim[0],)), extra]
+        assert not criteria.no_unnecessary_changes(
+            view, university_engine, plan, expected
+        )
+
+    def test_minimal_plan_accepted(self, view, university_engine):
+        rows = view.tuples(university_engine)
+        victim = rows[0]
+        expected = [t for t in rows if t != victim]
+        plan = [Delete("COURSES", (victim[0],))]
+        assert criteria.no_unnecessary_changes(
+            view, university_engine, plan, expected
+        )
+
+    def test_satisfies_all(self, view, university_engine):
+        rows = view.tuples(university_engine)
+        victim = rows[0]
+        expected = [t for t in rows if t != victim]
+        good = [Delete("COURSES", (victim[0],))]
+        assert criteria.satisfies_all(
+            view, university_engine, good, expected
+        )

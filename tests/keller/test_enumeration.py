@@ -1,0 +1,145 @@
+"""Candidate enumeration and criteria filtering."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.keller.enumeration import (
+    contributing_rows,
+    enumerate_deletions,
+    enumerate_insertions,
+    enumerate_replacements,
+    valid_translations,
+)
+from repro.keller.views import JoinEdge, RelationalView
+from repro.relational.expressions import attr
+
+
+@pytest.fixture
+def view():
+    return RelationalView(
+        "cd",
+        ["COURSES", "DEPARTMENT"],
+        [JoinEdge("COURSES", "DEPARTMENT", [("dept_name", "dept_name")])],
+        projection=[
+            "COURSES.course_id",
+            "COURSES.title",
+            "DEPARTMENT.dept_name",
+        ],
+    )
+
+
+def first_view_tuple(view, engine):
+    row = view.tuples(engine)[0]
+    return dict(zip(view.projection, row))
+
+
+class TestContributingRows:
+    def test_found(self, view, university_engine):
+        vt = first_view_tuple(view, university_engine)
+        rows = contributing_rows(view, university_engine, vt)
+        assert len(rows) == 1
+        assert rows[0]["COURSES.course_id"] == vt["COURSES.course_id"]
+
+    def test_carries_unprojected_attributes(self, view, university_engine):
+        vt = first_view_tuple(view, university_engine)
+        rows = contributing_rows(view, university_engine, vt)
+        assert "DEPARTMENT.building" in rows[0]
+
+
+class TestDeletions:
+    def test_one_candidate_per_relation(self, view, university_engine):
+        vt = first_view_tuple(view, university_engine)
+        candidates = enumerate_deletions(view, university_engine, vt)
+        assert len(candidates) == 2
+        relations = {plan[0].relation for plan in candidates}
+        assert relations == {"COURSES", "DEPARTMENT"}
+
+    def test_missing_tuple(self, view, university_engine):
+        with pytest.raises(UpdateError):
+            enumerate_deletions(
+                view, university_engine, {"COURSES.course_id": "GHOST"}
+            )
+
+    def test_criteria_pick_course_deletion(self, view, university_engine):
+        """Deleting the shared department has side effects on other view
+        tuples; only the COURSES deletion survives the criteria."""
+        rows = view.tuples(university_engine)
+        # Choose a tuple whose department serves several courses.
+        by_dept = {}
+        for row in rows:
+            by_dept.setdefault(row[2], []).append(row)
+        dept, members = next(
+            (d, m) for d, m in by_dept.items() if len(m) > 1
+        )
+        victim = members[0]
+        vt = dict(zip(view.projection, victim))
+        expected = [t for t in rows if t != victim]
+        candidates = enumerate_deletions(view, university_engine, vt)
+        valid = valid_translations(
+            view, university_engine, candidates, expected
+        )
+        assert len(valid) == 1
+        assert valid[0][0].relation == "COURSES"
+
+
+class TestInsertions:
+    def test_inserts_only_missing(self, view, university_engine):
+        candidate = enumerate_insertions(
+            view,
+            university_engine,
+            {
+                "COURSES": ("NEW1", "t", 1, "graduate", "Physics", None),
+                "DEPARTMENT": university_engine.get(
+                    "DEPARTMENT", ("Physics",)
+                ),
+            },
+        )[0]
+        assert [op.relation for op in candidate] == ["COURSES"]
+
+    def test_inserts_both_when_new(self, view, university_engine):
+        candidate = enumerate_insertions(
+            view,
+            university_engine,
+            {
+                "COURSES": ("NEW1", "t", 1, "graduate", "NewDept", None),
+                "DEPARTMENT": ("NewDept", None, None),
+            },
+        )[0]
+        assert {op.relation for op in candidate} == {"COURSES", "DEPARTMENT"}
+
+    def test_requires_all_relations(self, view, university_engine):
+        with pytest.raises(UpdateError):
+            enumerate_insertions(
+                view,
+                university_engine,
+                {"COURSES": ("NEW1", "t", 1, "graduate", "Physics", None)},
+            )
+
+
+class TestReplacements:
+    def test_nonjoin_attribute_single_candidate(self, view, university_engine):
+        vt = first_view_tuple(view, university_engine)
+        candidates = enumerate_replacements(
+            view, university_engine, vt, {"COURSES.title": "Retitled"}
+        )
+        assert len(candidates) == 1
+        assert candidates[0][0].relation == "COURSES"
+
+    def test_join_attribute_ambiguity(self, view, university_engine):
+        """Changing a join attribute can land on either side or both —
+        the classic enumeration of alternatives."""
+        vt = first_view_tuple(view, university_engine)
+        candidates = enumerate_replacements(
+            view,
+            university_engine,
+            vt,
+            {"COURSES.dept_name": "Renamed Dept"},
+        )
+        assert len(candidates) == 3
+        touched = [
+            tuple(sorted({op.relation for op in plan}))
+            for plan in candidates
+        ]
+        assert ("COURSES",) in touched
+        assert ("DEPARTMENT",) in touched
+        assert ("COURSES", "DEPARTMENT") in touched

@@ -1,0 +1,124 @@
+"""Stateful model-based testing of the storage engines.
+
+A hypothesis rule machine drives both engines and a reference model
+(a dict plus a stack of snapshots for open transactions) through random
+interleavings of inserts, deletes, replaces, begins, commits, and
+rollbacks, checking full-state equality after every step.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import DuplicateKeyError, NoSuchRowError
+from repro.relational.ddl import relation
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.sqlite_engine import SqliteEngine
+
+KEYS = st.integers(min_value=0, max_value=7)
+VALUES = st.text(alphabet="abc", max_size=2)
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """Drives one engine against a dict-of-rows model."""
+
+    engine_factory = staticmethod(MemoryEngine)
+
+    def __init__(self):
+        super().__init__()
+        self.engine = self.engine_factory()
+        self.engine.create_relation(
+            relation("T").integer("k").text("v", nullable=True).key("k").build()
+        )
+        self.model = {}
+        self.snapshots = []
+
+    # -- mutations --------------------------------------------------------
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        if key in self.model:
+            with pytest.raises(DuplicateKeyError):
+                self.engine.insert("T", (key, value))
+        else:
+            self.engine.insert("T", (key, value))
+            self.model[key] = (key, value)
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        if key in self.model:
+            self.engine.delete("T", (key,))
+            del self.model[key]
+        else:
+            with pytest.raises(NoSuchRowError):
+                self.engine.delete("T", (key,))
+
+    @rule(old=KEYS, new=KEYS, value=VALUES)
+    def replace(self, old, new, value):
+        if old not in self.model:
+            with pytest.raises(NoSuchRowError):
+                self.engine.replace("T", (old,), (new, value))
+        elif new != old and new in self.model:
+            with pytest.raises(DuplicateKeyError):
+                self.engine.replace("T", (old,), (new, value))
+        else:
+            self.engine.replace("T", (old,), (new, value))
+            del self.model[old]
+            self.model[new] = (new, value)
+
+    # -- transactions -------------------------------------------------------
+
+    @rule()
+    def begin(self):
+        if len(self.snapshots) < 4:  # bound nesting depth
+            self.engine.begin()
+            self.snapshots.append(dict(self.model))
+
+    @precondition(lambda self: self.snapshots)
+    @rule()
+    def commit(self):
+        self.engine.commit()
+        self.snapshots.pop()
+
+    @precondition(lambda self: self.snapshots)
+    @rule()
+    def rollback(self):
+        self.engine.rollback()
+        self.model = self.snapshots.pop()
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def engine_matches_model(self):
+        assert sorted(self.engine.scan("T")) == sorted(self.model.values())
+
+    @invariant()
+    def lookups_match_model(self):
+        for key in range(8):
+            expected = self.model.get(key)
+            assert self.engine.get("T", (key,)) == expected
+
+
+class MemoryEngineMachine(EngineMachine):
+    engine_factory = staticmethod(MemoryEngine)
+
+
+class SqliteEngineMachine(EngineMachine):
+    engine_factory = staticmethod(SqliteEngine)
+
+
+TestMemoryEngineStateful = MemoryEngineMachine.TestCase
+TestMemoryEngineStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+
+TestSqliteEngineStateful = SqliteEngineMachine.TestCase
+TestSqliteEngineStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

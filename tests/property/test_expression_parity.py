@@ -1,0 +1,100 @@
+"""Cross-backend parity of predicate evaluation.
+
+Whatever predicate the query planner pushes down, the in-memory
+engine's Python evaluation and sqlite's SQL evaluation must select the
+same rows — including LIKE case sensitivity and null semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.ddl import relation
+from repro.relational.expressions import And, Attr, In, IsNull, Like, Not, Or
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.sqlite_engine import SqliteEngine
+
+ROWS = [
+    ("r1", "Databases", 4),
+    ("r2", "databases", 3),
+    ("r3", "Data Mining", None),
+    ("r4", "Operating Systems", 2),
+    ("r5", "data", 5),
+    ("r6", "D_TA", 1),
+]
+
+
+def build(engine):
+    engine.create_relation(
+        relation("T")
+        .text("k")
+        .text("title")
+        .integer("units", nullable=True)
+        .key("k")
+        .build()
+    )
+    for row in ROWS:
+        engine.insert("T", row)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return build(MemoryEngine()), build(SqliteEngine())
+
+
+simple_predicates = st.one_of(
+    st.sampled_from(["Data%", "%data%", "data", "D_ta%", "%s", "_ata%", "%"]).map(
+        lambda pattern: Like(Attr("title"), pattern)
+    ),
+    st.lists(
+        st.integers(min_value=0, max_value=6), min_size=0, max_size=4
+    ).map(lambda values: In(Attr("units"), values)),
+    st.sampled_from(
+        [
+            Attr("units") > 2,
+            Attr("units") <= 3,
+            Attr("units") != 4,
+            IsNull(Attr("units")),
+            Attr("title") == "data",
+        ]
+    ),
+)
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0:
+        return draw(simple_predicates)
+    kind = draw(st.sampled_from(["leaf", "and", "or", "not"]))
+    if kind == "leaf":
+        return draw(simple_predicates)
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    left = draw(predicates(depth=depth - 1))
+    right = draw(predicates(depth=depth - 1))
+    return And(left, right) if kind == "and" else Or(left, right)
+
+
+@given(predicate=predicates())
+@settings(max_examples=200, deadline=None)
+def test_select_parity(engines, predicate):
+    memory, sqlite = engines
+    via_memory = sorted(memory.select("T", predicate))
+    via_sqlite = sorted(sqlite.select("T", predicate))
+    assert via_memory == via_sqlite
+
+
+def test_like_is_case_sensitive_on_both(engines):
+    memory, sqlite = engines
+    predicate = Like(Attr("title"), "Data%")
+    for engine in engines:
+        keys = {row[0] for row in engine.select("T", predicate)}
+        assert keys == {"r1", "r3"}  # not the lowercase ones
+
+
+def test_underscore_wildcard_parity(engines):
+    predicate = Like(Attr("title"), "D_TA")
+    for engine in engines:
+        keys = {row[0] for row in engine.select("T", predicate)}
+        assert keys == {"r6"}

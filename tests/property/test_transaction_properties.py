@@ -1,0 +1,86 @@
+"""Property tests: rollback is a perfect inverse on both engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateKeyError, NoSuchRowError
+from repro.relational.ddl import relation
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.sqlite_engine import SqliteEngine
+
+
+def build_engine(backend):
+    engine = MemoryEngine() if backend == "memory" else SqliteEngine()
+    engine.create_relation(
+        relation("T").integer("k").text("v", nullable=True).key("k").build()
+    )
+    for key in range(5):
+        engine.insert("T", (key, f"seed{key}"))
+    return engine
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "replace"]),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+        st.text(alphabet="xyz", max_size=3),
+    ),
+    max_size=30,
+)
+
+
+def apply_ops(engine, ops):
+    for kind, key, key2, text in ops:
+        try:
+            if kind == "insert":
+                engine.insert("T", (key, text))
+            elif kind == "delete":
+                engine.delete("T", (key,))
+            else:
+                engine.replace("T", (key,), (key2, text))
+        except (DuplicateKeyError, NoSuchRowError):
+            continue
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+@given(ops=operations)
+@settings(max_examples=100, deadline=None)
+def test_rollback_restores_exact_state(backend, ops):
+    engine = build_engine(backend)
+    before = sorted(engine.scan("T"))
+    engine.begin()
+    apply_ops(engine, ops)
+    engine.rollback()
+    assert sorted(engine.scan("T")) == before
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+@given(ops=operations, inner=operations)
+@settings(max_examples=60, deadline=None)
+def test_nested_rollback_keeps_outer_changes(backend, ops, inner):
+    engine = build_engine(backend)
+    engine.begin()
+    apply_ops(engine, ops)
+    outer_state = sorted(engine.scan("T"))
+    engine.begin()
+    apply_ops(engine, inner)
+    engine.rollback()
+    assert sorted(engine.scan("T")) == outer_state
+    engine.commit()
+    assert sorted(engine.scan("T")) == outer_state
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_commit_then_rollback_outer(ops):
+    """Inner commit is still undone by an outer rollback (memory)."""
+    engine = build_engine("memory")
+    before = sorted(engine.scan("T"))
+    engine.begin()
+    engine.begin()
+    apply_ops(engine, ops)
+    engine.commit()
+    engine.rollback()
+    assert sorted(engine.scan("T")) == before

@@ -1,0 +1,110 @@
+"""Group-by aggregation over derived relations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.algebra import DerivedRelation, aggregate, from_engine
+from repro.relational.ddl import relation
+from repro.relational.memory_engine import MemoryEngine
+
+
+@pytest.fixture
+def engine():
+    engine = MemoryEngine()
+    engine.create_relation(
+        relation("SALES")
+        .integer("sale_id")
+        .text("region")
+        .integer("amount", nullable=True)
+        .key("sale_id")
+        .build()
+    )
+    rows = [
+        (1, "west", 10),
+        (2, "west", 30),
+        (3, "east", 5),
+        (4, "east", None),
+        (5, "north", None),
+    ]
+    for row in rows:
+        engine.insert("SALES", row)
+    return engine
+
+
+@pytest.fixture
+def sales(engine):
+    return from_engine(engine, "SALES")
+
+
+def by_region(result):
+    return {m["region"]: m for m in result.mappings()}
+
+
+def test_count_rows(sales):
+    result = by_region(aggregate(sales, ["region"], {"n": ("count", None)}))
+    assert result["west"]["n"] == 2
+    assert result["east"]["n"] == 2
+    assert result["north"]["n"] == 1
+
+
+def test_count_attribute_ignores_nulls(sales):
+    result = by_region(
+        aggregate(sales, ["region"], {"n": ("count", "amount")})
+    )
+    assert result["east"]["n"] == 1
+    assert result["north"]["n"] == 0
+
+
+def test_min_max_sum_avg(sales):
+    result = by_region(
+        aggregate(
+            sales,
+            ["region"],
+            {
+                "lo": ("min", "amount"),
+                "hi": ("max", "amount"),
+                "total": ("sum", "amount"),
+                "mean": ("avg", "amount"),
+            },
+        )
+    )
+    west = result["west"]
+    assert (west["lo"], west["hi"], west["total"], west["mean"]) == (
+        10, 30, 40.0, 20.0,
+    )
+
+
+def test_all_null_group_yields_null(sales):
+    result = by_region(aggregate(sales, ["region"], {"hi": ("max", "amount")}))
+    assert result["north"]["hi"] is None
+
+
+def test_global_aggregate_no_grouping(sales):
+    result = aggregate(sales, [], {"n": ("count", None)})
+    assert result.mappings() == [{"n": 5}]
+
+
+def test_schema_of_result(sales):
+    result = aggregate(
+        sales, ["region"], {"n": ("count", None), "total": ("sum", "amount")}
+    )
+    assert result.schema.key == ("region",)
+    assert result.schema.attribute("n").domain.name == "integer"
+    assert result.schema.attribute("total").domain.name == "real"
+
+
+def test_unknown_function_rejected(sales):
+    with pytest.raises(SchemaError):
+        aggregate(sales, ["region"], {"x": ("median", "amount")})
+
+
+def test_min_requires_attribute(sales):
+    with pytest.raises(SchemaError):
+        aggregate(sales, ["region"], {"x": ("min", None)})
+
+
+def test_unknown_group_attribute(sales):
+    from repro.errors import UnknownAttributeError
+
+    with pytest.raises(UnknownAttributeError):
+        aggregate(sales, ["planet"], {"n": ("count", None)})

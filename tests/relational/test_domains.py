@@ -1,0 +1,105 @@
+"""Domain typing, parsing, and membership checks."""
+
+import datetime
+
+import pytest
+
+from repro.errors import DomainError
+from repro.relational.domains import (
+    BOOLEAN,
+    BUILTIN_DOMAINS,
+    DATE,
+    INTEGER,
+    REAL,
+    TEXT,
+    domain_by_name,
+)
+
+
+class TestMembership:
+    def test_integer_accepts_int(self):
+        assert INTEGER.contains(42)
+
+    def test_integer_rejects_bool(self):
+        # bool is a subclass of int; must not leak into INTEGER.
+        assert not INTEGER.contains(True)
+
+    def test_integer_rejects_float(self):
+        assert not INTEGER.contains(1.5)
+
+    def test_real_accepts_float_and_int(self):
+        assert REAL.contains(1.5)
+        assert REAL.contains(3)
+
+    def test_real_rejects_bool(self):
+        assert not REAL.contains(True)
+
+    def test_text_accepts_str(self):
+        assert TEXT.contains("hello")
+
+    def test_text_rejects_bytes(self):
+        assert not TEXT.contains(b"hello")
+
+    def test_boolean_accepts_bool(self):
+        assert BOOLEAN.contains(True)
+        assert BOOLEAN.contains(False)
+
+    def test_boolean_rejects_int(self):
+        assert not BOOLEAN.contains(1)
+
+    def test_date_accepts_date(self):
+        assert DATE.contains(datetime.date(1991, 5, 29))
+
+    def test_date_rejects_string(self):
+        assert not DATE.contains("1991-05-29")
+
+    def test_none_never_in_domain(self):
+        for domain in BUILTIN_DOMAINS.values():
+            assert not domain.contains(None)
+
+
+class TestCheck:
+    def test_check_returns_value(self):
+        assert INTEGER.check(7) == 7
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(DomainError, match="COURSES.units"):
+            INTEGER.check("three", context="COURSES.units")
+
+
+class TestParsing:
+    def test_integer_parse(self):
+        assert INTEGER.parse("42") == 42
+
+    def test_real_parse(self):
+        assert REAL.parse("2.5") == 2.5
+
+    def test_boolean_parse_variants(self):
+        for text in ("1", "true", "T", "yes", "Y"):
+            assert BOOLEAN.parse(text) is True
+        for text in ("0", "false", "F", "no", "N"):
+            assert BOOLEAN.parse(text) is False
+
+    def test_boolean_parse_rejects_garbage(self):
+        with pytest.raises(DomainError):
+            BOOLEAN.parse("maybe")
+
+    def test_date_parse(self):
+        assert DATE.parse("1991-05-29") == datetime.date(1991, 5, 29)
+
+
+class TestLookup:
+    def test_domain_by_name(self):
+        assert domain_by_name("integer") is INTEGER
+        assert domain_by_name("text") is TEXT
+
+    def test_domain_by_name_unknown(self):
+        with pytest.raises(DomainError):
+            domain_by_name("decimal")
+
+    def test_equality_by_name(self):
+        assert INTEGER == domain_by_name("integer")
+        assert INTEGER != TEXT
+
+    def test_hashable(self):
+        assert len({INTEGER, REAL, TEXT, BOOLEAN, DATE}) == 5

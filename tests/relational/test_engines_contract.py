@@ -1,0 +1,239 @@
+"""Engine contract: both backends must behave identically.
+
+Every test here runs against the in-memory engine and the sqlite
+backend through the parametrized ``backend`` fixture, pinning down the
+behaviour the upper layers rely on.
+"""
+
+import datetime
+
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    NoSuchRowError,
+    SchemaError,
+    TransactionError,
+    UnknownRelationError,
+)
+from repro.relational.ddl import relation
+from repro.relational.expressions import attr
+from tests.conftest import make_engine
+
+
+@pytest.fixture
+def engine(backend):
+    engine = make_engine(backend)
+    engine.create_relation(
+        relation("T")
+        .text("k")
+        .integer("n", nullable=True)
+        .boolean("flag", nullable=True)
+        .date("d", nullable=True)
+        .key("k")
+        .build()
+    )
+    return engine
+
+
+class TestCatalog:
+    def test_relation_names(self, engine):
+        assert engine.relation_names() == ("T",)
+
+    def test_has_relation(self, engine):
+        assert engine.has_relation("T")
+        assert not engine.has_relation("U")
+
+    def test_duplicate_create_rejected(self, engine):
+        with pytest.raises(SchemaError):
+            engine.create_relation(relation("T").text("k").key("k").build())
+
+    def test_unknown_relation(self, engine):
+        with pytest.raises(UnknownRelationError):
+            engine.scan("U")
+
+    def test_drop_relation(self, engine):
+        engine.drop_relation("T")
+        assert not engine.has_relation("T")
+
+
+class TestMutation:
+    def test_insert_tuple_and_mapping(self, engine):
+        key = engine.insert("T", ("a", 1, True, None))
+        assert key == ("a",)
+        engine.insert("T", {"k": "b", "n": 2})
+        assert engine.count("T") == 2
+
+    def test_duplicate_key(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        with pytest.raises(DuplicateKeyError):
+            engine.insert("T", ("a", 2, None, None))
+
+    def test_delete(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.delete("T", ("a",))
+        assert engine.get("T", ("a",)) is None
+
+    def test_delete_missing(self, engine):
+        with pytest.raises(NoSuchRowError):
+            engine.delete("T", ("zzz",))
+
+    def test_replace_nonkey(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.replace("T", ("a",), ("a", 99, None, None))
+        assert engine.get("T", ("a",)) == ("a", 99, None, None)
+
+    def test_replace_key_change(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.replace("T", ("a",), ("b", 1, None, None))
+        assert engine.get("T", ("a",)) is None
+        assert engine.get("T", ("b",)) == ("b", 1, None, None)
+
+    def test_replace_key_collision(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.insert("T", ("b", 2, None, None))
+        with pytest.raises(DuplicateKeyError):
+            engine.replace("T", ("a",), ("b", 1, None, None))
+
+    def test_replace_missing(self, engine):
+        with pytest.raises(NoSuchRowError):
+            engine.replace("T", ("zzz",), ("zzz", 1, None, None))
+
+    def test_clear(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.insert("T", ("b", 2, None, None))
+        engine.clear("T")
+        assert engine.count("T") == 0
+
+
+class TestValueRoundTrip:
+    def test_boolean_round_trip(self, engine):
+        engine.insert("T", ("a", None, True, None))
+        value = engine.get("T", ("a",))[2]
+        assert value is True and isinstance(value, bool)
+
+    def test_date_round_trip(self, engine):
+        day = datetime.date(1991, 5, 29)
+        engine.insert("T", ("a", None, None, day))
+        assert engine.get("T", ("a",))[3] == day
+
+    def test_null_round_trip(self, engine):
+        engine.insert("T", ("a", None, None, None))
+        assert engine.get("T", ("a",)) == ("a", None, None, None)
+
+
+class TestReads:
+    def test_scan(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.insert("T", ("b", 2, None, None))
+        assert sorted(v[0] for v in engine.scan("T")) == ["a", "b"]
+
+    def test_find_by(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.insert("T", ("b", 1, None, None))
+        engine.insert("T", ("c", 2, None, None))
+        assert len(engine.find_by("T", ("n",), (1,))) == 2
+
+    def test_find_by_null(self, engine):
+        engine.insert("T", ("a", None, None, None))
+        engine.insert("T", ("b", 1, None, None))
+        assert len(engine.find_by("T", ("n",), (None,))) == 1
+
+    def test_select(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.insert("T", ("b", 5, None, None))
+        matched = engine.select("T", attr("n") > 2)
+        assert [v[0] for v in matched] == ["b"]
+
+    def test_select_date_parameter(self, engine):
+        day = datetime.date(1991, 5, 29)
+        engine.insert("T", ("a", None, None, day))
+        matched = engine.select("T", attr("d") == day)
+        assert len(matched) == 1
+
+    def test_rows_and_get_row(self, engine):
+        engine.insert("T", ("a", 7, None, None))
+        assert next(engine.rows("T"))["n"] == 7
+        assert engine.get_row("T", ("a",))["k"] == "a"
+        assert engine.get_row("T", ("x",)) is None
+
+    def test_contains(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        assert engine.contains("T", ("a",))
+        assert not engine.contains("T", ("b",))
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, engine):
+        engine.begin()
+        engine.insert("T", ("a", 1, None, None))
+        engine.commit()
+        assert engine.count("T") == 1
+
+    def test_rollback_discards_changes(self, engine):
+        engine.insert("T", ("keep", 0, None, None))
+        engine.begin()
+        engine.insert("T", ("a", 1, None, None))
+        engine.delete("T", ("keep",))
+        engine.rollback()
+        assert engine.get("T", ("keep",)) == ("keep", 0, None, None)
+        assert engine.get("T", ("a",)) is None
+
+    def test_rollback_restores_replace(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.begin()
+        engine.replace("T", ("a",), ("b", 9, None, None))
+        engine.rollback()
+        assert engine.get("T", ("a",)) == ("a", 1, None, None)
+        assert engine.get("T", ("b",)) is None
+
+    def test_nested_inner_rollback(self, engine):
+        engine.begin()
+        engine.insert("T", ("outer", 1, None, None))
+        engine.begin()
+        engine.insert("T", ("inner", 2, None, None))
+        engine.rollback()
+        engine.commit()
+        assert engine.contains("T", ("outer",))
+        assert not engine.contains("T", ("inner",))
+
+    def test_nested_outer_rollback_discards_inner_commit(self, engine):
+        engine.begin()
+        engine.begin()
+        engine.insert("T", ("inner", 2, None, None))
+        engine.commit()
+        engine.rollback()
+        assert engine.count("T") == 0
+
+    def test_unbalanced_commit(self, engine):
+        with pytest.raises(TransactionError):
+            engine.commit()
+
+    def test_unbalanced_rollback(self, engine):
+        with pytest.raises(TransactionError):
+            engine.rollback()
+
+    def test_transaction_context_manager(self, engine):
+        with engine.transaction():
+            engine.insert("T", ("a", 1, None, None))
+        assert engine.count("T") == 1
+        with pytest.raises(DuplicateKeyError):
+            with engine.transaction():
+                engine.insert("T", ("b", 1, None, None))
+                engine.insert("T", ("b", 1, None, None))
+        assert not engine.contains("T", ("b",))
+
+    def test_in_transaction_flag(self, engine):
+        assert not engine.in_transaction
+        engine.begin()
+        assert engine.in_transaction
+        engine.commit()
+        assert not engine.in_transaction
+
+
+class TestIndexes:
+    def test_create_index_and_find(self, engine):
+        engine.insert("T", ("a", 1, None, None))
+        engine.create_index("T", ("n",))
+        engine.insert("T", ("b", 1, None, None))
+        assert len(engine.find_by("T", ("n",), (1,))) == 2

@@ -1,0 +1,109 @@
+"""Predicate expressions: evaluation, null semantics, SQL compilation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.expressions import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    IsNull,
+    Not,
+    Or,
+    TRUE,
+    attr,
+    const,
+)
+
+ROW = {"units": 4, "level": "graduate", "instructor": None}
+
+
+class TestEvaluation:
+    def test_equality(self):
+        assert (attr("level") == "graduate").evaluate(ROW)
+        assert not (attr("level") == "undergraduate").evaluate(ROW)
+
+    def test_ordering_operators(self):
+        assert (attr("units") > 3).evaluate(ROW)
+        assert (attr("units") >= 4).evaluate(ROW)
+        assert (attr("units") < 5).evaluate(ROW)
+        assert (attr("units") <= 4).evaluate(ROW)
+        assert (attr("units") != 3).evaluate(ROW)
+
+    def test_and_or_not(self):
+        p = (attr("units") > 3) & (attr("level") == "graduate")
+        assert p.evaluate(ROW)
+        q = (attr("units") > 9) | (attr("level") == "graduate")
+        assert q.evaluate(ROW)
+        assert not (~q).evaluate(ROW)
+
+    def test_true_constant(self):
+        assert TRUE.evaluate(ROW)
+
+    def test_empty_or_is_false(self):
+        assert not Or().evaluate(ROW)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(QueryError):
+            (attr("missing") == 1).evaluate(ROW)
+
+    def test_attr_to_attr_comparison(self):
+        assert Comparison("=", Attr("units"), Attr("units")).evaluate(ROW)
+
+
+class TestNullSemantics:
+    def test_null_comparison_false(self):
+        assert not (attr("instructor") == "Keller").evaluate(ROW)
+        assert not (attr("instructor") != "Keller").evaluate(ROW)
+
+    def test_is_null(self):
+        assert attr("instructor").is_null().evaluate(ROW)
+        assert not attr("units").is_null().evaluate(ROW)
+
+    def test_not_is_null(self):
+        assert Not(attr("instructor").is_null()).evaluate(ROW) is False
+
+
+class TestSqlCompilation:
+    def test_comparison_sql(self):
+        sql, params = (attr("units") >= 3).to_sql()
+        # COALESCE pins SQL's three-valued logic to our two-valued
+        # semantics (null comparisons are definite false).
+        assert sql == '(COALESCE(("units" >= ?), 0))'
+        assert params == [3]
+
+    def test_not_equal_sql(self):
+        sql, __ = (attr("units") != 3).to_sql()
+        assert "<>" in sql
+
+    def test_and_sql(self):
+        sql, params = ((attr("a") == 1) & (attr("b") == 2)).to_sql()
+        assert sql.count("AND") == 1
+        assert params == [1, 2]
+
+    def test_or_not_sql(self):
+        sql, __ = (~((attr("a") == 1) | (attr("b") == 2))).to_sql()
+        assert "NOT" in sql and "OR" in sql
+
+    def test_empty_and_sql(self):
+        sql, params = TRUE.to_sql()
+        assert sql == "(1 = 1)"
+        assert params == []
+
+    def test_is_null_sql(self):
+        sql, __ = IsNull(Attr("x")).to_sql()
+        assert "IS NULL" in sql
+
+
+class TestIntrospection:
+    def test_attributes(self):
+        p = ((attr("a") == 1) & (attr("b") == Attr("c"))) | IsNull(attr("d"))
+        assert p.attributes() == frozenset({"a", "b", "c", "d"})
+
+    def test_const_has_no_attributes(self):
+        assert const(5).attributes() == frozenset()
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("~", Attr("a"), Const(1))

@@ -1,0 +1,83 @@
+"""Row wrapper behaviour."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.domains import INTEGER, TEXT
+from repro.relational.row import Row
+from repro.relational.schema import Attribute, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "COURSES",
+        [
+            Attribute("course_id", TEXT),
+            Attribute("title", TEXT),
+            Attribute("units", INTEGER, nullable=True),
+        ],
+        key=("course_id",),
+    )
+
+
+def test_by_name_access(schema):
+    row = Row(schema, ("CS145", "Databases", 4))
+    assert row["title"] == "Databases"
+
+
+def test_key(schema):
+    row = Row(schema, ("CS145", "Databases", 4))
+    assert row.key == ("CS145",)
+
+
+def test_from_mapping(schema):
+    row = Row.from_mapping(schema, {"course_id": "CS145", "title": "DB"})
+    assert row.values == ("CS145", "DB", None)
+
+
+def test_validation_applies(schema):
+    with pytest.raises(SchemaError):
+        Row(schema, ("CS145", None, 4))
+
+
+def test_get_with_default(schema):
+    row = Row(schema, ("CS145", "Databases", None))
+    assert row.get("units") is None
+    assert row.get("nonexistent", "fallback") == "fallback"
+
+
+def test_project(schema):
+    row = Row(schema, ("CS145", "Databases", 4))
+    assert row.project(("units", "course_id")) == (4, "CS145")
+
+
+def test_as_dict(schema):
+    row = Row(schema, ("CS145", "Databases", 4))
+    assert row.as_dict() == {"course_id": "CS145", "title": "Databases", "units": 4}
+
+
+def test_replacing(schema):
+    row = Row(schema, ("CS145", "Databases", 4))
+    changed = row.replacing(title="Advanced Databases")
+    assert changed["title"] == "Advanced Databases"
+    assert row["title"] == "Databases"  # original untouched
+
+
+def test_equality_and_hash(schema):
+    a = Row(schema, ("CS145", "Databases", 4))
+    b = Row(schema, ("CS145", "Databases", 4))
+    c = Row(schema, ("CS145", "Databases", 3))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_iteration_and_len(schema):
+    row = Row(schema, ("CS145", "Databases", 4))
+    assert list(row) == ["CS145", "Databases", 4]
+    assert len(row) == 3
+
+
+def test_relation_name(schema):
+    assert Row(schema, ("CS145", "DB", None)).relation_name == "COURSES"

@@ -1,0 +1,73 @@
+"""Connection and traversal value objects."""
+
+import pytest
+
+from repro.structural.connections import Connection, ConnectionKind, Traversal
+
+
+@pytest.fixture
+def ownership():
+    return Connection(
+        "courses_grades",
+        ConnectionKind.OWNERSHIP,
+        "COURSES",
+        "GRADES",
+        ["course_id"],
+        ["course_id"],
+    )
+
+
+class TestConnection:
+    def test_symbols(self):
+        assert ConnectionKind.OWNERSHIP.symbol == "--*"
+        assert ConnectionKind.REFERENCE.symbol == "-->"
+        assert ConnectionKind.SUBSET.symbol == "==>o"
+
+    def test_endpoint_attributes(self, ownership):
+        assert ownership.endpoint_attributes("COURSES") == ("course_id",)
+        assert ownership.endpoint_attributes("GRADES") == ("course_id",)
+
+    def test_endpoint_attributes_bad_relation(self, ownership):
+        with pytest.raises(ValueError):
+            ownership.endpoint_attributes("STUDENT")
+
+    def test_other_endpoint(self, ownership):
+        assert ownership.other_endpoint("COURSES") == "GRADES"
+        assert ownership.other_endpoint("GRADES") == "COURSES"
+
+    def test_describe(self, ownership):
+        assert ownership.describe() == "COURSES(course_id) --* GRADES(course_id)"
+
+    def test_equality(self, ownership):
+        clone = Connection(
+            "courses_grades",
+            ConnectionKind.OWNERSHIP,
+            "COURSES",
+            "GRADES",
+            ["course_id"],
+            ["course_id"],
+        )
+        assert clone == ownership
+        assert hash(clone) == hash(ownership)
+
+
+class TestTraversal:
+    def test_forward(self, ownership):
+        forward = Traversal(ownership, forward=True)
+        assert forward.start == "COURSES"
+        assert forward.end == "GRADES"
+        assert forward.start_attributes == ("course_id",)
+        assert forward.kind is ConnectionKind.OWNERSHIP
+
+    def test_inverse(self, ownership):
+        inverse = Traversal(ownership, forward=False)
+        assert inverse.start == "GRADES"
+        assert inverse.end == "COURSES"
+
+    def test_inverse_of_inverse(self, ownership):
+        forward = Traversal(ownership, forward=True)
+        assert forward.inverse().inverse() == forward
+
+    def test_describe_directions(self, ownership):
+        assert "--*" in Traversal(ownership, True).describe()
+        assert "*--" in Traversal(ownership, False).describe()

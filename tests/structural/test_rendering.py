@@ -1,0 +1,33 @@
+"""ASCII and DOT rendering of structural schemas."""
+
+from repro.structural.rendering import to_ascii, to_dot
+from repro.workloads.university import university_schema
+
+
+def test_ascii_uses_paper_symbols():
+    text = to_ascii(university_schema())
+    assert "--*" in text
+    assert "-->" in text
+    assert "==>o" in text
+
+
+def test_ascii_lists_every_relation():
+    graph = university_schema()
+    text = to_ascii(graph)
+    for name in graph.relation_names:
+        assert name in text
+
+
+def test_dot_is_well_formed():
+    graph = university_schema()
+    dot = to_dot(graph)
+    assert dot.startswith('digraph "university"')
+    assert dot.rstrip().endswith("}")
+    assert dot.count("->") == len(graph.connections)
+
+
+def test_dot_styles_by_kind():
+    dot = to_dot(university_schema())
+    assert "owns" in dot
+    assert "refs" in dot
+    assert "isa" in dot

@@ -1,0 +1,182 @@
+"""Connection validation: the key conditions of Definitions 2.2-2.4."""
+
+import pytest
+
+from repro.errors import ConnectionError
+from repro.relational.ddl import relation
+from repro.structural.connections import Connection, ConnectionKind
+from repro.structural.validation import validate_connection
+
+
+@pytest.fixture
+def schemas():
+    return {
+        s.name: s
+        for s in (
+            relation("OWNER").text("oid").text("info", nullable=True).key("oid").build(),
+            relation("OWNED")
+            .text("oid")
+            .integer("seq")
+            .text("payload", nullable=True)
+            .key("oid", "seq")
+            .build(),
+            relation("REFERRER")
+            .text("rid")
+            .text("oid", nullable=True)
+            .key("rid")
+            .build(),
+            relation("SPECIAL").text("oid").text("extra").key("oid").build(),
+            relation("INTKEY").integer("oid").key("oid").build(),
+            relation("PAIRKEY").text("a").text("b").key("a", "b").build(),
+        )
+    }
+
+
+def make(kind, source, target, x1, x2):
+    return Connection("c", kind, source, target, x1, x2)
+
+
+class TestCommon:
+    def test_valid_ownership(self, schemas):
+        validate_connection(
+            make(ConnectionKind.OWNERSHIP, "OWNER", "OWNED", ["oid"], ["oid"]),
+            schemas,
+        )
+
+    def test_unknown_relation(self, schemas):
+        with pytest.raises(ConnectionError, match="unknown relation"):
+            validate_connection(
+                make(ConnectionKind.OWNERSHIP, "NOPE", "OWNED", ["oid"], ["oid"]),
+                schemas,
+            )
+
+    def test_arity_mismatch(self, schemas):
+        with pytest.raises(ConnectionError, match="equal arity"):
+            validate_connection(
+                make(
+                    ConnectionKind.OWNERSHIP,
+                    "OWNER",
+                    "OWNED",
+                    ["oid"],
+                    ["oid", "seq"],
+                ),
+                schemas,
+            )
+
+    def test_empty_attributes(self, schemas):
+        with pytest.raises(ConnectionError, match="nonempty"):
+            validate_connection(
+                make(ConnectionKind.OWNERSHIP, "OWNER", "OWNED", [], []),
+                schemas,
+            )
+
+    def test_unknown_attribute(self, schemas):
+        with pytest.raises(ConnectionError, match="no attribute"):
+            validate_connection(
+                make(ConnectionKind.OWNERSHIP, "OWNER", "OWNED", ["bogus"], ["oid"]),
+                schemas,
+            )
+
+    def test_domain_mismatch(self, schemas):
+        with pytest.raises(ConnectionError, match="domain mismatch"):
+            validate_connection(
+                make(ConnectionKind.REFERENCE, "INTKEY", "OWNER", ["oid"], ["oid"]),
+                schemas,
+            )
+
+    def test_repeated_attribute(self, schemas):
+        with pytest.raises(ConnectionError, match="repeat"):
+            validate_connection(
+                make(
+                    ConnectionKind.OWNERSHIP,
+                    "OWNER",
+                    "OWNED",
+                    ["oid", "oid"],
+                    ["oid", "seq"],
+                ),
+                schemas,
+            )
+
+
+class TestOwnership:
+    def test_x1_must_be_owner_key(self, schemas):
+        with pytest.raises(ConnectionError, match="X1 must equal"):
+            validate_connection(
+                make(ConnectionKind.OWNERSHIP, "OWNER", "OWNED", ["info"], ["oid"]),
+                schemas,
+            )
+
+    def test_x2_must_be_in_key(self, schemas):
+        with pytest.raises(ConnectionError, match="within"):
+            validate_connection(
+                make(
+                    ConnectionKind.OWNERSHIP, "OWNER", "OWNED", ["oid"], ["payload"]
+                ),
+                schemas,
+            )
+
+    def test_x2_proper_subset(self, schemas):
+        # X2 equal to the whole key means a 1:1 subset relationship.
+        with pytest.raises(ConnectionError, match="subset connection"):
+            validate_connection(
+                make(ConnectionKind.OWNERSHIP, "OWNER", "SPECIAL", ["oid"], ["oid"]),
+                schemas,
+            )
+
+
+class TestReference:
+    def test_valid_nonkey_reference(self, schemas):
+        validate_connection(
+            make(ConnectionKind.REFERENCE, "REFERRER", "OWNER", ["oid"], ["oid"]),
+            schemas,
+        )
+
+    def test_valid_key_reference(self, schemas):
+        validate_connection(
+            make(ConnectionKind.REFERENCE, "OWNED", "OWNER", ["oid"], ["oid"]),
+            schemas,
+        )
+
+    def test_x2_must_be_target_key(self, schemas):
+        with pytest.raises(ConnectionError, match="X2 must equal"):
+            validate_connection(
+                make(ConnectionKind.REFERENCE, "REFERRER", "OWNER", ["oid"], ["info"]),
+                schemas,
+            )
+
+    def test_x1_must_not_straddle_key(self, schemas):
+        # oid is a key attribute of OWNED, payload a nonkey attribute:
+        # X1 straddles K(R1) and NK(R1), which Definition 2.3 forbids.
+        with pytest.raises(ConnectionError, match="entirely"):
+            validate_connection(
+                make(
+                    ConnectionKind.REFERENCE,
+                    "OWNED",
+                    "PAIRKEY",
+                    ["oid", "payload"],
+                    ["a", "b"],
+                ),
+                schemas,
+            )
+
+
+class TestSubset:
+    def test_valid_subset(self, schemas):
+        validate_connection(
+            make(ConnectionKind.SUBSET, "OWNER", "SPECIAL", ["oid"], ["oid"]),
+            schemas,
+        )
+
+    def test_x1_must_be_source_key(self, schemas):
+        with pytest.raises(ConnectionError, match="X1 must equal"):
+            validate_connection(
+                make(ConnectionKind.SUBSET, "OWNER", "SPECIAL", ["info"], ["oid"]),
+                schemas,
+            )
+
+    def test_x2_must_be_target_key(self, schemas):
+        with pytest.raises(ConnectionError, match="X2 must equal"):
+            validate_connection(
+                make(ConnectionKind.SUBSET, "OWNER", "SPECIAL", ["oid"], ["extra"]),
+                schemas,
+            )
