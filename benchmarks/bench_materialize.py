@@ -1,0 +1,140 @@
+"""Materialized view objects vs. repeated dynamic instantiation.
+
+The paper's Figure 4 machinery re-assembles every instance on every
+request. The materialize subsystem caches assembled trees and repairs
+them from the changelog, so a read-heavy workload should collapse to
+one pivot selection plus dictionary lookups. These benches quantify:
+
+* the repeated-``query()`` speedup on an unchanged database (the
+  acceptance bar is >= 10x; measured well above it on both the
+  university and hospital workloads),
+* the cost profile of the three maintenance policies under a mixed
+  read/write loop.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_materialize.py
+--benchmark-only -q``; the two ``test_speedup_*`` checks also run (and
+assert the 10x bar) without ``--benchmark-only``.
+"""
+
+import time
+
+import pytest
+
+from repro.materialize import EAGER, FULL_REFRESH, LAZY
+from repro.penguin import Penguin
+from repro.workloads.figures import course_info_object
+from repro.workloads.hospital import (
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+from repro.workloads.university import populate_university, university_schema
+
+SPEEDUP_FLOOR = 10.0
+
+
+def university_session():
+    session = Penguin(university_schema())
+    populate_university(session.engine)
+    session.register_object(course_info_object(session.graph))
+    return session, "course_info"
+
+
+def hospital_session():
+    session = Penguin(hospital_schema())
+    populate_hospital(session.engine)
+    session.register_object(patient_chart_object(session.graph))
+    return session, "patient_chart"
+
+
+SESSIONS = {"university": university_session, "hospital": hospital_session}
+
+
+def timed_queries(session, name, rounds):
+    """Best-of-three timing of ``rounds`` repeated full queries."""
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(rounds):
+            instances = session.query(name)
+        best = min(best, time.perf_counter() - started)
+    assert instances
+    return best
+
+
+@pytest.mark.parametrize("workload", sorted(SESSIONS))
+def test_speedup_read_heavy(workload):
+    """Repeated query() on an unchanged database: cached vs dynamic."""
+    session, name = SESSIONS[workload]()
+    rounds = 15
+    uncached = timed_queries(session, name, rounds)
+    view = session.materialize(name, policy=LAZY)
+    session.query(name)  # warm
+    cached = timed_queries(session, name, rounds)
+    speedup = uncached / cached
+    print(
+        f"\n[{workload}] {rounds} repeated query(): dynamic {uncached:.4f}s, "
+        f"materialized {cached:.4f}s -> {speedup:.1f}x "
+        f"(hit rate {view.stats.hit_rate:.3f})"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"{workload}: materialized speedup {speedup:.1f}x below the "
+        f"{SPEEDUP_FLOOR}x acceptance bar"
+    )
+
+
+@pytest.mark.benchmark(group="materialize-read")
+def test_bench_query_dynamic(benchmark):
+    session, name = university_session()
+    result = benchmark(session.query, name)
+    assert result
+
+
+@pytest.mark.benchmark(group="materialize-read")
+def test_bench_query_materialized(benchmark):
+    session, name = university_session()
+    session.materialize(name)
+    session.query(name)  # warm
+    result = benchmark(session.query, name)
+    assert result
+
+
+def _mixed_loop(session, name, writes=5):
+    pivot = session.object(name).pivot_relation
+    schema = session.engine.schema(pivot)
+    rows = list(session.engine.scan(pivot))
+    for i in range(writes):
+        values = rows[i % len(rows)]
+        session.engine.replace(pivot, schema.key_of(values), values)
+        session.query(name)
+    return session.query(name)
+
+
+@pytest.mark.benchmark(group="materialize-policies")
+@pytest.mark.parametrize("policy", [LAZY, EAGER, FULL_REFRESH])
+def test_bench_policy_mixed_workload(benchmark, policy):
+    """One write per query round — maintenance cost under each policy."""
+    session, name = university_session()
+    session.materialize(name, policy=policy)
+    session.query(name)  # warm
+    result = benchmark(_mixed_loop, session, name)
+    assert result
+
+
+@pytest.mark.benchmark(group="materialize-maintenance")
+def test_bench_single_invalidation_reassembly(benchmark):
+    """Cost of repairing exactly one instance after one grade change."""
+    session, name = university_session()
+    session.materialize(name, policy=EAGER)
+    session.query(name)
+    engine = session.engine
+    grade = next(iter(engine.scan("GRADES")))
+    schema = engine.schema("GRADES")
+    view = session.materialized(name)
+
+    def touch_and_sync():
+        engine.replace("GRADES", schema.key_of(grade), grade)
+        return view.sync()
+
+    applied = benchmark(touch_and_sync)
+    assert applied == 1

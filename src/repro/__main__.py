@@ -9,7 +9,11 @@ Commands:
 * ``check DIR`` — reload a dumped workload and run the structural
   integrity checker;
 * ``query --workload NAME --object OBJECT TEXT`` — run an object query
-  against a freshly generated workload and print the instances.
+  against a freshly generated workload and print the instances;
+* ``materialize --workload NAME --object OBJECT`` — run a read-heavy
+  query loop twice, dynamically instantiated and then served from a
+  materialized view-object cache, and print the speedup plus the
+  cache's maintenance statistics.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.core.dependency_island import analyze_island
@@ -27,6 +32,8 @@ from repro.dialog.answers import ScriptedAnswers
 from repro.dialog.drivers import run_replacement_dialog
 from repro.dialog.transcript import Transcript
 from repro.core.updates.policy import TranslatorPolicy
+from repro.materialize.maintainer import POLICIES
+from repro.penguin import Penguin
 from repro.relational.memory_engine import MemoryEngine
 from repro.relational.persistence import dump_database, load_database
 from repro.structural.integrity import IntegrityChecker
@@ -159,6 +166,68 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_materialize(args: argparse.Namespace) -> int:
+    known = sorted(
+        name for workload, name in OBJECTS if workload == args.workload
+    )
+    if args.object is None:
+        args.object = known[0]
+    factory = OBJECTS.get((args.workload, args.object))
+    if factory is None:
+        print(
+            f"unknown object {args.object!r} for workload "
+            f"{args.workload!r}; known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def build_session() -> Penguin:
+        graph, engine = _build(args.workload)
+        session = Penguin(graph, engine=engine, install=False)
+        session.register_object(factory(graph))
+        return session
+
+    def run_loop(session: Penguin) -> float:
+        """args.queries queries with a self-replace write every
+        args.update_every iterations (0 disables writes)."""
+        pivot = session.object(args.object).pivot_relation
+        schema = session.engine.schema(pivot)
+        rows = list(session.engine.scan(pivot))
+        started = time.perf_counter()
+        for i in range(args.queries):
+            if args.update_every and i % args.update_every == args.update_every - 1:
+                values = rows[i % len(rows)]
+                session.engine.replace(pivot, schema.key_of(values), values)
+            session.query(args.object, args.text)
+        return time.perf_counter() - started
+
+    baseline = build_session()
+    uncached = run_loop(baseline)
+
+    session = build_session()
+    session.materialize(args.object, policy=args.policy)
+    cached = run_loop(session)
+
+    rate = lambda seconds: args.queries / seconds if seconds else float("inf")
+    print(
+        f"workload={args.workload} object={args.object} "
+        f"queries={args.queries} update_every={args.update_every or 'never'}"
+    )
+    print(f"dynamic instantiation : {uncached:8.3f}s  ({rate(uncached):8.1f} q/s)")
+    print(
+        f"materialized ({args.policy:12s}): {cached:8.3f}s  "
+        f"({rate(cached):8.1f} q/s)"
+    )
+    speedup = uncached / cached if cached else float("inf")
+    print(f"speedup               : {speedup:8.1f}x")
+    view = session.materialized(args.object)
+    print("cache stats           :")
+    for field, value in view.stats.as_dict().items():
+        print(f"  {field:<16} {value}")
+    print(f"  {'staleness':<16} {view.staleness()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +250,31 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--object", default="course_info")
     query.add_argument("text")
 
+    materialize = commands.add_parser(
+        "materialize",
+        help="compare cached vs dynamic instantiation on a query loop",
+    )
+    materialize.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="university"
+    )
+    materialize.add_argument(
+        "--object",
+        default=None,
+        help="view object name (default: the workload's first object)",
+    )
+    materialize.add_argument("--policy", choices=POLICIES, default="lazy")
+    materialize.add_argument("--queries", type=int, default=100)
+    materialize.add_argument(
+        "--update-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="issue one base-table write every N queries (0 = read-only)",
+    )
+    materialize.add_argument(
+        "--text", default=None, help="object query text (default: all instances)"
+    )
+
     return parser
 
 
@@ -191,6 +285,7 @@ def main(argv=None) -> int:
         "dump": cmd_dump,
         "check": cmd_check,
         "query": cmd_query,
+        "materialize": cmd_materialize,
     }[args.command]
     return handler(args)
 

@@ -42,7 +42,7 @@ class Instantiator:
         values = engine.get(pivot, tuple(key))
         if values is None:
             return None
-        return self._assemble(engine, values)
+        return self.assemble(engine, values)
 
     def where(
         self, engine: Engine, predicate: Expression = TRUE
@@ -51,7 +51,7 @@ class Instantiator:
         pivot = self.view_object.pivot_relation
         instances = []
         for values in engine.select(pivot, predicate):
-            instances.append(self._assemble(engine, values))
+            instances.append(self.assemble(engine, values))
         return instances
 
     def all(self, engine: Engine) -> List[Instance]:
@@ -59,7 +59,14 @@ class Instantiator:
 
     # -- assembly -------------------------------------------------------------------
 
-    def _assemble(self, engine: Engine, pivot_values: Tuple[Any, ...]) -> Instance:
+    def assemble(self, engine: Engine, pivot_values: Tuple[Any, ...]) -> Instance:
+        """Assemble the instance rooted at one already-fetched pivot tuple.
+
+        Public so callers that select pivot tuples themselves — the
+        materialized-view cache re-assembling a single invalidated
+        instance, for example — can reuse the walk without a redundant
+        key lookup.
+        """
         root = self._bind(engine, self.view_object.pivot_node_id, pivot_values)
         return Instance(self.view_object, root)
 

@@ -53,18 +53,28 @@ __all__ = [
 
 
 def execute_query(
-    view_object: ViewObjectDefinition, engine: Engine, text: str
+    view_object: ViewObjectDefinition,
+    engine: Engine,
+    text: str,
+    instantiator=None,
 ) -> List[Instance]:
     """Run an object query and return the matching instances.
 
     Statements support ``order by`` (pivot attributes, ``count(NODE)``,
     or aggregates — ascending by default, nulls last ascending) and
     ``limit N``.
+
+    ``instantiator`` overrides how matching pivot tuples become
+    instances: any object with ``Instantiator``'s ``where(engine,
+    predicate)`` signature works — in particular a
+    :class:`~repro.materialize.MaterializedView`, which serves assembly
+    from its cache.
     """
     statement = parse_statement(text)
     validate_against(statement.condition, view_object)
     plan = plan_query(statement.condition)
-    instantiator = Instantiator(view_object)
+    if instantiator is None:
+        instantiator = Instantiator(view_object)
     instances = instantiator.where(engine, plan.pushed)
     if plan.residual is not None:
         instances = [i for i in instances if evaluate(plan.residual, i)]

@@ -1,0 +1,35 @@
+"""Materialized view objects with incremental, changelog-driven upkeep.
+
+The paper assembles view-object instances dynamically on every request
+(Figure 4); this package caches the assembled trees and maintains them
+by *delta propagation*: the engine's changelog supplies the stream of
+base-table changes, a :class:`DependencyIndex` maps each change to the
+affected pivot keys by walking the projection tree's connection paths in
+reverse, and a :class:`Maintainer` repairs the cache under a selectable
+policy (``lazy``, ``eager``, ``full-refresh``). Transactions compose
+correctly: a rollback truncates the changelog, which rolls the cache
+back too.
+"""
+
+from repro.materialize.dependency import DependencyIndex
+from repro.materialize.maintainer import (
+    EAGER,
+    FULL_REFRESH,
+    LAZY,
+    Maintainer,
+    POLICIES,
+)
+from repro.materialize.stats import CacheStats
+from repro.materialize.store import MaterializedStore, MaterializedView
+
+__all__ = [
+    "CacheStats",
+    "DependencyIndex",
+    "Maintainer",
+    "MaterializedStore",
+    "MaterializedView",
+    "POLICIES",
+    "LAZY",
+    "EAGER",
+    "FULL_REFRESH",
+]

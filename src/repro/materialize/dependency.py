@@ -1,0 +1,167 @@
+"""Mapping base-table changes to the view instances they affect.
+
+A view object's instance for pivot key ``k`` is assembled by walking the
+projection tree downward from the pivot tuple (Figure 4). Conversely, a
+changed base tuple can only alter the instances whose downward walk
+*reaches* it — so the affected pivot keys are found by walking the same
+connection paths in the opposite direction, from the changed tuple up to
+the pivot relation.
+
+:class:`DependencyIndex` precomputes, for every relation that appears
+anywhere in the tree — including relations that only occur as pruned
+intermediates of composite edge paths (Figure 3's ``COURSES --* GRADES
+*-- STUDENT`` with GRADES elided) — the list of *anchors*: positions in
+the tree where a tuple of that relation can sit, each with the inverse
+connection path that climbs from it to the tree. Resolution then follows
+those inverse paths through the live engine, exactly mirroring
+instantiation's ``find_by`` joins, and projects the reached pivot tuples
+onto their keys.
+
+The index is deliberately *not* a stored map from ``(relation, key)`` to
+pivot keys: a stored map cannot answer for freshly *inserted* tuples
+(they were never part of any cached instance), whereas the reverse walk
+handles inserts, deletes, and replaces uniformly from the tuple values
+carried by the changelog record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.view_object import ViewObjectDefinition
+from repro.relational.changelog import ChangeRecord
+from repro.relational.engine import Engine
+from repro.structural.integrity import connected_tuples
+from repro.structural.paths import ConnectionPath
+
+__all__ = ["DependencyIndex"]
+
+PivotKey = Tuple[Any, ...]
+
+
+class _Anchor:
+    """One place in the tree where a tuple of some relation can occur.
+
+    ``climb`` is the inverse path from the tuple to the relation of the
+    tree node ``node_id`` (``None`` when the tuple *is* at that node —
+    only the root anchor, whose tuples are already pivot tuples).
+    """
+
+    __slots__ = ("node_id", "climb")
+
+    def __init__(self, node_id: str, climb: Optional[ConnectionPath]) -> None:
+        self.node_id = node_id
+        self.climb = climb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        via = "direct" if self.climb is None else self.climb.describe()
+        return f"_Anchor(at={self.node_id!r}, via {via})"
+
+
+class DependencyIndex:
+    """Resolves changelog records to the pivot keys they may affect."""
+
+    def __init__(self, view_object: ViewObjectDefinition) -> None:
+        self.view_object = view_object
+        tree = view_object.tree
+        self._anchors: Dict[str, List[_Anchor]] = {}
+        # Inverse of each tree edge: child relation -> parent relation.
+        self._up_paths: Dict[str, ConnectionPath] = {}
+        root = tree.root
+        self._add_anchor(root.relation, _Anchor(root.node_id, None))
+        for node in tree.nodes():
+            if node.path is None:
+                continue
+            traversals = node.path.traversals
+            self._up_paths[node.node_id] = _inverse(traversals)
+            # A tuple may sit at the end of any traversal prefix: the
+            # final position is the node's own relation, earlier ones
+            # are pruned intermediates. Each climbs to the parent node.
+            for stop in range(1, len(traversals) + 1):
+                relation = traversals[stop - 1].end
+                self._add_anchor(
+                    relation,
+                    _Anchor(node.parent_id, _inverse(traversals[:stop])),
+                )
+
+    def _add_anchor(self, relation: str, anchor: _Anchor) -> None:
+        self._anchors.setdefault(relation, []).append(anchor)
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        """Every relation whose changes can affect this view object."""
+        return tuple(self._anchors)
+
+    def tracks(self, relation: str) -> bool:
+        return relation in self._anchors
+
+    # -- resolution -------------------------------------------------------------
+
+    def affected_pivots(
+        self, engine: Engine, record: ChangeRecord
+    ) -> Set[PivotKey]:
+        """Pivot keys whose instances record ``record`` may have changed.
+
+        Replaces resolve both the old and the new tuple values so that
+        rows migrating between parents invalidate both sides.
+        """
+        affected: Set[PivotKey] = set()
+        for values in (record.old_values, record.new_values):
+            if values is not None:
+                affected |= self.pivots_for(engine, record.relation, values)
+        return affected
+
+    def pivots_for(
+        self, engine: Engine, relation: str, values: Sequence[Any]
+    ) -> Set[PivotKey]:
+        """Pivot keys reachable upward from one tuple of ``relation``."""
+        pivots: Set[PivotKey] = set()
+        for anchor in self._anchors.get(relation, ()):
+            frontier: List[Tuple[Any, ...]] = [tuple(values)]
+            if anchor.climb is not None:
+                frontier = _follow(engine, anchor.climb, frontier)
+            pivots |= self._climb_tree(engine, anchor.node_id, frontier)
+        return pivots
+
+    def _climb_tree(
+        self, engine: Engine, node_id: str, frontier: List[Tuple[Any, ...]]
+    ) -> Set[PivotKey]:
+        tree = self.view_object.tree
+        node = tree.node(node_id)
+        while frontier and not node.is_root:
+            frontier = _follow(engine, self._up_paths[node.node_id], frontier)
+            node = tree.node(node.parent_id)
+        if not frontier:
+            return set()
+        schema = self.view_object.graph.relation(node.relation)
+        return {schema.key_of(values) for values in frontier}
+
+
+def _inverse(traversals: Sequence) -> ConnectionPath:
+    return ConnectionPath([t.inverse() for t in reversed(tuple(traversals))])
+
+
+def _follow(
+    engine: Engine, path: ConnectionPath, starts: List[Tuple[Any, ...]]
+) -> List[Tuple[Any, ...]]:
+    """All tuples at the end of ``path`` connected to any start tuple.
+
+    Multi-source variant of instantiation's path walk; duplicates
+    collapse by key at every step so diamond routes stay linear.
+    """
+    frontier = starts
+    for traversal in path:
+        next_frontier: List[Tuple[Any, ...]] = []
+        seen = set()
+        end_schema = engine.schema(traversal.end)
+        for values in frontier:
+            for matched in connected_tuples(engine, traversal, values):
+                key = end_schema.key_of(matched)
+                if key in seen:
+                    continue
+                seen.add(key)
+                next_frontier.append(matched)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return frontier

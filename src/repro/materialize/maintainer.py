@@ -1,0 +1,96 @@
+"""Changelog-driven maintenance of materialized view objects.
+
+The maintainer owns a *high-water mark* into the engine's
+:class:`~repro.relational.changelog.ChangeLog`. Each ``sync`` consumes
+the records appended since that mark and repairs the cache under one of
+three policies:
+
+* ``lazy`` — affected pivot keys are evicted; the next request for one
+  re-assembles it (pay-per-read).
+* ``eager`` — affected instances are re-assembled immediately, so reads
+  after a sync never pay assembly cost (pay-per-write).
+* ``full-refresh`` — any change rebuilds the whole extent; no dependency
+  analysis at all. The baseline the incremental policies must beat, kept
+  selectable because for tiny extents it can genuinely win.
+
+Rollbacks arrive as changelog *truncations* below the high-water mark:
+everything the cache absorbed past the truncation point was undone
+behind its back, so the cache drops its entries wholesale and rewinds
+the mark (see :meth:`Maintainer.rewind`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ViewObjectError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.materialize.store import MaterializedView
+
+__all__ = ["Maintainer", "POLICIES", "LAZY", "EAGER", "FULL_REFRESH"]
+
+LAZY = "lazy"
+EAGER = "eager"
+FULL_REFRESH = "full-refresh"
+POLICIES = (LAZY, EAGER, FULL_REFRESH)
+
+
+class Maintainer:
+    """Applies pending changelog records to one materialized view."""
+
+    def __init__(self, view: "MaterializedView", policy: str = LAZY) -> None:
+        if policy not in POLICIES:
+            raise ViewObjectError(
+                f"unknown maintenance policy {policy!r}; choose from {POLICIES}"
+            )
+        self.view = view
+        self.policy = policy
+        self.high_water = len(view.changelog)
+
+    # -- introspection ----------------------------------------------------------
+
+    def staleness(self) -> int:
+        """Pending changelog records the cache has not yet consumed."""
+        return len(self.view.changelog) - self.high_water
+
+    # -- forward maintenance ----------------------------------------------------
+
+    def sync(self) -> int:
+        """Consume pending records; returns how many were applied."""
+        view = self.view
+        records = view.changelog.since(self.high_water)
+        if not records:
+            return 0
+        self.high_water = len(view.changelog)
+        view.stats.records_applied += len(records)
+        if self.policy == FULL_REFRESH:
+            view.rebuild()
+            return len(records)
+        affected = set()
+        index = view.dependencies
+        for record in records:
+            if index.tracks(record.relation):
+                affected |= index.affected_pivots(view.engine, record)
+        for pivot_key in affected:
+            view.evict(pivot_key)
+        if self.policy == EAGER:
+            for pivot_key in affected:
+                view.reassemble(pivot_key)
+        return len(records)
+
+    # -- rollback ----------------------------------------------------------------
+
+    def rewind(self, mark: int) -> None:
+        """React to ``ChangeLog.truncate(mark)``.
+
+        Records at positions >= ``mark`` never happened. If the cache
+        already consumed some of them its contents may reflect an
+        aborted translation, so it is dropped entirely; pending records
+        that were truncated before being consumed require nothing.
+        """
+        if mark >= self.high_water:
+            return
+        self.high_water = mark
+        self.view.stats.rollbacks += 1
+        self.view.drop_all()

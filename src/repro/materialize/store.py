@@ -1,0 +1,231 @@
+"""Caches of assembled view-object instances.
+
+A :class:`MaterializedView` memoizes the ``Instance`` tree of each pivot
+key and keeps itself consistent with the base tables by consuming the
+engine's changelog through a :class:`~repro.materialize.maintainer.Maintainer`.
+Membership of the extent is never cached: queries always select pivot
+tuples from the live engine (one indexed relation access) and only the
+expensive part — assembling the tree of component tuples underneath each
+pivot — is served from cache. That split keeps the cache trivially
+correct about which instances exist while still removing the O(tree ×
+joins) assembly cost that dominates repeated queries.
+
+A :class:`MaterializedStore` groups the materialized views of one
+engine, e.g. all the objects a :class:`~repro.penguin.Penguin` session
+chose to accelerate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ViewObjectError
+from repro.core.instance import Instance
+from repro.core.instantiation import Instantiator
+from repro.core.view_object import ViewObjectDefinition
+from repro.materialize.dependency import DependencyIndex
+from repro.materialize.maintainer import LAZY, Maintainer
+from repro.materialize.stats import CacheStats
+from repro.relational.engine import Engine
+from repro.relational.expressions import Expression, TRUE
+
+__all__ = ["MaterializedView", "MaterializedStore"]
+
+PivotKey = Tuple[Any, ...]
+
+
+class MaterializedView:
+    """One view object's instance cache over one engine."""
+
+    def __init__(
+        self,
+        view_object: ViewObjectDefinition,
+        engine: Engine,
+        policy: str = LAZY,
+    ) -> None:
+        changelog = engine.changelog
+        if changelog is None:
+            raise ViewObjectError(
+                f"engine {type(engine).__name__} keeps no changelog; "
+                f"materialized views need one to stay consistent"
+            )
+        self.view_object = view_object
+        self.engine = engine
+        self.changelog = changelog
+        self.instantiator = Instantiator(view_object)
+        self.dependencies = DependencyIndex(view_object)
+        self.stats = CacheStats()
+        self.maintainer = Maintainer(self, policy)
+        self._instances: Dict[PivotKey, Instance] = {}
+        self._pivot_schema = view_object.graph.relation(
+            view_object.pivot_relation
+        )
+        changelog.subscribe(self)
+
+    # -- changelog subscriber protocol -----------------------------------------
+
+    def on_truncate(self, mark: int) -> None:
+        self.maintainer.rewind(mark)
+
+    # -- reads -------------------------------------------------------------------
+
+    @property
+    def policy(self) -> str:
+        return self.maintainer.policy
+
+    def staleness(self) -> int:
+        return self.maintainer.staleness()
+
+    def sync(self) -> int:
+        """Bring the cache up to the changelog head; returns records applied."""
+        return self.maintainer.sync()
+
+    def get(self, key: Sequence[Any]) -> Optional[Instance]:
+        """The instance with pivot key ``key``, or None."""
+        self.sync()
+        pivot_key = tuple(key)
+        cached = self._instances.get(pivot_key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        values = self.engine.get(self.view_object.pivot_relation, pivot_key)
+        if values is None:
+            return None
+        return self._assemble_into_cache(pivot_key, values, count_miss=True)
+
+    def where(self, engine: Engine, predicate: Expression = TRUE) -> List[Instance]:
+        """Drop-in for ``Instantiator.where``: serve assembly from cache.
+
+        The ``engine`` argument exists for signature compatibility with
+        the query executor and must be the engine this cache watches.
+        """
+        if engine is not self.engine:
+            raise ViewObjectError(
+                "materialized view queried against a different engine "
+                "than the one it watches"
+            )
+        self.sync()
+        instances = []
+        for values in engine.select(self.view_object.pivot_relation, predicate):
+            pivot_key = self._pivot_schema.key_of(values)
+            cached = self._instances.get(pivot_key)
+            if cached is not None:
+                self.stats.hits += 1
+                instances.append(cached)
+            else:
+                instances.append(
+                    self._assemble_into_cache(pivot_key, values, count_miss=True)
+                )
+        return instances
+
+    def all(self) -> List[Instance]:
+        return self.where(self.engine, TRUE)
+
+    @property
+    def cached_keys(self) -> Tuple[PivotKey, ...]:
+        return tuple(self._instances)
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    # -- cache primitives (driven by the maintainer) ------------------------------
+
+    def _assemble_into_cache(
+        self, pivot_key: PivotKey, values: Tuple[Any, ...], count_miss: bool
+    ) -> Instance:
+        if count_miss:
+            self.stats.misses += 1
+        instance = self.instantiator.assemble(self.engine, values)
+        self._instances[pivot_key] = instance
+        return instance
+
+    def evict(self, pivot_key: PivotKey) -> None:
+        if self._instances.pop(pivot_key, None) is not None:
+            self.stats.invalidations += 1
+
+    def reassemble(self, pivot_key: PivotKey) -> None:
+        """Eagerly rebuild one instance (no-op if its pivot is gone)."""
+        values = self.engine.get(self.view_object.pivot_relation, pivot_key)
+        if values is None:
+            self._instances.pop(pivot_key, None)
+            return
+        self.stats.refreshes += 1
+        self._assemble_into_cache(pivot_key, values, count_miss=False)
+
+    def rebuild(self) -> None:
+        """Recompute the entire extent (the full-refresh policy)."""
+        self._instances.clear()
+        self.stats.full_refreshes += 1
+        for values in self.engine.scan(self.view_object.pivot_relation):
+            pivot_key = self._pivot_schema.key_of(values)
+            self._assemble_into_cache(pivot_key, values, count_miss=False)
+
+    def drop_all(self) -> None:
+        self._instances.clear()
+
+    def close(self) -> None:
+        """Detach from the changelog (the cache stops maintaining itself)."""
+        self.changelog.unsubscribe(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MaterializedView({self.view_object.name!r}, "
+            f"policy={self.policy!r}, cached={len(self)})"
+        )
+
+
+class MaterializedStore:
+    """The materialized views of one engine, keyed by object name."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._views: Dict[str, MaterializedView] = {}
+
+    def materialize(
+        self, view_object: ViewObjectDefinition, policy: str = LAZY
+    ) -> MaterializedView:
+        if view_object.name in self._views:
+            raise ViewObjectError(
+                f"view object {view_object.name!r} is already materialized"
+            )
+        view = MaterializedView(view_object, self.engine, policy)
+        self._views[view_object.name] = view
+        return view
+
+    def dematerialize(self, name: str) -> None:
+        try:
+            view = self._views.pop(name)
+        except KeyError:
+            raise ViewObjectError(
+                f"view object {name!r} is not materialized"
+            ) from None
+        view.close()
+
+    def view(self, name: str) -> Optional[MaterializedView]:
+        return self._views.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._views)
+
+    def stats(self) -> CacheStats:
+        """Aggregate counters across every materialized view."""
+        total = CacheStats()
+        for view in self._views.values():
+            total.merge(view.stats)
+        return total
+
+    def stats_by_view(self) -> Dict[str, Dict[str, float]]:
+        return {name: view.stats.as_dict() for name, view in self._views.items()}
+
+    def sync_all(self) -> int:
+        return sum(view.sync() for view in self._views.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaterializedStore({', '.join(self.names) or 'empty'})"

@@ -38,6 +38,8 @@ from repro.dialog.answers import (
 )
 from repro.dialog.drivers import choose_translator
 from repro.dialog.transcript import Transcript
+from repro.materialize.maintainer import LAZY
+from repro.materialize.store import MaterializedStore, MaterializedView
 from repro.relational.engine import Engine
 from repro.relational.memory_engine import MemoryEngine
 from repro.relational.operations import UpdatePlan
@@ -89,6 +91,7 @@ class Penguin:
         self._objects: Dict[str, ViewObjectDefinition] = {}
         self._translators: Dict[str, Translator] = {}
         self._checker = IntegrityChecker(graph)
+        self._materialized = MaterializedStore(engine)
         if install:
             graph.install(engine)
 
@@ -171,17 +174,56 @@ class Penguin:
             )
         return self._translators[name]
 
+    # -- materialization -------------------------------------------------------------
+
+    def materialize(self, name: str, policy: str = LAZY) -> MaterializedView:
+        """Cache the object's assembled instances, maintained incrementally.
+
+        Afterwards :meth:`query` and :meth:`get` serve instance assembly
+        from the cache; the engine's changelog keeps it consistent under
+        base updates, translated view updates, and transaction
+        rollbacks. ``policy`` is one of ``"lazy"``, ``"eager"``, or
+        ``"full-refresh"`` (see :mod:`repro.materialize.maintainer`).
+        """
+        return self._materialized.materialize(self.object(name), policy)
+
+    def dematerialize(self, name: str) -> None:
+        """Drop the object's cache and stop maintaining it."""
+        self._materialized.dematerialize(name)
+
+    def materialized(self, name: str) -> Optional[MaterializedView]:
+        """The object's cache handle (stats, staleness, ...), or None."""
+        return self._materialized.view(name)
+
+    @property
+    def materialized_names(self) -> Tuple[str, ...]:
+        return self._materialized.names
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-object cache counters for every materialized object."""
+        return self._materialized.stats_by_view()
+
     # -- queries --------------------------------------------------------------------
 
     def query(self, name: str, text: str = None) -> List[Instance]:
-        """Run an object query; None or empty text returns all instances."""
+        """Run an object query; None or empty text returns all instances.
+
+        Materialized objects are served from their instance cache
+        (brought up to date first); others assemble dynamically.
+        """
         view_object = self.object(name)
+        view = self._materialized.view(name)
         if not text:
+            if view is not None:
+                return view.all()
             return Instantiator(view_object).all(self.engine)
-        return execute_query(view_object, self.engine, text)
+        return execute_query(view_object, self.engine, text, instantiator=view)
 
     def get(self, name: str, key: Sequence[Any]) -> Optional[Instance]:
         """One instance by object key, or None."""
+        view = self._materialized.view(name)
+        if view is not None:
+            return view.get(key)
         return Instantiator(self.object(name)).by_key(self.engine, key)
 
     # -- updates ----------------------------------------------------------------------

@@ -7,7 +7,11 @@ three purposes:
 * **audit** — tests assert on exactly which operations a translation
   produced and applied,
 * **metrics** — the benchmark harness counts operations per kind to
-  report translation cost independently of wall-clock noise.
+  report translation cost independently of wall-clock noise,
+* **change feed** — subscribers (the materialized-view maintainer) are
+  notified of appended records and of truncations, so caches can follow
+  the base tables incrementally and roll back with aborted
+  transactions.
 """
 
 from __future__ import annotations
@@ -43,27 +47,59 @@ class ChangeRecord:
 
 
 class ChangeLog:
-    """Append-only log of :class:`ChangeRecord` with per-kind counters."""
+    """Append-only log of :class:`ChangeRecord` with per-kind counters.
 
-    __slots__ = ("records", "counters")
+    Subscribers registered via :meth:`subscribe` may define two optional
+    methods: ``on_append(record)``, called after a record is appended,
+    and ``on_truncate(mark)``, called after the log is cut back to
+    ``mark`` (i.e. a rollback). Both are best-effort notifications on
+    the mutation path, so they must be cheap and must not mutate the
+    engine.
+    """
+
+    __slots__ = ("records", "counters", "_subscribers")
 
     def __init__(self) -> None:
         self.records: List[ChangeRecord] = []
         self.counters: Dict[str, int] = {"insert": 0, "delete": 0, "replace": 0}
+        self._subscribers: List[Any] = []
+
+    # -- subscriptions ------------------------------------------------------
+
+    def subscribe(self, subscriber: Any) -> None:
+        """Register a listener for appends and truncations."""
+        if subscriber not in self._subscribers:
+            self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Any) -> None:
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def _appended(self, record: ChangeRecord) -> None:
+        for subscriber in self._subscribers:
+            on_append = getattr(subscriber, "on_append", None)
+            if on_append is not None:
+                on_append(record)
+
+    # -- recording ----------------------------------------------------------
 
     def record_insert(
         self, relation: str, key: Tuple[Any, ...], values: Tuple[Any, ...]
     ) -> None:
-        self.records.append(ChangeRecord("insert", relation, key, new_values=values))
+        record = ChangeRecord("insert", relation, key, new_values=values)
+        self.records.append(record)
         self.counters["insert"] += 1
+        self._appended(record)
 
     def record_delete(
         self, relation: str, key: Tuple[Any, ...], old_values: Tuple[Any, ...]
     ) -> None:
-        self.records.append(
-            ChangeRecord("delete", relation, key, old_values=old_values)
-        )
+        record = ChangeRecord("delete", relation, key, old_values=old_values)
+        self.records.append(record)
         self.counters["delete"] += 1
+        self._appended(record)
 
     def record_replace(
         self,
@@ -72,12 +108,12 @@ class ChangeLog:
         old_values: Tuple[Any, ...],
         new_values: Tuple[Any, ...],
     ) -> None:
-        self.records.append(
-            ChangeRecord(
-                "replace", relation, key, new_values=new_values, old_values=old_values
-            )
+        record = ChangeRecord(
+            "replace", relation, key, new_values=new_values, old_values=old_values
         )
+        self.records.append(record)
         self.counters["replace"] += 1
+        self._appended(record)
 
     def mark(self) -> int:
         """A position marker for later truncation or undo."""
@@ -91,6 +127,11 @@ class ChangeLog:
         for record in dropped:
             self.counters[record.kind] -= 1
         del self.records[mark:]
+        if dropped:
+            for subscriber in self._subscribers:
+                on_truncate = getattr(subscriber, "on_truncate", None)
+                if on_truncate is not None:
+                    on_truncate(mark)
 
     def reset_counters(self) -> None:
         self.counters = {"insert": 0, "delete": 0, "replace": 0}

@@ -104,6 +104,15 @@ class Engine:
         """Create a secondary index (backends may treat this as a hint)."""
         raise NotImplementedError
 
+    # -- change feed ---------------------------------------------------------
+
+    @property
+    def changelog(self):
+        """The engine's audit/undo log, or ``None`` for backends that
+        keep none. Materialized views require a changelog-bearing
+        engine; both built-in backends provide one."""
+        return None
+
     # -- transactions --------------------------------------------------------
 
     def begin(self) -> None:

@@ -6,6 +6,12 @@ that doubles as the undo log for (nested) transactions. Nested
 transactions are implemented as savepoints: each ``begin`` pushes the
 current log position, ``rollback`` undoes the entries recorded since the
 matching position in reverse order.
+
+The changelog is also the engine's change feed: materialized views
+subscribe to it to follow mutations incrementally, and the rollback
+path's ``truncate`` notifies them so caches rewind together with the
+data (undo itself bypasses the log on purpose — compensation must not
+be observed as new history).
 """
 
 from __future__ import annotations

@@ -9,6 +9,13 @@ Value conversion: sqlite has no date or boolean column types, so DATE
 attributes are stored as ISO strings and BOOLEAN attributes as 0/1;
 conversion happens at the engine boundary so callers always see Python
 ``datetime.date`` and ``bool`` values.
+
+Like the in-memory engine, this backend keeps a :class:`ChangeLog` of
+applied mutations (decoded, Python-value rows) so materialized views can
+follow the database incrementally. sqlite itself performs undo via
+savepoints, so the log is *not* used for rollback — but a rollback still
+truncates it to the savepoint's position, keeping the log (and any cache
+subscribed to it) an exact history of the surviving state.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro.errors import (
     TransactionError,
     UnknownRelationError,
 )
+from repro.relational.changelog import ChangeLog
 from repro.relational.domains import BOOLEAN, DATE
 from repro.relational.engine import Engine, ValuesLike
 from repro.relational.expressions import Expression
@@ -55,7 +63,9 @@ class SqliteEngine(Engine):
         self._connection.execute("PRAGMA case_sensitive_like = ON")
         self._schemas: Dict[str, RelationSchema] = {}
         self._savepoint_depth = 0
+        self._savepoint_marks: List[int] = []
         self._index_counter = 0
+        self._log = ChangeLog()
 
     # -- value conversion ----------------------------------------------------
 
@@ -148,24 +158,31 @@ class SqliteEngine(Engine):
             self._connection.execute(sql, self._encode(schema, row))
         except sqlite3.IntegrityError:
             raise DuplicateKeyError(name, schema.key_of(row)) from None
-        return schema.key_of(row)
+        key = schema.key_of(row)
+        self._log.record_insert(name, key, row)
+        return key
 
     def _key_clause(self, schema: RelationSchema) -> str:
         return " AND ".join(f"{_quote(k)} = ?" for k in schema.key)
 
     def delete(self, name: str, key: Sequence[Any]) -> None:
         schema = self._schema_for(name)
+        old = self.get(name, key)
+        if old is None:
+            raise NoSuchRowError(name, tuple(key))
         sql = f"DELETE FROM {_quote(name)} WHERE {self._key_clause(schema)}"
         cursor = self._connection.execute(sql, self._encode_key(schema, key))
         if cursor.rowcount == 0:
             raise NoSuchRowError(name, tuple(key))
+        self._log.record_delete(name, tuple(key), old)
 
     def replace(self, name: str, key: Sequence[Any], values: ValuesLike) -> None:
         schema = self._schema_for(name)
         row = self._coerce_values(name, values)
         # Error precedence matches the in-memory engine: a missing old
         # row reports NoSuchRowError even if the new key also collides.
-        if not self.contains(name, key):
+        old = self.get(name, key)
+        if old is None:
             raise NoSuchRowError(name, tuple(key))
         new_key = schema.key_of(row)
         if tuple(key) != new_key and self.contains(name, new_key):
@@ -179,10 +196,14 @@ class SqliteEngine(Engine):
         cursor = self._connection.execute(sql, params)
         if cursor.rowcount == 0:
             raise NoSuchRowError(name, tuple(key))
+        self._log.record_replace(name, tuple(key), old, row)
 
     def clear(self, name: str) -> None:
-        self._schema_for(name)
+        schema = self._schema_for(name)
+        rows = list(self.scan(name))
         self._connection.execute(f"DELETE FROM {_quote(name)}")
+        for row in rows:
+            self._log.record_delete(name, schema.key_of(row), row)
 
     # -- reads ---------------------------------------------------------------------
 
@@ -260,6 +281,7 @@ class SqliteEngine(Engine):
 
     def begin(self) -> None:
         self._savepoint_depth += 1
+        self._savepoint_marks.append(self._log.mark())
         self._connection.execute(f"SAVEPOINT sp_{self._savepoint_depth}")
 
     def commit(self) -> None:
@@ -267,6 +289,7 @@ class SqliteEngine(Engine):
             raise TransactionError("commit without matching begin")
         self._connection.execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
         self._savepoint_depth -= 1
+        self._savepoint_marks.pop()
 
     def rollback(self) -> None:
         if self._savepoint_depth == 0:
@@ -276,10 +299,22 @@ class SqliteEngine(Engine):
         )
         self._connection.execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
         self._savepoint_depth -= 1
+        self._log.truncate(self._savepoint_marks.pop())
 
     @property
     def in_transaction(self) -> bool:
         return self._savepoint_depth > 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def changelog(self) -> ChangeLog:
+        """The engine's audit log (read-only use recommended)."""
+        return self._log
+
+    def operation_counters(self) -> Dict[str, int]:
+        """Copy of the per-kind mutation counters."""
+        return dict(self._log.counters)
 
     def close(self) -> None:
         self._connection.close()

@@ -71,3 +71,40 @@ def test_dump_all_workloads(tmp_path, workload):
     target = tmp_path / workload
     assert main(["dump", "--workload", workload, str(target)]) == 0
     assert main(["check", str(target)]) == 0
+
+
+def test_materialize_command(capsys):
+    assert main(
+        ["materialize", "--queries", "10", "--update-every", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "dynamic instantiation" in out
+    assert "speedup" in out
+    assert "hits" in out
+    assert "staleness" in out
+
+
+def test_materialize_default_object_per_workload(capsys):
+    assert main(
+        [
+            "materialize",
+            "--workload",
+            "hospital",
+            "--policy",
+            "eager",
+            "--queries",
+            "5",
+            "--update-every",
+            "0",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "object=patient_chart" in out
+    assert "eager" in out
+
+
+def test_materialize_unknown_object(capsys):
+    assert main(
+        ["materialize", "--workload", "cad", "--object", "nope"]
+    ) == 2
+    assert "assembly_bom" in capsys.readouterr().err

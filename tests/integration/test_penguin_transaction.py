@@ -20,6 +20,17 @@ def some_courses(penguin, n):
     return sorted(v[0] for v in penguin.engine.scan("COURSES"))[:n]
 
 
+def canonical(value):
+    """Order-insensitive form of ``Instance.to_dict`` output: rollback
+    restores rows at the end of their tables, so component lists may
+    come back reordered (true for dynamic instantiation too)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, canonical(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(sorted(canonical(v) for v in value))
+    return value
+
+
 def test_commit_on_success(penguin):
     first, second = some_courses(penguin, 2)
     with penguin.transaction():
@@ -48,6 +59,49 @@ def test_rollback_on_error(penguin):
     # The earlier deletion must have rolled back too.
     assert penguin.engine.get("COURSES", (first,)) is not None
     assert penguin.is_consistent()
+
+
+def test_rollback_rolls_materialized_cache_back(penguin):
+    """No stale instance survives an aborted translation: the changelog
+    truncate performed by rollback must rewind the cache too."""
+    view = penguin.materialize("course_info")
+    before = {i.key: canonical(i.to_dict()) for i in penguin.query("course_info")}
+    first, second = some_courses(penguin, 2)
+    with pytest.raises(UpdateRejectedError):
+        with penguin.transaction():
+            penguin.delete("course_info", (first,))
+            # Mid-transaction read: the cache absorbs the uncommitted
+            # deletion, making the rollback's cache rewind observable.
+            assert (first,) not in {i.key for i in penguin.query("course_info")}
+            penguin.insert(
+                "course_info",
+                {
+                    "course_id": second,
+                    "title": "clash",
+                    "units": 1,
+                    "level": "graduate",
+                    "dept_name": "Physics",
+                },
+            )
+    assert view.stats.rollbacks == 1
+    after = {i.key: canonical(i.to_dict()) for i in penguin.query("course_info")}
+    assert after == before
+    assert penguin.get("course_info", (first,)) is not None
+    assert view.staleness() == 0
+
+
+def test_commit_keeps_materialized_cache_consistent(penguin):
+    penguin.materialize("course_info", policy="eager")
+    first, second = some_courses(penguin, 2)
+    penguin.query("course_info")
+    with penguin.transaction():
+        penguin.delete("course_info", (first,))
+        penguin.delete("course_info", (second,))
+    keys = {i.key for i in penguin.query("course_info")}
+    assert (first,) not in keys and (second,) not in keys
+    assert keys == {
+        (v[0],) for v in penguin.engine.scan("COURSES")
+    }
 
 
 def test_swap_pattern(penguin):

@@ -1,0 +1,123 @@
+"""DependencyIndex: mapping base-tuple changes to affected pivot keys."""
+
+import pytest
+
+from repro.materialize.dependency import DependencyIndex
+from repro.relational.changelog import ChangeRecord
+from repro.relational.memory_engine import MemoryEngine
+from repro.workloads.figures import alternate_course_object, course_info_object
+from repro.workloads.university import (
+    UniversityConfig,
+    populate_university,
+    university_schema,
+)
+
+GRAPH = university_schema()
+OMEGA = course_info_object(GRAPH)
+OMEGA_PRIME = alternate_course_object(GRAPH)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    engine = MemoryEngine()
+    GRAPH.install(engine)
+    populate_university(engine, UniversityConfig())
+    return engine
+
+
+@pytest.fixture(scope="module")
+def index():
+    return DependencyIndex(OMEGA)
+
+
+def row_map(engine, relation, values):
+    return dict(zip((a.name for a in engine.schema(relation).attributes), values))
+
+
+def test_tracked_relations_cover_tree(index):
+    for relation in ("COURSES", "DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"):
+        assert index.tracks(relation)
+    # STAFF is nowhere in omega's tree or its edge paths.
+    assert not index.tracks("STAFF")
+
+
+def test_pivot_tuple_resolves_to_itself(engine, index):
+    values = next(iter(engine.scan("COURSES")))
+    assert index.pivots_for(engine, "COURSES", values) == {(values[0],)}
+
+
+def test_grade_resolves_to_owning_course(engine, index):
+    grade = next(iter(engine.scan("GRADES")))
+    course_id = row_map(engine, "GRADES", grade)["course_id"]
+    assert index.pivots_for(engine, "GRADES", grade) == {(course_id,)}
+
+
+def test_department_resolves_to_every_course_in_it(engine, index):
+    department = next(iter(engine.scan("DEPARTMENT")))
+    dept_name = department[0]
+    expected = {
+        (row[0],)
+        for row in engine.scan("COURSES")
+        if row_map(engine, "COURSES", row)["dept_name"] == dept_name
+    }
+    assert index.pivots_for(engine, "DEPARTMENT", department) == expected
+
+
+def test_student_resolves_through_grades(engine, index):
+    student = next(iter(engine.scan("STUDENT")))
+    person_id = student[0]
+    expected = {
+        (row_map(engine, "GRADES", g)["course_id"],)
+        for g in engine.scan("GRADES")
+        if row_map(engine, "GRADES", g)["student_id"] == person_id
+    }
+    assert index.pivots_for(engine, "STUDENT", student) == expected
+
+
+def test_pruned_intermediate_relation_is_tracked(engine):
+    """ω′ reaches STUDENT via COURSES --* GRADES *-- STUDENT with GRADES
+    pruned away (Figure 3); a GRADES change must still resolve."""
+    index = DependencyIndex(OMEGA_PRIME)
+    assert index.tracks("GRADES")
+    grade = next(iter(engine.scan("GRADES")))
+    course_id = row_map(engine, "GRADES", grade)["course_id"]
+    assert (course_id,) in index.pivots_for(engine, "GRADES", grade)
+
+
+def test_replace_record_resolves_both_sides(engine, index):
+    """A grade migrating between courses affects both instances."""
+    schema = engine.schema("GRADES")
+    grades = list(engine.scan("GRADES"))
+    old = grades[0]
+    courses = sorted(v[0] for v in engine.scan("COURSES"))
+    other_course = next(
+        c for c in courses if c != row_map(engine, "GRADES", old)["course_id"]
+    )
+    new = (other_course,) + tuple(old[1:])
+    record = ChangeRecord(
+        "replace", "GRADES", schema.key_of(old), new_values=new, old_values=old
+    )
+    affected = index.affected_pivots(engine, record)
+    assert (row_map(engine, "GRADES", old)["course_id"],) in affected
+    assert (other_course,) in affected
+
+
+def test_untracked_relation_resolves_to_nothing(engine, index):
+    staff = next(iter(engine.scan("STAFF")))
+    assert index.pivots_for(engine, "STAFF", staff) == set()
+
+
+def test_null_connecting_value_resolves_to_nothing(engine):
+    """A FACULTY row only affects ω′ courses that reference it; with no
+    referencing course the resolution is empty, and null instructor ids
+    never match."""
+    index = DependencyIndex(OMEGA_PRIME)
+    referenced = {
+        row_map(engine, "COURSES", c)["instructor_id"]
+        for c in engine.scan("COURSES")
+    }
+    unreferenced = [
+        f for f in engine.scan("FACULTY") if f[0] not in referenced
+    ]
+    if unreferenced:  # population is deterministic but stay defensive
+        assert index.pivots_for(engine, "FACULTY", unreferenced[0]) == set()

@@ -1,0 +1,290 @@
+"""MaterializedStore / MaterializedView behavior and policies."""
+
+import pytest
+
+from repro.core.instantiation import Instantiator
+from repro.errors import ViewObjectError
+from repro.materialize import EAGER, FULL_REFRESH, LAZY, MaterializedStore
+from repro.penguin import Penguin
+from repro.relational.engine import Engine
+from repro.relational.sqlite_engine import SqliteEngine
+from repro.workloads.figures import course_info_object
+from repro.workloads.university import (
+    UniversityConfig,
+    populate_university,
+    university_schema,
+)
+
+CONFIG = UniversityConfig(students=10, faculty=4, staff=2, courses=6)
+
+
+def make_penguin(backend="memory"):
+    penguin = Penguin(university_schema(), backend=backend)
+    populate_university(penguin.engine, CONFIG)
+    penguin.register_object(course_info_object(penguin.graph))
+    return penguin
+
+
+def fresh_extent(penguin):
+    instantiator = Instantiator(penguin.object("course_info"))
+    return {i.key: i.to_dict() for i in instantiator.all(penguin.engine)}
+
+
+def course_row(penguin, offset=0):
+    rows = sorted(penguin.engine.scan("COURSES"))
+    return rows[offset % len(rows)]
+
+
+def retitle(penguin, values, title):
+    schema = penguin.engine.schema("COURSES")
+    row = dict(zip((a.name for a in schema.attributes), values))
+    row["title"] = title
+    penguin.engine.replace("COURSES", schema.key_of(values), row)
+
+
+# -- cache accounting ---------------------------------------------------------
+
+
+def test_warm_then_hit(backend="memory"):
+    penguin = make_penguin(backend)
+    view = penguin.materialize("course_info")
+    first = penguin.query("course_info")
+    assert view.stats.misses == len(first)
+    assert view.stats.hits == 0
+    second = penguin.query("course_info")
+    assert view.stats.hits == len(second)
+    assert view.stats.misses == len(first)
+    assert [i.key for i in first] == [i.key for i in second]
+
+
+def test_query_text_served_from_cache():
+    penguin = make_penguin()
+    expected = [i.to_dict() for i in penguin.query("course_info", "units >= 3")]
+    view = penguin.materialize("course_info")
+    got = [i.to_dict() for i in penguin.query("course_info", "units >= 3")]
+    assert got == expected
+    assert view.stats.requests > 0
+    again = [i.to_dict() for i in penguin.query("course_info", "units >= 3")]
+    assert again == expected
+    assert view.stats.hits > 0
+
+
+def test_get_served_from_cache():
+    penguin = make_penguin()
+    view = penguin.materialize("course_info")
+    key = (course_row(penguin)[0],)
+    assert penguin.get("course_info", key) is not None
+    assert view.stats.misses == 1
+    assert penguin.get("course_info", key) is not None
+    assert view.stats.hits == 1
+    assert penguin.get("course_info", ("NOPE",)) is None
+
+
+def test_staleness_counts_pending_records():
+    penguin = make_penguin()
+    view = penguin.materialize("course_info")
+    assert view.staleness() == 0
+    retitle(penguin, course_row(penguin), "Pending")
+    assert view.staleness() == 1
+    penguin.query("course_info")
+    assert view.staleness() == 0
+
+
+# -- maintenance policies ------------------------------------------------------
+
+
+def test_lazy_policy_evicts_and_reassembles_on_demand():
+    penguin = make_penguin()
+    view = penguin.materialize("course_info", policy=LAZY)
+    penguin.query("course_info")
+    cached_before = len(view)
+    values = course_row(penguin)
+    retitle(penguin, values, "Lazily Retitled")
+    view.sync()
+    assert len(view) == cached_before - 1
+    assert view.stats.invalidations == 1
+    assert view.stats.refreshes == 0
+    instance = penguin.get("course_info", (values[0],))
+    assert instance.root.values["title"] == "Lazily Retitled"
+    assert fresh_extent(penguin) == {
+        i.key: i.to_dict() for i in penguin.query("course_info")
+    }
+
+
+def test_eager_policy_reassembles_at_sync():
+    penguin = make_penguin()
+    view = penguin.materialize("course_info", policy=EAGER)
+    penguin.query("course_info")
+    values = course_row(penguin)
+    retitle(penguin, values, "Eagerly Retitled")
+    view.sync()
+    assert view.stats.refreshes == 1
+    hits_before = view.stats.hits
+    instance = penguin.get("course_info", (values[0],))
+    assert instance.root.values["title"] == "Eagerly Retitled"
+    assert view.stats.hits == hits_before + 1  # no assembly on read
+
+
+def test_full_refresh_policy_rebuilds_extent():
+    penguin = make_penguin()
+    view = penguin.materialize("course_info", policy=FULL_REFRESH)
+    penguin.query("course_info")
+    retitle(penguin, course_row(penguin), "Rebuilt")
+    view.sync()
+    assert view.stats.full_refreshes == 1
+    assert len(view) == penguin.engine.count("COURSES")
+    assert fresh_extent(penguin) == {
+        i.key: i.to_dict() for i in penguin.query("course_info")
+    }
+
+
+def test_unknown_policy_rejected():
+    penguin = make_penguin()
+    with pytest.raises(ViewObjectError):
+        penguin.materialize("course_info", policy="psychic")
+
+
+# -- extent membership ---------------------------------------------------------
+
+
+def test_pivot_insert_and_delete_visible(policy=LAZY):
+    for policy in (LAZY, EAGER, FULL_REFRESH):
+        penguin = make_penguin()
+        penguin.materialize("course_info", policy=policy)
+        baseline = {i.key for i in penguin.query("course_info")}
+        penguin.engine.insert(
+            "COURSES",
+            {
+                "course_id": "NEW1",
+                "title": "Fresh",
+                "units": 3,
+                "level": "graduate",
+                "dept_name": course_row(penguin)[4],
+                "instructor_id": None,
+            },
+        )
+        keys = {i.key for i in penguin.query("course_info")}
+        assert keys == baseline | {("NEW1",)}
+        penguin.engine.delete("COURSES", ("NEW1",))
+        keys = {i.key for i in penguin.query("course_info")}
+        assert keys == baseline
+
+
+def test_component_insert_reflected():
+    penguin = make_penguin()
+    penguin.materialize("course_info")
+    values = course_row(penguin)
+    key = (values[0],)
+    before = penguin.get("course_info", key).count_at("GRADES")
+    graded = {
+        g[1] for g in penguin.engine.scan("GRADES") if g[0] == values[0]
+    }
+    student = next(
+        v[0]
+        for v in sorted(penguin.engine.scan("STUDENT"))
+        if v[0] not in graded
+    )
+    penguin.engine.insert(
+        "GRADES",
+        {"course_id": values[0], "student_id": student, "grade": "A"},
+    )
+    after = penguin.get("course_info", key).count_at("GRADES")
+    assert after == before + 1
+
+
+# -- wiring ---------------------------------------------------------------------
+
+
+def test_engine_without_changelog_rejected():
+    penguin = make_penguin()
+    store = MaterializedStore(Engine())
+    with pytest.raises(ViewObjectError, match="changelog"):
+        store.materialize(penguin.object("course_info"))
+
+
+def test_foreign_engine_rejected():
+    penguin = make_penguin()
+    other = make_penguin()
+    view = penguin.materialize("course_info")
+    with pytest.raises(ViewObjectError, match="different engine"):
+        view.where(other.engine)
+
+
+def test_double_materialize_rejected():
+    penguin = make_penguin()
+    penguin.materialize("course_info")
+    with pytest.raises(ViewObjectError, match="already materialized"):
+        penguin.materialize("course_info")
+
+
+def test_dematerialize_detaches():
+    penguin = make_penguin()
+    view = penguin.materialize("course_info")
+    penguin.query("course_info")
+    assert penguin.materialized_names == ("course_info",)
+    penguin.dematerialize("course_info")
+    assert penguin.materialized("course_info") is None
+    # Changes no longer reach the detached cache.
+    retitle(penguin, course_row(penguin), "Unseen")
+    assert view.staleness() > 0  # pending but nobody syncs it via queries
+    assert penguin.query("course_info")  # served dynamically again
+    with pytest.raises(ViewObjectError):
+        penguin.dematerialize("course_info")
+
+
+def test_store_stats_aggregate():
+    penguin = make_penguin()
+    penguin.materialize("course_info")
+    penguin.query("course_info")
+    penguin.query("course_info")
+    total = penguin._materialized.stats()
+    per_view = penguin.cache_stats()
+    assert total.hits == per_view["course_info"]["hits"] > 0
+    assert 0.0 < total.hit_rate <= 1.0
+
+
+# -- sqlite backend --------------------------------------------------------------
+
+
+def test_sqlite_changelog_records_mutations():
+    engine = SqliteEngine()
+    graph = university_schema()
+    graph.install(engine)
+    populate_university(engine, CONFIG)
+    base = len(engine.changelog)
+    values = sorted(engine.scan("COURSES"))[0]
+    schema = engine.schema("COURSES")
+    row = dict(zip((a.name for a in schema.attributes), values))
+    row["title"] = "Logged"
+    engine.replace("COURSES", schema.key_of(values), row)
+    assert len(engine.changelog) == base + 1
+    record = engine.changelog.records[-1]
+    assert record.kind == "replace"
+    assert record.relation == "COURSES"
+    assert record.old_values == values
+
+
+def test_sqlite_rollback_truncates_changelog():
+    engine = SqliteEngine()
+    graph = university_schema()
+    graph.install(engine)
+    populate_university(engine, CONFIG)
+    mark = engine.changelog.mark()
+    engine.begin()
+    key = sorted(engine.scan("CURRICULUM"))[0][:2]
+    engine.delete("CURRICULUM", key)
+    assert len(engine.changelog) == mark + 1
+    engine.rollback()
+    assert len(engine.changelog) == mark
+    assert engine.get("CURRICULUM", key) is not None
+
+
+def test_materialized_on_sqlite_backend():
+    penguin = make_penguin(backend="sqlite")
+    penguin.materialize("course_info")
+    expected = fresh_extent(penguin)
+    assert {i.key: i.to_dict() for i in penguin.query("course_info")} == expected
+    retitle(penguin, course_row(penguin), "Sqlite Retitle")
+    assert fresh_extent(penguin) == {
+        i.key: i.to_dict() for i in penguin.query("course_info")
+    }

@@ -1,0 +1,177 @@
+"""Cache/recompute equivalence under random update interleavings.
+
+For any sequence of base-table inserts, deletes, and replaces — with
+cache reads interleaved so incremental maintenance actually runs
+mid-stream — a materialized view object must remain *extensionally
+equal* to a fresh re-instantiation, under every maintenance policy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instantiation import Instantiator
+from repro.materialize import POLICIES
+from repro.penguin import Penguin
+from repro.workloads.figures import course_info_object
+from repro.workloads.university import (
+    UniversityConfig,
+    populate_university,
+    university_schema,
+)
+
+CONFIG = UniversityConfig(students=6, faculty=3, staff=1, courses=4)
+
+OP_NAMES = (
+    "insert_grade",
+    "delete_grade",
+    "replace_grade",
+    "move_grade",
+    "retitle_course",
+    "move_course_dept",
+    "insert_course",
+    "delete_course",
+    "change_instructor",
+)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(OP_NAMES),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=7,
+)
+
+
+def make_penguin():
+    penguin = Penguin(university_schema())
+    populate_university(penguin.engine, CONFIG)
+    penguin.register_object(course_info_object(penguin.graph))
+    return penguin
+
+
+def row_map(engine, relation, values):
+    return dict(zip((a.name for a in engine.schema(relation).attributes), values))
+
+
+def apply_op(engine, op, a, b, counter):
+    """Interpret one abstract op against current state; no-op when the
+    state offers no suitable target (e.g. deleting from an empty table)."""
+    courses = sorted(engine.scan("COURSES"))
+    grades = sorted(engine.scan("GRADES"))
+    students = sorted(engine.scan("STUDENT"))
+    departments = sorted(engine.scan("DEPARTMENT"))
+    faculty = sorted(engine.scan("FACULTY"))
+    if op == "insert_grade":
+        if not courses or not students:
+            return
+        course_id = courses[a % len(courses)][0]
+        student_id = students[b % len(students)][0]
+        if engine.get("GRADES", (course_id, student_id)) is not None:
+            return
+        engine.insert(
+            "GRADES",
+            {"course_id": course_id, "student_id": student_id, "grade": "B"},
+        )
+    elif op == "delete_grade":
+        if not grades:
+            return
+        grade = grades[a % len(grades)]
+        engine.delete("GRADES", (grade[0], grade[1]))
+    elif op == "replace_grade":
+        if not grades:
+            return
+        grade = grades[a % len(grades)]
+        row = row_map(engine, "GRADES", grade)
+        row["grade"] = "ACF"[b % 3]
+        engine.replace("GRADES", (grade[0], grade[1]), row)
+    elif op == "move_grade":
+        if not grades or not courses:
+            return
+        grade = grades[a % len(grades)]
+        target = courses[b % len(courses)][0]
+        if engine.get("GRADES", (target, grade[1])) is not None:
+            return
+        row = row_map(engine, "GRADES", grade)
+        row["course_id"] = target
+        engine.replace("GRADES", (grade[0], grade[1]), row)
+    elif op == "retitle_course":
+        if not courses:
+            return
+        course = courses[a % len(courses)]
+        row = row_map(engine, "COURSES", course)
+        row["title"] = f"Title {b}"
+        engine.replace("COURSES", (course[0],), row)
+    elif op == "move_course_dept":
+        if not courses or not departments:
+            return
+        course = courses[a % len(courses)]
+        row = row_map(engine, "COURSES", course)
+        row["dept_name"] = departments[b % len(departments)][0]
+        engine.replace("COURSES", (course[0],), row)
+    elif op == "insert_course":
+        if not departments:
+            return
+        course_id = f"NEW{counter}"
+        engine.insert(
+            "COURSES",
+            {
+                "course_id": course_id,
+                "title": "Synthetic",
+                "units": 1 + b % 5,
+                "level": ("undergraduate", "graduate")[b % 2],
+                "dept_name": departments[a % len(departments)][0],
+                "instructor_id": None,
+            },
+        )
+    elif op == "delete_course":
+        if not courses:
+            return
+        course = courses[a % len(courses)]
+        # Engine-level delete: owned grades become orphans, which simply
+        # drop out of every instance — instantiation must agree.
+        engine.delete("COURSES", (course[0],))
+    elif op == "change_instructor":
+        if not courses or not faculty:
+            return
+        course = courses[a % len(courses)]
+        row = row_map(engine, "COURSES", course)
+        row["instructor_id"] = faculty[b % len(faculty)][0]
+        engine.replace("COURSES", (course[0],), row)
+
+
+def canonical(instances):
+    """Order-insensitive (extensional) form of an instance set."""
+
+    def freeze(value):
+        if isinstance(value, dict):
+            return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+        if isinstance(value, list):
+            return tuple(sorted(freeze(v) for v in value))
+        return value
+
+    return {instance.key: freeze(instance.to_dict()) for instance in instances}
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@settings(max_examples=30, deadline=None)
+@given(ops=operations)
+def test_cache_extensionally_equal_to_recompute(policy, ops):
+    penguin = make_penguin()
+    view = penguin.materialize("course_info", policy=policy)
+    penguin.query("course_info")  # warm the cache before the stream
+    instantiator = Instantiator(penguin.object("course_info"))
+    for counter, (op, a, b) in enumerate(ops):
+        apply_op(penguin.engine, op, a, b, counter)
+        # Interleaved read: maintenance must run mid-stream, not only at
+        # the end, so stale entries get every chance to leak.
+        if counter % 2 == 0:
+            courses = sorted(penguin.engine.scan("COURSES"))
+            if courses:
+                penguin.get("course_info", (courses[a % len(courses)][0],))
+    assert canonical(penguin.query("course_info")) == canonical(
+        instantiator.all(penguin.engine)
+    )
+    assert view.staleness() == 0
