@@ -11,7 +11,6 @@ import copy
 import pytest
 
 from repro.core.updates.policy import TranslatorPolicy
-from repro.core.updates.translator import Translator
 from repro.dialog.answers import ConstantAnswers, MappingAnswers, ScriptedAnswers
 from repro.dialog.drivers import (
     choose_translator,

@@ -57,6 +57,7 @@ from repro.dialog import (
 )
 from repro.penguin import Penguin
 from repro.relational import Engine, MemoryEngine, SqliteEngine
+from repro.serve import ConcurrentPenguin, ReadWriteLock
 from repro.structural import (
     Connection,
     ConnectionKind,
@@ -68,6 +69,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Penguin",
+    "ConcurrentPenguin",
+    "ReadWriteLock",
     "StructuralSchema",
     "Connection",
     "ConnectionKind",

@@ -13,7 +13,11 @@ Commands:
 * ``materialize --workload NAME --object OBJECT`` — run a read-heavy
   query loop twice, dynamically instantiated and then served from a
   materialized view-object cache, and print the speedup plus the
-  cache's maintenance statistics.
+  cache's maintenance statistics;
+* ``bench-bulk --count N --backend sqlite|memory`` — insert N synthetic
+  course instances through the per-instance loop and then through the
+  batched ``insert_many`` pipeline, and print both timings, the
+  speedup, and the coalesced plan's operation counts.
 """
 
 from __future__ import annotations
@@ -228,6 +232,62 @@ def cmd_materialize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_bulk(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.relational.sqlite_engine import SqliteEngine
+
+    def new_course(i: int) -> dict:
+        return {
+            "course_id": f"BULK{i:05d}",
+            "title": f"Bulk Course {i}",
+            "units": 3,
+            "level": "graduate",
+            "dept_name": "Computer Science",
+            "DEPARTMENT": [],
+            "CURRICULUM": [],
+            "GRADES": [],
+        }
+
+    def build_session(directory: str, label: str) -> Penguin:
+        graph = university_schema()
+        if args.backend == "sqlite":
+            engine = SqliteEngine(f"{directory}/{label}.db")
+        else:
+            engine = MemoryEngine()
+        session = Penguin(graph, engine=engine)
+        populate_university(session.engine)
+        session.register_object(course_info_object(graph))
+        return session
+
+    batch = [new_course(i) for i in range(args.count)]
+    with tempfile.TemporaryDirectory() as directory:
+        session = build_session(directory, "sequential")
+        started = time.perf_counter()
+        for data in batch:
+            session.insert("course_info", data)
+        sequential = time.perf_counter() - started
+
+        session = build_session(directory, "bulk")
+        started = time.perf_counter()
+        plan = session.insert_many("course_info", batch)
+        bulk = time.perf_counter() - started
+
+    print(f"backend={args.backend} instances={args.count}")
+    print(f"per-instance loop : {sequential:8.3f}s")
+    print(f"insert_many       : {bulk:8.3f}s")
+    speedup = sequential / bulk if bulk else float("inf")
+    print(f"speedup           : {speedup:8.1f}x")
+    print(
+        f"coalesced plan    : {len(plan)} operations "
+        f"({plan.count('insert')} inserts, "
+        f"{plan.count('replace')} replaces, "
+        f"{plan.count('delete')} deletes) over "
+        f"{len(plan.relations_touched())} relation(s)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -275,6 +335,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--text", default=None, help="object query text (default: all instances)"
     )
 
+    bench_bulk = commands.add_parser(
+        "bench-bulk",
+        help="compare batched insert_many against the per-instance loop",
+    )
+    bench_bulk.add_argument("--count", type=int, default=1000)
+    bench_bulk.add_argument(
+        "--backend",
+        choices=("sqlite", "memory"),
+        default="sqlite",
+        help="sqlite is file-backed so per-instance commits pay real I/O",
+    )
+
     return parser
 
 
@@ -286,6 +358,7 @@ def main(argv=None) -> int:
         "check": cmd_check,
         "query": cmd_query,
         "materialize": cmd_materialize,
+        "bench-bulk": cmd_bench_bulk,
     }[args.command]
     return handler(args)
 

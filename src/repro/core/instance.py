@@ -22,7 +22,7 @@ where child lists are keyed by tree node id and may nest further.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import InstantiationError, ViewObjectError
 from repro.core.view_object import ViewObjectDefinition

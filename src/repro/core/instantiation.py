@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import InstantiationError
 from repro.core.instance import ComponentTuple, Instance
 from repro.core.view_object import ViewObjectDefinition
 from repro.relational.engine import Engine

@@ -8,7 +8,7 @@ plus an ordered tuple of retained attributes.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.errors import ProjectionError
 from repro.relational.schema import RelationSchema

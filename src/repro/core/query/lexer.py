@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, List, NamedTuple, Optional
+from typing import Any, List, NamedTuple
 
 from repro.errors import QuerySyntaxError
 

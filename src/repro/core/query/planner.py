@@ -10,7 +10,7 @@ down to the storage engine as a relational predicate; the residual
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import QueryError
 from repro.core.query.ast import (

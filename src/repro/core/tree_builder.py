@@ -26,15 +26,11 @@ their edges into a multi-connection path (Figure 3's
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ViewObjectError
-from repro.core.information_metric import (
-    InformationMetric,
-    MetricWeights,
-    RelevantSubgraph,
-)
-from repro.core.projection_tree import ProjectionTree, TreeNode
+from repro.core.information_metric import MetricWeights, RelevantSubgraph
+from repro.core.projection_tree import ProjectionTree
 from repro.structural.connections import Traversal
 from repro.structural.paths import ConnectionPath
 from repro.structural.schema_graph import StructuralSchema

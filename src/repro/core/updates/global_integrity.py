@@ -23,12 +23,12 @@ pass handles whatever mixture of mutations an algorithm produced.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
-from repro.errors import DuplicateKeyError, UpdateRejectedError
+from repro.errors import UpdateRejectedError
 from repro.core.updates.context import TranslationContext
 from repro.core.updates.policy import ReferenceRepair
-from repro.structural.connections import Connection, ConnectionKind, Traversal
+from repro.structural.connections import Connection, ConnectionKind
 
 __all__ = [
     "maintain_after_deletions",

@@ -15,8 +15,7 @@ the structural restrictions of Section 5.3 hold:
 
 from __future__ import annotations
 
-from itertools import zip_longest
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.errors import LocalValidationError
 from repro.core.dependency_island import NodeRole

@@ -9,7 +9,7 @@ its fully specified replacing instance."
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.core.instance import Instance
 

@@ -22,7 +22,7 @@ untouched.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Dict, List
 
 from repro.core.instance import ComponentTuple, Instance
 from repro.core.view_object import ViewObjectDefinition

@@ -34,7 +34,6 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import UpdateRejectedError
-from repro.core.dependency_island import NodeRole
 from repro.core.instance import ComponentTuple, Instance
 from repro.core.projection_tree import TreeNode
 from repro.core.updates import global_integrity

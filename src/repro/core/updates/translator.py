@@ -16,12 +16,13 @@ attached to every operation for auditability.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import GlobalValidationError, UpdateError
 from repro.core.dependency_island import analyze_island
 from repro.core.instance import Instance, build_instance
 from repro.core.instantiation import Instantiator
+from repro.core.updates.bulk import BufferedEngine
 from repro.core.updates.context import TranslationContext
 from repro.core.updates.deletion import translate_complete_deletion
 from repro.core.updates.insertion import translate_complete_insertion
@@ -30,6 +31,7 @@ from repro.core.updates.replacement import translate_replacement
 from repro.core.view_object import ViewObjectDefinition
 from repro.relational.engine import Engine
 from repro.relational.operations import UpdatePlan
+from repro.relational.operations import apply_plan_batch as _flush_plans
 from repro.structural.integrity import IntegrityChecker
 
 __all__ = ["Translator"]
@@ -126,6 +128,184 @@ class Translator:
         return self._run(
             engine, lambda ctx: translate_replacement(ctx, old, new)
         )
+
+    # -- batched operations --------------------------------------------------------
+
+    def insert_many(
+        self, engine: Engine, instances: Iterable[InstanceLike]
+    ) -> UpdatePlan:
+        """Complete insertion of a batch, as one coalesced plan.
+
+        Each instance is translated by the standard VO-CI algorithm over
+        a :class:`BufferedEngine` overlay, so instances later in the
+        batch observe the effects of earlier ones exactly as a
+        sequential loop would. The per-instance plans are then coalesced
+        and flushed to ``engine`` through its batch primitives in one
+        transaction: the batch is all-or-nothing, and any rejection
+        leaves the database untouched.
+        """
+        items = [self._coerce_instance(instance) for instance in instances]
+        return self._run_batch(
+            engine,
+            items,
+            lambda ctx, instance: translate_complete_insertion(ctx, instance),
+        )
+
+    def delete_many(
+        self,
+        engine: Engine,
+        instances: Optional[Iterable[Union[InstanceLike, Sequence[Any]]]] = None,
+        keys: Optional[Iterable[Sequence[Any]]] = None,
+    ) -> UpdatePlan:
+        """Complete deletion of a batch (by instance or by object key)."""
+        if keys is not None:
+            items = [self.instantiate(engine, key) for key in keys]
+        else:
+            items = [
+                self._resolve_instance(engine, instance)
+                for instance in (instances or [])
+            ]
+        return self._run_batch(
+            engine,
+            items,
+            lambda ctx, instance: translate_complete_deletion(ctx, instance),
+        )
+
+    def apply_plan_batch(
+        self, engine: Engine, requests: Iterable["UpdateRequest"]
+    ) -> UpdatePlan:
+        """Translate a batch of :class:`UpdateRequest` objects into one
+        coalesced plan and apply it atomically.
+
+        Requests may mix kinds (insertions, deletions, replacements, and
+        the partial operations); each is translated in order over the
+        shared buffer, so later requests see earlier effects.
+        """
+        requests = list(requests)
+        instances = [
+            getattr(request, "instance", None) or getattr(request, "old", None)
+            for request in requests
+        ]
+        return self._run_batch(
+            engine,
+            requests,
+            self._translate_request,
+            prewarm=[i for i in instances if isinstance(i, Instance)],
+        )
+
+    def _translate_request(
+        self, ctx: TranslationContext, request: "UpdateRequest"
+    ) -> None:
+        """Dispatch one request against an in-flight batch context."""
+        from repro.core.updates.operations import (
+            CompleteDeletion,
+            CompleteInsertion,
+            PartialDeletion,
+            PartialInsertion,
+            PartialUpdate,
+            Replacement,
+        )
+
+        def resolve(instance):
+            if isinstance(instance, (Instance, Mapping)):
+                return self._coerce_instance(instance)
+            # Resolve keys against the buffer so earlier requests in the
+            # batch are visible.
+            return self.instantiate(ctx.engine, instance)
+
+        if isinstance(request, CompleteInsertion):
+            translate_complete_insertion(ctx, resolve(request.instance))
+        elif isinstance(request, CompleteDeletion):
+            translate_complete_deletion(ctx, resolve(request.instance))
+        elif isinstance(request, Replacement):
+            translate_replacement(
+                ctx, resolve(request.old), self._coerce_instance(request.new)
+            )
+        elif isinstance(request, PartialInsertion):
+            from repro.core.updates.partial import translate_partial_insertion
+
+            translate_partial_insertion(
+                ctx, resolve(request.instance), request.node_id, request.values
+            )
+        elif isinstance(request, PartialDeletion):
+            from repro.core.updates.partial import translate_partial_deletion
+
+            translate_partial_deletion(
+                ctx, resolve(request.instance), request.node_id, request.values
+            )
+        elif isinstance(request, PartialUpdate):
+            from repro.core.updates.partial import translate_partial_update
+
+            translate_partial_update(
+                ctx,
+                resolve(request.instance),
+                request.node_id,
+                request.old_values,
+                request.new_values,
+            )
+        else:
+            raise UpdateError(f"unknown update request: {request!r}")
+
+    def _run_batch(
+        self,
+        engine: Engine,
+        items: List[Any],
+        translate_one: Callable[[TranslationContext, Any], None],
+        prewarm: Optional[List[Instance]] = None,
+    ) -> UpdatePlan:
+        if not self.policy.authorizes(self.user):
+            from repro.errors import LocalValidationError
+
+            raise LocalValidationError(
+                f"user {self.user!r} is not authorized to update through "
+                f"view object {self.view_object.name!r}"
+            )
+        buffered = BufferedEngine(engine)
+        warm = prewarm if prewarm is not None else [
+            item for item in items if isinstance(item, Instance)
+        ]
+        self._prewarm(buffered, warm)
+        plans = []
+        for item in items:
+            ctx = TranslationContext(
+                self.view_object, buffered, self.policy, self.analysis
+            )
+            translate_one(ctx, item)
+            plans.append(ctx.plan)
+        if self.verify_integrity:
+            violations = self._checker.check(buffered)
+            if violations:
+                raise GlobalValidationError(
+                    f"batch translation left {len(violations)} integrity "
+                    f"violations: "
+                    + "; ".join(v.message for v in violations[:5])
+                )
+        # Nothing touched the real engine yet: a failure above simply
+        # discards the overlay. The flush below is one transaction.
+        return _flush_plans(engine, plans)
+
+    def _prewarm(self, buffered: BufferedEngine, instances: List[Instance]) -> None:
+        """Batch-load every component key the translations will probe.
+
+        Only worthwhile when the base engine actually batches lookups
+        (sqlite's ``IN`` queries); against a plain dict-backed engine the
+        pre-pass would just double the number of point reads.
+        """
+        if type(buffered.base).get_many is Engine.get_many:
+            return
+        keys_by_relation: Dict[str, List[Any]] = {}
+        for instance in instances:
+            for node_id, components in instance.iter_nodes():
+                node = self.view_object.node(node_id)
+                schema = self.view_object.graph.relation(node.relation)
+                for component in components:
+                    try:
+                        key = tuple(component.values[k] for k in schema.key)
+                    except KeyError:
+                        continue
+                    keys_by_relation.setdefault(node.relation, []).append(key)
+        for relation, keys in keys_by_relation.items():
+            buffered.prime(relation, keys)
 
     # -- partial operations --------------------------------------------------------
 

@@ -19,7 +19,7 @@ enforces the paper's structural conditions:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PivotError, ProjectionError, ViewObjectError
 from repro.core.information_metric import InformationMetric, RelevantSubgraph

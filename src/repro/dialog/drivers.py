@@ -21,9 +21,9 @@ Running all three yields the complete
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
-from repro.core.dependency_island import IslandAnalysis, NodeRole, analyze_island
+from repro.core.dependency_island import IslandAnalysis, analyze_island
 from repro.core.updates.policy import (
     ReferenceRepair,
     RelationPolicy,

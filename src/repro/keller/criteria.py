@@ -26,7 +26,7 @@ plans inside a transaction and rolling back).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.keller.views import RelationalView
 from repro.relational.engine import Engine

@@ -22,7 +22,7 @@ Candidates are then filtered through the five validity criteria.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import UpdateError
 from repro.keller import criteria

@@ -10,7 +10,7 @@ to subsequent updates without further interaction.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.errors import UpdateError, UpdateRejectedError
 from repro.keller.enumeration import contributing_rows

@@ -13,13 +13,12 @@ join unambiguous.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.relational import algebra
 from repro.relational.engine import Engine
 from repro.relational.expressions import Expression, TRUE
-from repro.relational.schema import Attribute, RelationSchema
 
 __all__ = ["JoinEdge", "RelationalView"]
 

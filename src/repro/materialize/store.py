@@ -17,6 +17,7 @@ chose to accelerate.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ViewObjectError
@@ -60,12 +61,19 @@ class MaterializedView:
         self._pivot_schema = view_object.graph.relation(
             view_object.pivot_relation
         )
+        # Serializes cache maintenance against reads: sync/get/where
+        # mutate the instance map (applying pending records, memoizing
+        # assemblies), so two threads sharing this view must not
+        # interleave inside them. Reentrant because sync() runs inside
+        # locked get()/where() calls.
+        self._lock = threading.RLock()
         changelog.subscribe(self)
 
     # -- changelog subscriber protocol -----------------------------------------
 
     def on_truncate(self, mark: int) -> None:
-        self.maintainer.rewind(mark)
+        with self._lock:
+            self.maintainer.rewind(mark)
 
     # -- reads -------------------------------------------------------------------
 
@@ -78,20 +86,22 @@ class MaterializedView:
 
     def sync(self) -> int:
         """Bring the cache up to the changelog head; returns records applied."""
-        return self.maintainer.sync()
+        with self._lock:
+            return self.maintainer.sync()
 
     def get(self, key: Sequence[Any]) -> Optional[Instance]:
         """The instance with pivot key ``key``, or None."""
-        self.sync()
-        pivot_key = tuple(key)
-        cached = self._instances.get(pivot_key)
-        if cached is not None:
-            self.stats.hits += 1
-            return cached
-        values = self.engine.get(self.view_object.pivot_relation, pivot_key)
-        if values is None:
-            return None
-        return self._assemble_into_cache(pivot_key, values, count_miss=True)
+        with self._lock:
+            self.sync()
+            pivot_key = tuple(key)
+            cached = self._instances.get(pivot_key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            values = self.engine.get(self.view_object.pivot_relation, pivot_key)
+            if values is None:
+                return None
+            return self._assemble_into_cache(pivot_key, values, count_miss=True)
 
     def where(self, engine: Engine, predicate: Expression = TRUE) -> List[Instance]:
         """Drop-in for ``Instantiator.where``: serve assembly from cache.
@@ -104,19 +114,24 @@ class MaterializedView:
                 "materialized view queried against a different engine "
                 "than the one it watches"
             )
-        self.sync()
-        instances = []
-        for values in engine.select(self.view_object.pivot_relation, predicate):
-            pivot_key = self._pivot_schema.key_of(values)
-            cached = self._instances.get(pivot_key)
-            if cached is not None:
-                self.stats.hits += 1
-                instances.append(cached)
-            else:
-                instances.append(
-                    self._assemble_into_cache(pivot_key, values, count_miss=True)
-                )
-        return instances
+        with self._lock:
+            self.sync()
+            instances = []
+            for values in engine.select(
+                self.view_object.pivot_relation, predicate
+            ):
+                pivot_key = self._pivot_schema.key_of(values)
+                cached = self._instances.get(pivot_key)
+                if cached is not None:
+                    self.stats.hits += 1
+                    instances.append(cached)
+                else:
+                    instances.append(
+                        self._assemble_into_cache(
+                            pivot_key, values, count_miss=True
+                        )
+                    )
+            return instances
 
     def all(self) -> List[Instance]:
         return self.where(self.engine, TRUE)
@@ -140,28 +155,32 @@ class MaterializedView:
         return instance
 
     def evict(self, pivot_key: PivotKey) -> None:
-        if self._instances.pop(pivot_key, None) is not None:
-            self.stats.invalidations += 1
+        with self._lock:
+            if self._instances.pop(pivot_key, None) is not None:
+                self.stats.invalidations += 1
 
     def reassemble(self, pivot_key: PivotKey) -> None:
         """Eagerly rebuild one instance (no-op if its pivot is gone)."""
-        values = self.engine.get(self.view_object.pivot_relation, pivot_key)
-        if values is None:
-            self._instances.pop(pivot_key, None)
-            return
-        self.stats.refreshes += 1
-        self._assemble_into_cache(pivot_key, values, count_miss=False)
+        with self._lock:
+            values = self.engine.get(self.view_object.pivot_relation, pivot_key)
+            if values is None:
+                self._instances.pop(pivot_key, None)
+                return
+            self.stats.refreshes += 1
+            self._assemble_into_cache(pivot_key, values, count_miss=False)
 
     def rebuild(self) -> None:
         """Recompute the entire extent (the full-refresh policy)."""
-        self._instances.clear()
-        self.stats.full_refreshes += 1
-        for values in self.engine.scan(self.view_object.pivot_relation):
-            pivot_key = self._pivot_schema.key_of(values)
-            self._assemble_into_cache(pivot_key, values, count_miss=False)
+        with self._lock:
+            self._instances.clear()
+            self.stats.full_refreshes += 1
+            for values in self.engine.scan(self.view_object.pivot_relation):
+                pivot_key = self._pivot_schema.key_of(values)
+                self._assemble_into_cache(pivot_key, values, count_miss=False)
 
     def drop_all(self) -> None:
-        self._instances.clear()
+        with self._lock:
+            self._instances.clear()
 
     def close(self) -> None:
         """Detach from the changelog (the cache stops maintaining itself)."""

@@ -205,7 +205,7 @@ class Penguin:
 
     # -- queries --------------------------------------------------------------------
 
-    def query(self, name: str, text: str = None) -> List[Instance]:
+    def query(self, name: str, text: Optional[str] = None) -> List[Instance]:
         """Run an object query; None or empty text returns all instances.
 
         Materialized objects are served from their instance cache
@@ -253,6 +253,36 @@ class Penguin:
     def update_where(self, name: str, query: str, transform) -> UpdatePlan:
         """Replace every matching instance by ``transform(instance_dict)``."""
         return self.translator(name).update_where(self.engine, query, transform)
+
+    # -- batched updates ---------------------------------------------------------------
+
+    def insert_many(
+        self, name: str, instances: Iterable[Union[Instance, Mapping]]
+    ) -> UpdatePlan:
+        """Insert a batch of instances as one coalesced, atomic plan.
+
+        The batch is translated over a write buffer (later instances see
+        earlier ones), deduplicated per (relation, key), validated once,
+        and flushed through the engine's batch primitives — one
+        transaction, ``executemany`` on sqlite.
+        """
+        return self.translator(name).insert_many(self.engine, instances)
+
+    def delete_many(
+        self,
+        name: str,
+        keys_or_instances: Iterable[Union[Instance, Mapping, Sequence[Any]]],
+    ) -> UpdatePlan:
+        """Delete a batch of instances (or object keys) atomically."""
+        items = list(keys_or_instances)
+        if items and not isinstance(items[0], (Instance, Mapping)):
+            return self.translator(name).delete_many(self.engine, keys=items)
+        return self.translator(name).delete_many(self.engine, items)
+
+    def apply_plan_batch(self, name: str, requests: Iterable) -> UpdatePlan:
+        """Translate a mixed batch of :class:`UpdateRequest` objects into
+        one coalesced plan and apply it atomically."""
+        return self.translator(name).apply_plan_batch(self.engine, requests)
 
     # -- transactions ----------------------------------------------------------------
 
@@ -326,4 +356,9 @@ def _coerce_answers(answers: AnswersLike) -> AnswerSource:
         return ConstantAnswers(answers)
     if isinstance(answers, Mapping):
         return MappingAnswers(dict(answers))
+    if isinstance(answers, str):
+        raise TypeError(
+            f"answers must be an AnswerSource, bool, mapping, or sequence "
+            f"of booleans, not the string {answers!r}"
+        )
     return ScriptedAnswers(list(answers))

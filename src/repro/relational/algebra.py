@@ -14,7 +14,7 @@ a structural-model connection specifies (``<X1, X2>`` of Definition 2.1).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.relational.expressions import Expression

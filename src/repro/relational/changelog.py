@@ -16,6 +16,7 @@ three purposes:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["ChangeRecord", "ChangeLog"]
@@ -57,28 +58,39 @@ class ChangeLog:
     engine.
     """
 
-    __slots__ = ("records", "counters", "_subscribers")
+    __slots__ = ("records", "counters", "_subscribers", "_subscriber_lock")
 
     def __init__(self) -> None:
         self.records: List[ChangeRecord] = []
         self.counters: Dict[str, int] = {"insert": 0, "delete": 0, "replace": 0}
         self._subscribers: List[Any] = []
+        # Guards the subscriber list only. Appends/truncations themselves
+        # are serialized by whoever mutates the engine; subscriptions may
+        # legitimately race with them (e.g. a reader thread materializing
+        # while a writer commits), so dispatch iterates over a snapshot.
+        self._subscriber_lock = threading.Lock()
 
     # -- subscriptions ------------------------------------------------------
 
     def subscribe(self, subscriber: Any) -> None:
         """Register a listener for appends and truncations."""
-        if subscriber not in self._subscribers:
-            self._subscribers.append(subscriber)
+        with self._subscriber_lock:
+            if subscriber not in self._subscribers:
+                self._subscribers.append(subscriber)
 
     def unsubscribe(self, subscriber: Any) -> None:
-        try:
-            self._subscribers.remove(subscriber)
-        except ValueError:
-            pass
+        with self._subscriber_lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    def _snapshot_subscribers(self) -> Tuple[Any, ...]:
+        with self._subscriber_lock:
+            return tuple(self._subscribers)
 
     def _appended(self, record: ChangeRecord) -> None:
-        for subscriber in self._subscribers:
+        for subscriber in self._snapshot_subscribers():
             on_append = getattr(subscriber, "on_append", None)
             if on_append is not None:
                 on_append(record)
@@ -128,7 +140,7 @@ class ChangeLog:
             self.counters[record.kind] -= 1
         del self.records[mark:]
         if dropped:
-            for subscriber in self._subscribers:
+            for subscriber in self._snapshot_subscribers():
                 on_truncate = getattr(subscriber, "on_truncate", None)
                 if on_truncate is not None:
                     on_truncate(mark)

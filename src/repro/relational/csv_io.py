@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, List, TextIO, Union
+from typing import TextIO
 
 from repro.errors import SchemaError
 from repro.relational.engine import Engine

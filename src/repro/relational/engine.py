@@ -10,8 +10,21 @@ plans on both engines.
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+import datetime
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.relational.domains import DATE
 from repro.relational.expressions import Expression
 from repro.relational.row import Row
 from repro.relational.schema import RelationSchema
@@ -57,6 +70,49 @@ class Engine:
         """Remove all rows of a relation."""
         raise NotImplementedError
 
+    # -- batched mutation --------------------------------------------------
+
+    def insert_many(
+        self, name: str, rows: Iterable[ValuesLike]
+    ) -> List[Tuple[Any, ...]]:
+        """Insert many rows atomically; return their primary keys.
+
+        The default implementation loops over :meth:`insert` inside one
+        transaction, so a failure anywhere leaves the relation
+        untouched. Backends override this with genuinely batched
+        implementations (``executemany`` on sqlite, a single lock
+        acquisition in memory).
+        """
+        keys = []
+        self.begin()
+        try:
+            for values in rows:
+                keys.append(self.insert(name, values))
+        except Exception:
+            self.rollback()
+            raise
+        self.commit()
+        return keys
+
+    def apply_batch(self, operations: Iterable["DatabaseOperation"]) -> int:  # noqa: F821
+        """Apply a batch of database operations atomically.
+
+        Returns the number of operations applied. The default loops and
+        dispatches each operation; backends override it to group
+        adjacent same-relation operations into batched statements.
+        """
+        count = 0
+        self.begin()
+        try:
+            for operation in operations:
+                operation.apply(self)
+                count += 1
+        except Exception:
+            self.rollback()
+            raise
+        self.commit()
+        return count
+
     # -- reads -------------------------------------------------------------
 
     def get(self, name: str, key: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
@@ -64,6 +120,21 @@ class Engine:
 
     def contains(self, name: str, key: Sequence[Any]) -> bool:
         return self.get(name, key) is not None
+
+    def get_many(
+        self, name: str, keys: Iterable[Sequence[Any]]
+    ) -> Dict[Tuple[Any, ...], Tuple[Any, ...]]:
+        """Value tuples of the listed keys; absent keys are omitted.
+
+        The default loops over :meth:`get`; the sqlite backend batches
+        the lookups into ``IN`` queries.
+        """
+        found = {}
+        for key in keys:
+            values = self.get(name, key)
+            if values is not None:
+                found[tuple(key)] = values
+        return found
 
     def scan(self, name: str) -> Iterator[Tuple[Any, ...]]:
         raise NotImplementedError
@@ -140,5 +211,65 @@ class Engine:
     def _coerce_values(self, name: str, values: ValuesLike) -> Tuple[Any, ...]:
         schema = self.schema(name)
         if isinstance(values, Mapping):
-            return schema.row_from_mapping(values)
-        return schema.validate_row(values)
+            row = schema.row_from_mapping(values)
+        else:
+            row = schema.validate_row(values)
+        return _normalize_row_dates(schema, row)
+
+    def _coerce_key(self, name: str, key: Sequence[Any]) -> Tuple[Any, ...]:
+        """Normalize a key tuple at the engine boundary.
+
+        ``datetime.datetime`` passes DATE domain checks (it subclasses
+        ``date``) but compares unequal to the plain ``date`` the engine
+        stores, so key lookups must narrow it the same way stored values
+        are narrowed.
+        """
+        key = tuple(key)
+        if not any(isinstance(value, datetime.datetime) for value in key):
+            return key
+        schema = self.schema(name)
+        return tuple(
+            value.date()
+            if isinstance(value, datetime.datetime)
+            and schema.attribute(attr).domain == DATE
+            else value
+            for attr, value in zip(schema.key, key)
+        )
+
+    def _coerce_entry(
+        self, name: str, attribute_names: Sequence[str], entry: Sequence[Any]
+    ) -> Tuple[Any, ...]:
+        """Normalize a ``find_by`` entry like :meth:`_coerce_key`."""
+        entry = tuple(entry)
+        if not any(isinstance(value, datetime.datetime) for value in entry):
+            return entry
+        schema = self.schema(name)
+        return tuple(
+            value.date()
+            if isinstance(value, datetime.datetime)
+            and schema.attribute(attr).domain == DATE
+            else value
+            for attr, value in zip(attribute_names, entry)
+        )
+
+
+def _normalize_row_dates(
+    schema: RelationSchema, row: Tuple[Any, ...]
+) -> Tuple[Any, ...]:
+    """Narrow ``datetime.datetime`` values to ``date`` for DATE attributes.
+
+    A ``datetime`` slips through domain validation because it subclasses
+    ``date``, but storing it verbatim breaks round-trips: sqlite would
+    persist a time suffix that ``date.fromisoformat`` cannot decode, and
+    the memory engine would hold a value that compares unequal to the
+    ``date`` callers query with. Both engines therefore normalize here,
+    at the value boundary.
+    """
+    if not any(isinstance(value, datetime.datetime) for value in row):
+        return row
+    return tuple(
+        value.date()
+        if isinstance(value, datetime.datetime) and attr.domain == DATE
+        else value
+        for attr, value in zip(schema.attributes, row)
+    )

@@ -16,7 +16,8 @@ be observed as new history).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError, TransactionError, UnknownRelationError
 from repro.relational.changelog import ChangeLog, ChangeRecord
@@ -44,6 +45,10 @@ class MemoryEngine(Engine):
         self._log = ChangeLog()
         self._savepoints: List[int] = []
         self.use_indexes = use_indexes
+        # Serializes batched mutations. Individual operations are not
+        # locked — callers that share an engine across threads must
+        # serialize at a higher level (see repro.serve).
+        self._lock = threading.RLock()
 
     # -- catalog -----------------------------------------------------------
 
@@ -82,27 +87,56 @@ class MemoryEngine(Engine):
 
     def delete(self, name: str, key: Sequence[Any]) -> None:
         table = self._table(name)
+        key = self._coerce_key(name, key)
         old = table.delete(key)
-        self._log.record_delete(name, tuple(key), old)
+        self._log.record_delete(name, key, old)
 
     def replace(self, name: str, key: Sequence[Any], values: ValuesLike) -> None:
         table = self._table(name)
+        key = self._coerce_key(name, key)
         row = self._coerce_values(name, values)
         old = table.replace(key, row)
-        self._log.record_replace(name, tuple(key), old, row)
+        self._log.record_replace(name, key, old, row)
 
     def clear(self, name: str) -> None:
         table = self._table(name)
         for key in list(table.keys()):
             self.delete(name, key)
 
+    # -- batched mutation --------------------------------------------------------
+
+    def insert_many(
+        self, name: str, rows: Iterable[ValuesLike]
+    ) -> List[Tuple[Any, ...]]:
+        """Single-lock fast path: coerce everything, then apply under
+        one lock acquisition and one undo mark."""
+        table = self._table(name)
+        coerced = [self._coerce_values(name, values) for values in rows]
+        keys = []
+        with self._lock:
+            self.begin()
+            try:
+                for row in coerced:
+                    key = table.insert(row)
+                    self._log.record_insert(name, key, row)
+                    keys.append(key)
+            except Exception:
+                self.rollback()
+                raise
+            self.commit()
+        return keys
+
+    def apply_batch(self, operations) -> int:
+        with self._lock:
+            return super().apply_batch(operations)
+
     # -- reads -----------------------------------------------------------------
 
     def get(self, name: str, key: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
-        return self._table(name).get(key)
+        return self._table(name).get(self._coerce_key(name, key))
 
     def contains(self, name: str, key: Sequence[Any]) -> bool:
-        return self._table(name).contains_key(key)
+        return self._table(name).contains_key(self._coerce_key(name, key))
 
     def scan(self, name: str) -> Iterator[Tuple[Any, ...]]:
         return self._table(name).scan()
@@ -110,7 +144,9 @@ class MemoryEngine(Engine):
     def find_by(
         self, name: str, attribute_names: Sequence[str], entry: Sequence[Any]
     ) -> List[Tuple[Any, ...]]:
-        return self._table(name).find_by(attribute_names, entry)
+        return self._table(name).find_by(
+            attribute_names, self._coerce_entry(name, attribute_names, entry)
+        )
 
     def count(self, name: str) -> int:
         return len(self._table(name))

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import datetime
 import sqlite3
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     DuplicateKeyError,
@@ -55,7 +56,10 @@ class SqliteEngine(Engine):
     """
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+        # The connection is shared across threads (the serving layer in
+        # repro.serve serializes access); sqlite's own same-thread check
+        # would otherwise reject every call from a worker thread.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.isolation_level = None  # explicit transactions
         # sqlite's LIKE is case-insensitive by default; the in-memory
         # engine's pattern matching is case-sensitive (SQL standard), so
@@ -64,8 +68,9 @@ class SqliteEngine(Engine):
         self._schemas: Dict[str, RelationSchema] = {}
         self._savepoint_depth = 0
         self._savepoint_marks: List[int] = []
-        self._index_counter = 0
         self._log = ChangeLog()
+        # Serializes batched mutations; see MemoryEngine._lock.
+        self._lock = threading.RLock()
 
     # -- value conversion ----------------------------------------------------
 
@@ -76,6 +81,10 @@ class SqliteEngine(Engine):
             if value is None:
                 encoded.append(None)
             elif attr.domain == DATE:
+                # Narrow datetimes defensively: a time suffix in the
+                # stored text would break date.fromisoformat on decode.
+                if isinstance(value, datetime.datetime):
+                    value = value.date()
                 encoded.append(value.isoformat())
             elif attr.domain == BOOLEAN:
                 encoded.append(int(value))
@@ -102,6 +111,8 @@ class SqliteEngine(Engine):
         for name, value in zip(schema.key, key):
             domain = schema.attribute(name).domain
             if domain == DATE and value is not None:
+                if isinstance(value, datetime.datetime):
+                    value = value.date()
                 encoded.append(value.isoformat())
             elif domain == BOOLEAN and value is not None:
                 encoded.append(int(value))
@@ -149,24 +160,134 @@ class SqliteEngine(Engine):
 
     # -- mutation ----------------------------------------------------------------
 
+    def _insert_sql(self, name: str, schema: RelationSchema) -> str:
+        placeholders = ", ".join("?" for _ in schema.attributes)
+        return f"INSERT INTO {_quote(name)} VALUES ({placeholders})"
+
+    @staticmethod
+    def _map_integrity_error(
+        name: str, exc: sqlite3.IntegrityError, key: Tuple[Any, ...]
+    ) -> Exception:
+        """Translate a sqlite integrity failure to the error the memory
+        engine raises for the same condition.
+
+        sqlite reports every constraint violation as IntegrityError; only
+        UNIQUE/PRIMARY KEY failures are duplicate keys. A NOT NULL
+        violation corresponds to the memory engine's schema-level
+        nullability check, so it must surface as SchemaError, not as a
+        (wrong) DuplicateKeyError.
+        """
+        message = str(exc)
+        if "NOT NULL" in message:
+            return SchemaError(
+                f"relation {name!r}: {message}"
+            )
+        return DuplicateKeyError(name, key)
+
     def insert(self, name: str, values: ValuesLike) -> Tuple[Any, ...]:
         schema = self._schema_for(name)
         row = self._coerce_values(name, values)
-        placeholders = ", ".join("?" for _ in schema.attributes)
-        sql = f"INSERT INTO {_quote(name)} VALUES ({placeholders})"
+        sql = self._insert_sql(name, schema)
         try:
             self._connection.execute(sql, self._encode(schema, row))
-        except sqlite3.IntegrityError:
-            raise DuplicateKeyError(name, schema.key_of(row)) from None
+        except sqlite3.IntegrityError as exc:
+            raise self._map_integrity_error(
+                name, exc, schema.key_of(row)
+            ) from None
         key = schema.key_of(row)
         self._log.record_insert(name, key, row)
         return key
+
+    def insert_many(
+        self, name: str, rows: Iterable[ValuesLike]
+    ) -> List[Tuple[Any, ...]]:
+        """Batched insert through one ``executemany`` statement.
+
+        The whole batch is one savepoint: any constraint failure rolls
+        every row back before the error is mapped and re-raised, so the
+        relation is never left partially loaded.
+        """
+        schema = self._schema_for(name)
+        coerced = [self._coerce_values(name, values) for values in rows]
+        sql = self._insert_sql(name, schema)
+        with self._lock:
+            self.begin()
+            try:
+                self._connection.executemany(
+                    sql, [self._encode(schema, row) for row in coerced]
+                )
+            except sqlite3.IntegrityError as exc:
+                self.rollback()
+                raise self._map_integrity_error(
+                    name, exc, self._first_duplicate(name, schema, coerced)
+                ) from None
+            except Exception:
+                self.rollback()
+                raise
+            keys = []
+            for row in coerced:
+                key = schema.key_of(row)
+                self._log.record_insert(name, key, row)
+                keys.append(key)
+            self.commit()
+        return keys
+
+    def _first_duplicate(
+        self,
+        name: str,
+        schema: RelationSchema,
+        rows: Sequence[Tuple[Any, ...]],
+    ) -> Tuple[Any, ...]:
+        """Locate the offending key after a failed batch (post-rollback),
+        checking both the surviving table state and intra-batch repeats."""
+        seen = set()
+        for row in rows:
+            key = schema.key_of(row)
+            if key in seen or self.contains(name, key):
+                return key
+            seen.add(key)
+        return ()
+
+    def apply_batch(self, operations) -> int:
+        """Apply a batch, folding adjacent same-relation inserts into
+        ``executemany`` runs."""
+        ops = list(operations)
+        count = 0
+        with self._lock:
+            self.begin()
+            try:
+                i = 0
+                while i < len(ops):
+                    op = ops[i]
+                    if op.kind == "insert":
+                        j = i
+                        while (
+                            j < len(ops)
+                            and ops[j].kind == "insert"
+                            and ops[j].relation == op.relation
+                        ):
+                            j += 1
+                        self.insert_many(
+                            op.relation, [o.values for o in ops[i:j]]
+                        )
+                        count += j - i
+                        i = j
+                    else:
+                        op.apply(self)
+                        count += 1
+                        i += 1
+            except Exception:
+                self.rollback()
+                raise
+            self.commit()
+        return count
 
     def _key_clause(self, schema: RelationSchema) -> str:
         return " AND ".join(f"{_quote(k)} = ?" for k in schema.key)
 
     def delete(self, name: str, key: Sequence[Any]) -> None:
         schema = self._schema_for(name)
+        key = self._coerce_key(name, key)
         old = self.get(name, key)
         if old is None:
             raise NoSuchRowError(name, tuple(key))
@@ -178,6 +299,7 @@ class SqliteEngine(Engine):
 
     def replace(self, name: str, key: Sequence[Any], values: ValuesLike) -> None:
         schema = self._schema_for(name)
+        key = self._coerce_key(name, key)
         row = self._coerce_values(name, values)
         # Error precedence matches the in-memory engine: a missing old
         # row reports NoSuchRowError even if the new key also collides.
@@ -216,6 +338,34 @@ class SqliteEngine(Engine):
             return None
         return self._decode(schema, row)
 
+    def get_many(
+        self, name: str, keys: Iterable[Sequence[Any]]
+    ) -> Dict[Tuple[Any, ...], Tuple[Any, ...]]:
+        """Batched point lookups.
+
+        Single-attribute keys collapse into chunked ``IN`` queries; the
+        composite-key fallback loops like the base implementation.
+        """
+        schema = self._schema_for(name)
+        key_list = [self._coerce_key(name, key) for key in keys]
+        if len(schema.key) != 1:
+            return super().get_many(name, key_list)
+        found: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+        column = _quote(schema.key[0])
+        chunk_size = 500  # stay well under sqlite's host-parameter limit
+        for start in range(0, len(key_list), chunk_size):
+            chunk = key_list[start:start + chunk_size]
+            placeholders = ", ".join("?" for _ in chunk)
+            sql = (
+                f"SELECT * FROM {_quote(name)} "
+                f"WHERE {column} IN ({placeholders})"
+            )
+            params = [self._encode_key(schema, key)[0] for key in chunk]
+            for raw in self._connection.execute(sql, params).fetchall():
+                row = self._decode(schema, raw)
+                found[schema.key_of(row)] = row
+        return found
+
     def scan(self, name: str) -> Iterator[Tuple[Any, ...]]:
         schema = self._schema_for(name)  # eager: unknown names raise here
         cursor = self._connection.execute(f"SELECT * FROM {_quote(name)}")
@@ -225,6 +375,7 @@ class SqliteEngine(Engine):
         self, name: str, attribute_names: Sequence[str], entry: Sequence[Any]
     ) -> List[Tuple[Any, ...]]:
         schema = self._schema_for(name)
+        entry = self._coerce_entry(name, attribute_names, entry)
         conditions = []
         params: List[Any] = []
         for attr_name, value in zip(attribute_names, entry):
@@ -247,9 +398,10 @@ class SqliteEngine(Engine):
     def select(self, name: str, predicate: Expression) -> List[Tuple[Any, ...]]:
         schema = self._schema_for(name)
         fragment, params = predicate.to_sql()
-        # DATE/BOOLEAN parameters need encoding for comparison in SQL.
+        # DATE/BOOLEAN parameters need encoding for comparison in SQL;
+        # datetimes narrow to dates so they compare against stored text.
         encoded_params = [
-            p.isoformat()
+            (p.date() if isinstance(p, datetime.datetime) else p).isoformat()
             if isinstance(p, datetime.date)
             else int(p)
             if isinstance(p, bool)
@@ -269,8 +421,11 @@ class SqliteEngine(Engine):
 
     def create_index(self, name: str, attribute_names: Sequence[str]) -> None:
         self._schema_for(name)
-        self._index_counter += 1
-        index_name = f"idx_{name}_{self._index_counter}"
+        # Derive the index name from the column list so repeated calls
+        # (e.g. reinstalling a schema graph) dedupe via IF NOT EXISTS
+        # instead of piling up identical indexes under fresh names.
+        columns_slug = "_".join(attribute_names)
+        index_name = f"idx_{name}_{columns_slug}"
         columns = ", ".join(_quote(a) for a in attribute_names)
         self._connection.execute(
             f"CREATE INDEX IF NOT EXISTS {_quote(index_name)} "

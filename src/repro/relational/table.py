@@ -8,7 +8,7 @@ translation algorithms emit: **insert**, **delete**, and **replace**.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DuplicateKeyError, NoSuchRowError
 from repro.relational.indexes import HashIndex

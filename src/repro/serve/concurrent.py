@@ -1,0 +1,194 @@
+"""A thread-safe facade over one :class:`~repro.penguin.Penguin` session.
+
+:class:`ConcurrentPenguin` partitions the facade's surface by effect:
+
+* **shared** — ``query``, ``get``, integrity checks, cache statistics.
+  These may run from any number of threads at once. (Queries over a
+  materialized object still mutate its cache — sync, memoized assembly —
+  which the view's own internal lock serializes; the readers-writer lock
+  here guarantees no *translated update* is in flight meanwhile, so
+  readers can never observe a half-applied translation.)
+* **exclusive** — translated updates (single, query-driven, and
+  batched), materialization changes, cache syncs, and definition-time
+  operations. These take the write side and therefore see no concurrent
+  readers.
+
+The wrapper owns its lock but not the session: the underlying
+``Penguin`` stays fully usable single-threaded, and is reachable via
+``.penguin`` for configuration done before threads start.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.instance import Instance
+from repro.penguin import Penguin
+from repro.relational.operations import UpdatePlan
+from repro.serve.locks import ReadWriteLock
+from repro.structural.integrity import Violation
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = ["ConcurrentPenguin"]
+
+
+class ConcurrentPenguin:
+    """Readers-writer concurrency control around a ``Penguin`` session.
+
+    Accepts an existing session, or a :class:`StructuralSchema` plus
+    ``Penguin`` keyword arguments to build one::
+
+        serving = ConcurrentPenguin(penguin)
+        serving = ConcurrentPenguin(university_schema(), backend="sqlite")
+    """
+
+    def __init__(
+        self, session: Union[Penguin, StructuralSchema], **penguin_kwargs: Any
+    ) -> None:
+        if isinstance(session, Penguin):
+            if penguin_kwargs:
+                raise TypeError(
+                    "keyword arguments are only accepted when building a "
+                    "new session from a StructuralSchema"
+                )
+            self.penguin = session
+        else:
+            self.penguin = Penguin(session, **penguin_kwargs)
+        self.lock = ReadWriteLock()
+
+    # -- shared (read-side) operations -------------------------------------
+
+    def query(self, name: str, text: Optional[str] = None) -> List[Instance]:
+        with self.lock.read_locked():
+            return self.penguin.query(name, text)
+
+    def get(self, name: str, key: Sequence[Any]) -> Optional[Instance]:
+        with self.lock.read_locked():
+            return self.penguin.get(name, key)
+
+    def check_integrity(self) -> List[Violation]:
+        with self.lock.read_locked():
+            return self.penguin.check_integrity()
+
+    def is_consistent(self) -> bool:
+        with self.lock.read_locked():
+            return self.penguin.is_consistent()
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        with self.lock.read_locked():
+            return self.penguin.cache_stats()
+
+    # -- exclusive (write-side) operations ----------------------------------
+
+    def insert(self, name: str, instance: Union[Instance, Mapping]) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.insert(name, instance)
+
+    def delete(
+        self, name: str, key_or_instance: Union[Instance, Mapping, Sequence[Any]]
+    ) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.delete(name, key_or_instance)
+
+    def replace(
+        self,
+        name: str,
+        old: Union[Instance, Mapping, Sequence[Any]],
+        new: Union[Instance, Mapping],
+    ) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.replace(name, old, new)
+
+    def insert_many(
+        self, name: str, instances: Iterable[Union[Instance, Mapping]]
+    ) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.insert_many(name, instances)
+
+    def delete_many(
+        self,
+        name: str,
+        keys_or_instances: Iterable[Union[Instance, Mapping, Sequence[Any]]],
+    ) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.delete_many(name, keys_or_instances)
+
+    def apply_plan_batch(self, name: str, requests: Iterable) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.apply_plan_batch(name, requests)
+
+    def delete_where(self, name: str, query: str) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.delete_where(name, query)
+
+    def update_where(self, name: str, query: str, transform) -> UpdatePlan:
+        with self.lock.write_locked():
+            return self.penguin.update_where(name, query, transform)
+
+    # -- materialization (write-side: reshapes what readers see) -------------
+
+    def materialize(self, name: str, policy: Optional[str] = None):
+        with self.lock.write_locked():
+            if policy is None:
+                return self.penguin.materialize(name)
+            return self.penguin.materialize(name, policy)
+
+    def dematerialize(self, name: str) -> None:
+        with self.lock.write_locked():
+            self.penguin.dematerialize(name)
+
+    def sync(self, name: Optional[str] = None) -> int:
+        """Bring one (or every) materialized cache up to date, exclusively."""
+        with self.lock.write_locked():
+            if name is not None:
+                view = self.penguin.materialized(name)
+                return view.sync() if view is not None else 0
+            return self.penguin._materialized.sync_all()
+
+    # -- definition-time operations (write-side) ------------------------------
+
+    def define_object(self, *args: Any, **kwargs: Any):
+        with self.lock.write_locked():
+            return self.penguin.define_object(*args, **kwargs)
+
+    def register_object(self, view_object) -> None:
+        with self.lock.write_locked():
+            self.penguin.register_object(view_object)
+
+    def choose_translator(self, name: str, answers=None):
+        with self.lock.write_locked():
+            return self.penguin.choose_translator(name, answers)
+
+    def set_policy(self, name: str, policy):
+        with self.lock.write_locked():
+            return self.penguin.set_policy(name, policy)
+
+    # -- passthrough introspection -------------------------------------------
+
+    @property
+    def engine(self):
+        return self.penguin.engine
+
+    @property
+    def graph(self) -> StructuralSchema:
+        return self.penguin.graph
+
+    @property
+    def object_names(self) -> Tuple[str, ...]:
+        return self.penguin.object_names
+
+    @property
+    def materialized_names(self) -> Tuple[str, ...]:
+        return self.penguin.materialized_names
+
+    def object(self, name: str):
+        return self.penguin.object(name)
+
+    def translator(self, name: str):
+        return self.penguin.translator(name)
+
+    def materialized(self, name: str):
+        return self.penguin.materialized(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConcurrentPenguin({self.penguin!r})"

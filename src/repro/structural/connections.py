@@ -22,7 +22,7 @@ modeled explicitly by :class:`Traversal`.
 from __future__ import annotations
 
 import enum
-from typing import Any, Sequence, Tuple
+from typing import Sequence, Tuple
 
 __all__ = ["ConnectionKind", "Connection", "Traversal"]
 

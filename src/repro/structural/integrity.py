@@ -16,7 +16,7 @@ of the connecting attributes match", Definition 2.1).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.relational.engine import Engine
 from repro.structural.connections import Connection, ConnectionKind, Traversal

@@ -1,6 +1,5 @@
 """End-to-end object queries against live engines."""
 
-import pytest
 
 from repro.core.query import execute_query
 

@@ -3,7 +3,7 @@
 from repro.core.query.ast import QAnd
 from repro.core.query.parser import parse_query
 from repro.core.query.planner import plan_query
-from repro.relational.expressions import And, TRUE
+from repro.relational.expressions import TRUE
 
 
 def test_all_pushed():

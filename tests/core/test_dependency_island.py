@@ -1,6 +1,5 @@
 """Dependency islands and peninsulas (the Section 5 example)."""
 
-import pytest
 
 from repro.core.dependency_island import NodeRole, analyze_island
 

@@ -3,7 +3,6 @@ components, and facade bulk wrappers."""
 
 import copy
 
-import pytest
 
 from repro.core.updates.translator import Translator
 

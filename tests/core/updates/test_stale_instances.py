@@ -12,7 +12,7 @@ import copy
 import pytest
 
 from repro.core.updates.translator import Translator
-from repro.errors import UpdateError, UpdateRejectedError
+from repro.errors import UpdateRejectedError
 from repro.structural.integrity import IntegrityChecker
 
 

@@ -9,7 +9,6 @@ from repro.core.updates.policy import RelationPolicy, TranslatorPolicy
 from repro.core.updates.translator import Translator
 from repro.structural.integrity import IntegrityChecker
 from repro.workloads.figures import course_info_object
-from repro.workloads.university import populate_university
 
 
 def any_course(engine):

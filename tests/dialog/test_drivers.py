@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.updates.policy import ReferenceRepair
-from repro.dialog.answers import ConstantAnswers, MappingAnswers, ScriptedAnswers
+from repro.dialog.answers import ConstantAnswers, MappingAnswers
 from repro.dialog.drivers import choose_translator, run_definition_dialog
 from repro.errors import UpdateRejectedError
 

@@ -2,7 +2,6 @@
 
 import copy
 
-import pytest
 
 from repro.core.updates.translator import Translator
 from repro.dialog.answers import ConstantAnswers

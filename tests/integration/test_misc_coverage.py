@@ -1,6 +1,5 @@
 """Direct tests for smaller public entry points."""
 
-import io
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.keller import criteria
 from repro.keller.views import JoinEdge, RelationalView
-from repro.relational.expressions import attr
 from repro.relational.operations import Delete, Insert, Replace
 
 

@@ -11,7 +11,6 @@ from repro.keller.enumeration import (
     valid_translations,
 )
 from repro.keller.views import JoinEdge, RelationalView
-from repro.relational.expressions import attr
 
 
 @pytest.fixture

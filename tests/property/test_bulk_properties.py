@@ -1,0 +1,112 @@
+"""Property: batched translation is equivalent to the sequential
+per-instance loop, and failed batches leave the engine untouched."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UpdateError
+from repro.penguin import Penguin
+from repro.workloads.figures import course_info_object
+from repro.workloads.university import populate_university, university_schema
+
+DEPARTMENTS = ("Computer Science", "Music", "Mathematics")
+LEVELS = ("undergraduate", "graduate")
+
+
+def course_strategy(index):
+    return st.fixed_dictionaries(
+        {
+            "course_id": st.just(f"GEN{index:04d}"),
+            "title": st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            "units": st.integers(min_value=1, max_value=9),
+            "level": st.sampled_from(LEVELS),
+            "dept_name": st.sampled_from(DEPARTMENTS),
+            "DEPARTMENT": st.just([]),
+            "CURRICULUM": st.just([]),
+            "GRADES": st.just([]),
+        }
+    )
+
+
+def batches(max_size=8):
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.tuples(*[course_strategy(i) for i in range(n)])
+    )
+
+
+def fresh_session():
+    graph = university_schema()
+    session = Penguin(graph)
+    populate_university(session.engine)
+    session.register_object(course_info_object(graph))
+    return session
+
+
+def state_of(session):
+    return {
+        relation: sorted(session.engine.scan(relation))
+        for relation in session.engine.relation_names()
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=batches())
+def test_batched_equals_sequential(batch):
+    sequential = fresh_session()
+    for data in batch:
+        sequential.insert("course_info", data)
+
+    bulk = fresh_session()
+    plan = bulk.insert_many("course_info", list(batch))
+
+    assert state_of(sequential) == state_of(bulk)
+    assert len(plan) >= len(batch)
+    assert bulk.is_consistent()
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=batches(), doomed=st.integers(min_value=0, max_value=7))
+def test_failed_batch_leaves_engine_untouched(batch, doomed):
+    session = fresh_session()
+    before = state_of(session)
+
+    poisoned = [dict(d) for d in batch]
+    poisoned[doomed % len(poisoned)]["course_id"] = "M100"  # duplicates seed data
+
+    with pytest.raises(UpdateError):
+        session.insert_many("course_info", poisoned)
+
+    assert state_of(session) == before
+
+
+@settings(max_examples=15, deadline=None)
+@given(batch=batches(max_size=6))
+def test_insert_many_then_delete_many_matches_sequential(batch):
+    """The roundtrip is not the identity (inserting a course under a
+    department missing from the seed creates a placeholder DEPARTMENT
+    row that complete deletion leaves behind), but bulk and sequential
+    roundtrips must land on exactly the same state."""
+    keys = [(d["course_id"],) for d in batch]
+
+    sequential = fresh_session()
+    for data in batch:
+        sequential.insert("course_info", data)
+    for key in keys:
+        sequential.delete("course_info", key)
+
+    bulk = fresh_session()
+    bulk.insert_many("course_info", list(batch))
+    bulk.delete_many("course_info", keys)
+
+    assert state_of(bulk) == state_of(sequential)
+    assert bulk.get("course_info", keys[0]) is None
+    assert bulk.is_consistent()

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.query.ast import QAnd, QNot, QOr
+from repro.core.query.ast import QNot
 from repro.core.query.evaluator import evaluate
 from repro.core.query.parser import parse_query
 from repro.core.query.planner import plan_query

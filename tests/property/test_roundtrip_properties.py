@@ -12,7 +12,6 @@ from repro.core.serialization import (
     view_object_to_dict,
 )
 from repro.core.updates.translator import Translator
-from repro.errors import ReproError
 from repro.relational.memory_engine import MemoryEngine
 from repro.workloads.figures import course_info_object
 from repro.workloads.university import (

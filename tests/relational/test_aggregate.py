@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.relational.algebra import DerivedRelation, aggregate, from_engine
+from repro.relational.algebra import aggregate, from_engine
 from repro.relational.ddl import relation
 from repro.relational.memory_engine import MemoryEngine
 

@@ -3,18 +3,7 @@
 import pytest
 
 from repro.errors import QueryError
-from repro.relational.expressions import (
-    And,
-    Attr,
-    Comparison,
-    Const,
-    IsNull,
-    Not,
-    Or,
-    TRUE,
-    attr,
-    const,
-)
+from repro.relational.expressions import Attr, Comparison, Const, IsNull, Not, Or, TRUE, attr, const
 
 ROW = {"units": 4, "level": "graduate", "instructor": None}
 

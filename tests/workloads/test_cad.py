@@ -3,12 +3,7 @@
 from repro.relational.memory_engine import MemoryEngine
 from repro.structural.connections import ConnectionKind
 from repro.structural.integrity import IntegrityChecker
-from repro.workloads.cad import (
-    CadConfig,
-    assembly_object,
-    cad_schema,
-    populate_cad,
-)
+from repro.workloads.cad import CadConfig, cad_schema, populate_cad
 
 
 def test_subset_connection(cad_graph):

@@ -1,16 +1,10 @@
 """Hospital workload: schema, generator, chart object."""
 
-import pytest
 
 from repro.relational.memory_engine import MemoryEngine
 from repro.structural.connections import ConnectionKind
 from repro.structural.integrity import IntegrityChecker
-from repro.workloads.hospital import (
-    HospitalConfig,
-    hospital_schema,
-    patient_chart_object,
-    populate_hospital,
-)
+from repro.workloads.hospital import HospitalConfig, hospital_schema, populate_hospital
 
 
 def test_ownership_chain(hospital_graph):
