@@ -1,0 +1,205 @@
+"""Cost of the resilience layer: journal overhead, recovery, retries.
+
+Three questions, each answered with a number:
+
+* **Journal overhead** — how much does writing PENDING/COMMITTED
+  intent records (with before/after images) around every translated
+  update cost, relative to running unjournaled? Measured for both the
+  in-memory journal (bookkeeping only) and the fsync'ing file journal
+  (the durable configuration).
+* **Recovery throughput** — how fast does :func:`recover` resolve a
+  backlog of torn PENDING plans?
+* **Retry tax** — what does a 10% transient-fault rate cost a bulk
+  insert once the engine-level retry policy absorbs it?
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_resilience.py -q``;
+add ``--benchmark-only`` for the timing groups.
+"""
+
+import time
+
+import pytest
+
+from repro.penguin import Penguin
+from repro.relational.faults import FaultInjectingEngine, FaultPlan
+from repro.relational.journal import (
+    FileJournal,
+    MemoryJournal,
+    apply_journaled,
+    recover,
+)
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.retry import RetryPolicy
+from repro.workloads.hospital import (
+    HospitalConfig,
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+
+OBJECT = "patient_chart"
+CHARTS = 200
+
+
+def new_chart(i):
+    pid = 80_000 + i
+    return {
+        "patient_id": pid,
+        "name": f"Bench Patient {i}",
+        "birth_year": 1950 + (i % 60),
+        "ward_name": None,
+        "VISIT": [
+            {
+                "patient_id": pid,
+                "visit_no": 1,
+                "visit_date": "1991-05-29",
+                "physician_id": 9000,
+                "reason": "bench",
+                "DIAGNOSIS": [],
+                "PRESCRIPTION": [],
+                "LAB_RESULT": [],
+                "PHYSICIAN": [],
+            }
+        ],
+    }
+
+
+def hospital_session(journal=None, engine=None):
+    graph = hospital_schema()
+    if engine is None:
+        engine = MemoryEngine()
+        graph.install(engine)
+        populate_hospital(engine, HospitalConfig(patients=5))
+        install = False
+    else:
+        install = False
+    session = Penguin(graph, engine=engine, install=install, journal=journal)
+    session.register_object(patient_chart_object(graph))
+    return session
+
+
+def run_inserts(session):
+    for i in range(CHARTS):
+        session.insert(OBJECT, new_chart(i))
+
+
+def test_journal_overhead(tmp_path):
+    """Report the per-update tax of intent journaling.
+
+    The memory journal should cost little; the file journal pays two
+    fsyncs per update and is expected to dominate — the point of the
+    number is to make that price visible, not to bound it.
+    """
+    started = time.perf_counter()
+    run_inserts(hospital_session(journal=None))
+    bare = time.perf_counter() - started
+
+    started = time.perf_counter()
+    run_inserts(hospital_session(journal=MemoryJournal()))
+    memory = time.perf_counter() - started
+
+    file_journal = FileJournal(tmp_path / "plans.journal")
+    started = time.perf_counter()
+    run_inserts(hospital_session(journal=file_journal))
+    durable = time.perf_counter() - started
+    file_journal.close()
+
+    print(
+        f"\n[journal overhead] {CHARTS} translated inserts: "
+        f"bare {bare:.3f}s, memory-journaled {memory:.3f}s "
+        f"({memory / bare:.2f}x), file-journaled {durable:.3f}s "
+        f"({durable / bare:.2f}x)"
+    )
+    # Sanity floor, not a perf bar: bookkeeping must stay same-order.
+    assert memory < bare * 10
+
+
+def test_recovery_throughput():
+    """Resolve a backlog of torn plans and report plans/second."""
+    backlog = 100
+    graph = hospital_schema()
+    engine = MemoryEngine()
+    graph.install(engine)
+    populate_hospital(engine, HospitalConfig(patients=5))
+    session = hospital_session(journal=MemoryJournal(), engine=engine)
+    journal = session.journal
+
+    from repro.core.updates.translator import Translator
+    from repro.relational.faults import SimulatedCrash
+
+    for i in range(backlog):
+        chart = new_chart(1000 + i)
+        session.insert(OBJECT, chart)
+        plan = Translator(session.object(OBJECT)).preview_delete(
+            engine, key=(chart["patient_id"],)
+        )
+        faulty = FaultInjectingEngine(
+            engine, FaultPlan().crash_at("mutation", at=1)
+        )
+        try:
+            apply_journaled(faulty, journal, plan, atomic=False)
+        except SimulatedCrash:
+            pass
+    assert len(journal.pending()) == backlog
+
+    started = time.perf_counter()
+    report = recover(engine, journal)
+    elapsed = time.perf_counter() - started
+    assert report.pending_resolved == backlog
+    assert report.clean
+    print(
+        f"\n[recovery] {backlog} torn plans resolved in {elapsed:.3f}s "
+        f"({backlog / elapsed:.0f} plans/s)"
+    )
+
+
+def test_retry_tax():
+    """A 10% transient-fault rate: bulk insert still succeeds; report
+    the wall-clock tax of the absorbed retries (backoff sleeps off)."""
+    batch = [new_chart(i) for i in range(CHARTS)]
+
+    session = hospital_session()
+    started = time.perf_counter()
+    session.insert_many(OBJECT, batch)
+    clean = time.perf_counter() - started
+
+    graph = hospital_schema()
+    base = MemoryEngine()
+    graph.install(base)
+    populate_hospital(base, HospitalConfig(patients=5))
+    faulty = FaultInjectingEngine(
+        base, FaultPlan(seed=1).transient_rate(0.1, ("mutation",))
+    )
+    faulty.retry_policy = RetryPolicy(max_attempts=8, sleep=lambda _: None)
+    session = hospital_session(engine=faulty)
+    started = time.perf_counter()
+    session.insert_many(OBJECT, batch)
+    faulted = time.perf_counter() - started
+
+    stats = faulty.retry_policy.stats()
+    assert stats["gave_up"] == 0
+    assert faulty.injected["transient"] > 0
+    print(
+        f"\n[retry tax] {CHARTS} bulk-inserted charts: clean {clean:.3f}s, "
+        f"10% faults {faulted:.3f}s ({faulted / clean:.2f}x), "
+        f"{stats['absorbed']} faults absorbed"
+    )
+
+
+@pytest.mark.parametrize("journal_kind", ["none", "memory"])
+def test_translated_update_benchmark(benchmark, journal_kind):
+    """pytest-benchmark group: one journaled chart insert+delete."""
+    journal = MemoryJournal() if journal_kind == "memory" else None
+    session = hospital_session(journal=journal)
+    counter = [0]
+
+    def one_round():
+        i = counter[0]
+        counter[0] += 1
+        chart = new_chart(10_000 + i)
+        session.insert(OBJECT, chart)
+        session.delete(OBJECT, (chart["patient_id"],))
+
+    benchmark.pedantic(one_round, rounds=20, iterations=1, warmup_rounds=2)
+    if journal is not None:
+        assert not journal.pending()

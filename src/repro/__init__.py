@@ -19,11 +19,14 @@ Layers, bottom-up:
 """
 
 from repro.errors import (
+    DegradedServiceError,
     GlobalValidationError,
     IntegrityError,
+    JournalError,
     LocalValidationError,
     QueryError,
     ReproError,
+    TransientEngineError,
     TranslationError,
     UpdateError,
     UpdateRejectedError,
@@ -56,8 +59,18 @@ from repro.dialog import (
     choose_translator,
 )
 from repro.penguin import Penguin
-from repro.relational import Engine, MemoryEngine, SqliteEngine
-from repro.serve import ConcurrentPenguin, ReadWriteLock
+from repro.relational import (
+    Engine,
+    FaultInjectingEngine,
+    FaultPlan,
+    FileJournal,
+    MemoryEngine,
+    MemoryJournal,
+    RetryPolicy,
+    SimulatedCrash,
+    SqliteEngine,
+)
+from repro.serve import CircuitBreaker, ConcurrentPenguin, ReadWriteLock
 from repro.structural import (
     Connection,
     ConnectionKind,
@@ -108,5 +121,15 @@ __all__ = [
     "GlobalValidationError",
     "IntegrityError",
     "QueryError",
+    "TransientEngineError",
+    "JournalError",
+    "DegradedServiceError",
+    "FaultInjectingEngine",
+    "FaultPlan",
+    "SimulatedCrash",
+    "RetryPolicy",
+    "MemoryJournal",
+    "FileJournal",
+    "CircuitBreaker",
     "__version__",
 ]

@@ -17,7 +17,11 @@ Commands:
 * ``bench-bulk --count N --backend sqlite|memory`` — insert N synthetic
   course instances through the per-instance loop and then through the
   batched ``insert_many`` pipeline, and print both timings, the
-  speedup, and the coalesced plan's operation counts.
+  speedup, and the coalesced plan's operation counts;
+* ``chaos --seed S --ops N`` — run the seeded fault-injection campaign
+  over the hospital workload (crash sweep with journal recovery,
+  transient-fault bulk run, degraded-mode serving) and report whether
+  every resilience invariant held.
 """
 
 from __future__ import annotations
@@ -288,6 +292,16 @@ def cmd_bench_bulk(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_campaign
+
+    report = run_campaign(
+        seed=args.seed, ops=args.ops, patients=args.patients
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,6 +361,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="sqlite is file-backed so per-instance commits pay real I/O",
     )
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the seeded crash/fault campaign and check invariants",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--ops",
+        type=int,
+        default=200,
+        metavar="N",
+        help="operation budget for the transient-fault bulk leg",
+    )
+    chaos.add_argument(
+        "--patients",
+        type=int,
+        default=4,
+        help="hospital workload size (each chart adds crash points)",
+    )
+
     return parser
 
 
@@ -359,6 +392,7 @@ def main(argv=None) -> int:
         "query": cmd_query,
         "materialize": cmd_materialize,
         "bench-bulk": cmd_bench_bulk,
+        "chaos": cmd_chaos,
     }[args.command]
     return handler(args)
 

@@ -214,6 +214,10 @@ class BufferedEngine(Engine):
             "re-translate the batch instead"
         )
 
+    @property
+    def in_transaction(self) -> bool:
+        return self._depth > 0
+
     # -- introspection -----------------------------------------------------
 
     def buffered_counts(self) -> Dict[str, Tuple[int, int]]:

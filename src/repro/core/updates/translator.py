@@ -30,7 +30,12 @@ from repro.core.updates.policy import TranslatorPolicy
 from repro.core.updates.replacement import translate_replacement
 from repro.core.view_object import ViewObjectDefinition
 from repro.relational.engine import Engine
-from repro.relational.operations import UpdatePlan
+from repro.relational.journal import (
+    PlanJournal,
+    images_from_records,
+    plan_images,
+)
+from repro.relational.operations import UpdatePlan, coalesce_plans
 from repro.relational.operations import apply_plan_batch as _flush_plans
 from repro.structural.integrity import IntegrityChecker
 
@@ -55,6 +60,12 @@ class Translator:
         :class:`GlobalValidationError` and rolls the transaction back.
         This is the belt-and-braces mode used by the test suite and the
         integrity ablation.
+    journal:
+        An optional :class:`~repro.relational.journal.PlanJournal`.
+        When set, every top-level translated plan is journaled as a
+        write-ahead intent (PENDING before application, COMMITTED
+        after), so a crash mid-apply can be resolved by
+        :func:`repro.relational.journal.recover`.
     """
 
     def __init__(
@@ -63,12 +74,14 @@ class Translator:
         policy: Optional[TranslatorPolicy] = None,
         verify_integrity: bool = False,
         user: Optional[str] = None,
+        journal: Optional[PlanJournal] = None,
     ) -> None:
         self.view_object = view_object
         self.policy = policy or TranslatorPolicy.permissive()
         self.analysis = analyze_island(view_object)
         self.verify_integrity = verify_integrity
         self.user = user
+        self.journal = journal
         self._instantiator = Instantiator(view_object)
         self._checker = IntegrityChecker(view_object.graph)
 
@@ -85,6 +98,7 @@ class Translator:
         bound.analysis = self.analysis
         bound.verify_integrity = self.verify_integrity
         bound.user = user
+        bound.journal = self.journal
         bound._instantiator = self._instantiator
         bound._checker = self._checker
         return bound
@@ -282,7 +296,23 @@ class Translator:
                 )
         # Nothing touched the real engine yet: a failure above simply
         # discards the overlay. The flush below is one transaction.
-        return _flush_plans(engine, plans)
+        journal = self._active_journal(engine, need_changelog=False)
+        if journal is None:
+            return _flush_plans(engine, plans)
+        # Journaled flush: the base engine is still unmutated, so the
+        # before-images can be read directly; the intent is durable
+        # before the first operation lands.
+        combined = coalesce_plans(plans, engine.schema)
+        images = plan_images(engine, combined)
+        entry_id = journal.begin(combined, images, label=self.view_object.name)
+        try:
+            engine.apply_batch(combined.operations)
+        except Exception:
+            # apply_batch rolled the transaction back: nothing landed.
+            journal.mark_aborted(entry_id)
+            raise
+        journal.mark_committed(entry_id)
+        return combined
 
     def _prewarm(self, buffered: BufferedEngine, instances: List[Instance]) -> None:
         """Batch-load every component key the translations will probe.
@@ -388,6 +418,48 @@ class Translator:
             return instance
         return build_instance(self.view_object, instance)
 
+    def _active_journal(
+        self, engine: Engine, need_changelog: bool = True
+    ) -> Optional[PlanJournal]:
+        """The journal to write through, or None when journaling is off.
+
+        Only *top-level* plans are journaled: inside an enclosing
+        transaction the outer scope owns atomicity (and could roll an
+        inner entry's effects back after it was marked COMMITTED). The
+        eager path additionally needs the engine's changelog to
+        reconstruct before-images.
+        """
+        if self.journal is None:
+            return None
+        if getattr(engine, "in_transaction", False):
+            return None
+        if need_changelog and engine.changelog is None:
+            return None
+        return self.journal
+
+    def _journal_and_commit(self, engine: Engine, journal, mark, plan) -> None:
+        """Write the PENDING intent, commit, then mark it COMMITTED.
+
+        Called with the transaction still open and every effect already
+        applied: the changelog records since ``mark`` carry the
+        before/after images the live engine can no longer provide. A
+        failed commit (already rolled back by ``_finish_commit``) marks
+        the entry ABORTED; a simulated crash — a ``BaseException`` —
+        leaves it PENDING for recovery, exactly like a real crash would.
+        """
+        entry_id = None
+        if journal is not None:
+            images = images_from_records(engine, engine.changelog.since(mark))
+            entry_id = journal.begin(plan, images, label=self.view_object.name)
+        try:
+            engine._finish_commit()
+        except Exception:
+            if entry_id is not None:
+                journal.mark_aborted(entry_id)
+            raise
+        if entry_id is not None:
+            journal.mark_committed(entry_id)
+
     def _run(
         self, engine: Engine, translation, preview: bool = False
     ) -> UpdatePlan:
@@ -401,6 +473,8 @@ class Translator:
         ctx = TranslationContext(
             self.view_object, engine, self.policy, self.analysis
         )
+        journal = None if preview else self._active_journal(engine)
+        mark = engine.changelog.mark() if journal is not None else None
         engine.begin()
         try:
             translation(ctx)
@@ -418,7 +492,7 @@ class Translator:
         if preview:
             engine.rollback()
         else:
-            engine.commit()
+            self._journal_and_commit(engine, journal, mark, ctx.plan)
         return ctx.plan
 
     # -- previews (translate, report the plan, change nothing) ----------------
@@ -480,6 +554,8 @@ class Translator:
         from repro.core.query import execute_query
 
         instances = execute_query(self.view_object, engine, query)
+        journal = self._active_journal(engine)
+        mark = engine.changelog.mark() if journal is not None else None
         combined = UpdatePlan()
         engine.begin()
         try:
@@ -488,7 +564,7 @@ class Translator:
         except Exception:
             engine.rollback()
             raise
-        engine.commit()
+        self._journal_and_commit(engine, journal, mark, combined)
         return combined
 
     def update_where(
@@ -505,6 +581,8 @@ class Translator:
         from repro.core.query import execute_query
 
         instances = execute_query(self.view_object, engine, query)
+        journal = self._active_journal(engine)
+        mark = engine.changelog.mark() if journal is not None else None
         combined = UpdatePlan()
         engine.begin()
         try:
@@ -514,7 +592,7 @@ class Translator:
         except Exception:
             engine.rollback()
             raise
-        engine.commit()
+        self._journal_and_commit(engine, journal, mark, combined)
         return combined
 
     # -- request-object dispatch ------------------------------------------------

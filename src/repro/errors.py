@@ -8,6 +8,8 @@ view-object errors, and update-translation errors.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for every error raised by the ``repro`` library."""
@@ -66,7 +68,33 @@ class NoSuchRowError(RelationalError):
 
 
 class TransactionError(RelationalError):
-    """Illegal transaction operation (commit without begin, nested misuse)."""
+    """Illegal transaction operation (commit without begin, nested misuse),
+    or a commit that failed and was rolled back (see ``__cause__``)."""
+
+
+class TransientEngineError(RelationalError):
+    """A storage-level failure that is expected to clear on retry.
+
+    Raised for conditions like sqlite's ``database is locked`` / busy
+    states and by the fault-injection harness. A
+    :class:`~repro.relational.retry.RetryPolicy` treats this class (and
+    only errors it classifies as transient) as retryable; everything
+    else is permanent and propagates immediately.
+    """
+
+
+class JournalError(RelationalError):
+    """The plan journal is unusable (corrupt record, unknown entry id)."""
+
+
+class DegradedServiceError(ReproError):
+    """The serving layer is in the DEGRADED health state.
+
+    Writes fail fast with this error while the circuit breaker is open;
+    reads raise it only when no materialized cache can serve a stale
+    answer. The breaker probes its way back to HEALTHY once the engine
+    stops faulting.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -79,13 +107,24 @@ class StructuralError(ReproError):
 
 
 class ConnectionError(StructuralError):
-    """A connection definition violates Definitions 2.1-2.4 of the paper."""
+    """A connection definition violates Definitions 2.1-2.4 of the paper.
+
+    .. warning:: This name shadows the builtin :class:`ConnectionError`
+       when imported unqualified, silently changing what
+       ``except ConnectionError:`` means in the importing module. Prefer
+       the unambiguous alias :data:`StructuralConnectionError`.
+    """
+
+
+#: Unshadowed alias for :class:`ConnectionError` (which collides with the
+#: builtin of the same name). New code should catch and raise this name.
+StructuralConnectionError = ConnectionError
 
 
 class IntegrityError(StructuralError):
     """Data violates the integrity rules carried by a connection."""
 
-    def __init__(self, message: str, violations: list = None) -> None:
+    def __init__(self, message: str, violations: Optional[list] = None) -> None:
         super().__init__(message)
         self.violations = violations or []
 
@@ -152,7 +191,7 @@ class UpdateRejectedError(TranslationError):
     operation are rejected and the transaction is rolled back.
     """
 
-    def __init__(self, message: str, relation: str = None) -> None:
+    def __init__(self, message: str, relation: Optional[str] = None) -> None:
         super().__init__(message)
         self.relation = relation
 

@@ -27,6 +27,7 @@ class CacheStats:
         "full_refreshes",
         "records_applied",
         "rollbacks",
+        "stale_reads",
     )
 
     def __init__(self) -> None:
@@ -37,6 +38,9 @@ class CacheStats:
         self.full_refreshes = 0
         self.records_applied = 0
         self.rollbacks = 0
+        # Requests answered from the cache *without* consulting the
+        # engine — degraded-mode serving. Possibly out of date.
+        self.stale_reads = 0
 
     @property
     def requests(self) -> int:

@@ -136,6 +136,32 @@ class MaterializedView:
     def all(self) -> List[Instance]:
         return self.where(self.engine, TRUE)
 
+    # -- stale reads (degraded-mode serving) -----------------------------------
+
+    def stale_get(self, key: Sequence[Any]) -> Optional[Instance]:
+        """The cached instance under ``key`` as-is: no sync, no engine.
+
+        Used by the serving layer while the engine is unhealthy. The
+        result may be out of date (``stats.stale_reads`` counts how
+        often this path answered); ``None`` means *not cached*, not
+        *does not exist* — the cache cannot tell without the engine.
+        """
+        with self._lock:
+            instance = self._instances.get(tuple(key))
+            if instance is not None:
+                self.stats.stale_reads += 1
+            return instance
+
+    def stale_all(self) -> List[Instance]:
+        """Every cached instance as-is: no sync, no engine reads.
+
+        The extent is whatever happened to be cached — a best-effort
+        snapshot for degraded-mode serving, not the live extent.
+        """
+        with self._lock:
+            self.stats.stale_reads += 1
+            return list(self._instances.values())
+
     @property
     def cached_keys(self) -> Tuple[PivotKey, ...]:
         return tuple(self._instances)

@@ -41,6 +41,7 @@ from repro.dialog.transcript import Transcript
 from repro.materialize.maintainer import LAZY
 from repro.materialize.store import MaterializedStore, MaterializedView
 from repro.relational.engine import Engine
+from repro.relational.journal import PlanJournal, RecoveryReport, recover
 from repro.relational.memory_engine import MemoryEngine
 from repro.relational.operations import UpdatePlan
 from repro.relational.sqlite_engine import SqliteEngine
@@ -66,6 +67,13 @@ class Penguin:
         engine.
     metric:
         The information metric used when defining objects.
+    journal:
+        An optional :class:`~repro.relational.journal.PlanJournal`.
+        When set, every translated update plan is journaled as a
+        write-ahead intent and :func:`~repro.relational.journal.recover`
+        runs immediately (resolving any plan a previous process crashed
+        in the middle of); the report is kept as
+        :attr:`recovery_report`.
     """
 
     def __init__(
@@ -76,6 +84,7 @@ class Penguin:
         metric: Optional[InformationMetric] = None,
         install: bool = True,
         verify_integrity: bool = False,
+        journal: Optional[PlanJournal] = None,
     ) -> None:
         self.graph = graph
         if engine is None:
@@ -88,12 +97,16 @@ class Penguin:
         self.engine = engine
         self.metric = metric or InformationMetric()
         self.verify_integrity = verify_integrity
+        self.journal = journal
+        self.recovery_report: Optional[RecoveryReport] = None
         self._objects: Dict[str, ViewObjectDefinition] = {}
         self._translators: Dict[str, Translator] = {}
         self._checker = IntegrityChecker(graph)
         self._materialized = MaterializedStore(engine)
         if install:
             graph.install(engine)
+        if journal is not None:
+            self.recovery_report = recover(engine, journal)
 
     # -- object definition ------------------------------------------------------
 
@@ -153,6 +166,7 @@ class Penguin:
         translator, transcript = choose_translator(
             view_object, source, verify_integrity=self.verify_integrity
         )
+        translator.journal = self.journal
         self._translators[name] = translator
         return translator, transcript
 
@@ -162,6 +176,7 @@ class Penguin:
             self.object(name),
             policy=policy,
             verify_integrity=self.verify_integrity,
+            journal=self.journal,
         )
         self._translators[name] = translator
         return translator
@@ -170,7 +185,9 @@ class Penguin:
         """The bound translator; a permissive one is created on demand."""
         if name not in self._translators:
             self._translators[name] = Translator(
-                self.object(name), verify_integrity=self.verify_integrity
+                self.object(name),
+                verify_integrity=self.verify_integrity,
+                journal=self.journal,
             )
         return self._translators[name]
 
@@ -337,6 +354,16 @@ class Penguin:
             if name in self._objects:
                 self.set_policy(name, policy_from_dict(stored))
         return loaded
+
+    # -- recovery -------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Resolve pending journal entries now (e.g. after a simulated
+        crash mid-session); requires a journal. Idempotent."""
+        if self.journal is None:
+            raise ViewObjectError("this session has no plan journal")
+        self.recovery_report = recover(self.engine, self.journal)
+        return self.recovery_report
 
     # -- integrity ---------------------------------------------------------------------
 

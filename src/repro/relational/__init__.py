@@ -32,6 +32,22 @@ from repro.relational.domains import (
     domain_by_name,
 )
 from repro.relational.engine import Engine
+from repro.relational.faults import (
+    FaultInjectingEngine,
+    FaultPlan,
+    FaultRule,
+    SimulatedCrash,
+)
+from repro.relational.journal import (
+    FileJournal,
+    JournalEntry,
+    MemoryJournal,
+    PlanJournal,
+    RecoveryReport,
+    apply_journaled,
+    recover,
+)
+from repro.relational.retry import RetryPolicy, is_transient_error
 from repro.relational.expressions import (
     And,
     Attr,
@@ -109,4 +125,17 @@ __all__ = [
     "aggregate",
     "SchemaBuilder",
     "relation",
+    "FaultInjectingEngine",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
+    "RetryPolicy",
+    "is_transient_error",
+    "PlanJournal",
+    "MemoryJournal",
+    "FileJournal",
+    "JournalEntry",
+    "RecoveryReport",
+    "apply_journaled",
+    "recover",
 ]

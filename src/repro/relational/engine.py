@@ -24,6 +24,7 @@ from typing import (
     Union,
 )
 
+from repro.errors import TransactionError
 from repro.relational.domains import DATE
 from repro.relational.expressions import Expression
 from repro.relational.row import Row
@@ -35,7 +36,17 @@ ValuesLike = Union[Sequence[Any], Mapping[str, Any]]
 
 
 class Engine:
-    """Common interface of all storage backends."""
+    """Common interface of all storage backends.
+
+    ``retry_policy`` (a :class:`~repro.relational.retry.RetryPolicy`, or
+    None to disable) is consulted by the batch primitives: each
+    individual operation inside :meth:`insert_many` / :meth:`apply_batch`
+    is retried on transient failures, so a batch survives conditions
+    like sqlite busy/locked without the caller seeing them.
+    """
+
+    #: Optional RetryPolicy absorbing transient faults in batch primitives.
+    retry_policy = None
 
     # -- catalog -----------------------------------------------------------
 
@@ -87,11 +98,13 @@ class Engine:
         self.begin()
         try:
             for values in rows:
-                keys.append(self.insert(name, values))
+                keys.append(
+                    self._retry(lambda values=values: self.insert(name, values))
+                )
         except Exception:
             self.rollback()
             raise
-        self.commit()
+        self._finish_commit()
         return keys
 
     def apply_batch(self, operations: Iterable["DatabaseOperation"]) -> int:  # noqa: F821
@@ -105,12 +118,12 @@ class Engine:
         self.begin()
         try:
             for operation in operations:
-                operation.apply(self)
+                self._retry(lambda op=operation: op.apply(self))
                 count += 1
         except Exception:
             self.rollback()
             raise
-        self.commit()
+        self._finish_commit()
         return count
 
     # -- reads -------------------------------------------------------------
@@ -195,16 +208,58 @@ class Engine:
     def rollback(self) -> None:
         raise NotImplementedError
 
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a transaction is currently open (backends override)."""
+        return False
+
     @contextlib.contextmanager
     def transaction(self) -> Iterator[None]:
-        """Context manager: commit on success, roll back on error."""
+        """Context manager: commit on success, roll back on error.
+
+        If the commit itself fails, a rollback is attempted before the
+        failure surfaces as :class:`~repro.errors.TransactionError`
+        chaining the original — the engine is never left inside an open
+        transaction.
+        """
         self.begin()
         try:
             yield
         except Exception:
             self.rollback()
             raise
-        self.commit()
+        self._finish_commit()
+
+    def _retry(self, attempt):
+        """Run one operation through the retry policy, if any."""
+        policy = self.retry_policy
+        if policy is None:
+            return attempt()
+        return policy.run(attempt)
+
+    def _finish_commit(self) -> None:
+        """Commit a transaction known to be open, recovering on failure.
+
+        ``commit()`` can raise too — an injected fault, an I/O error on
+        a file-backed database. Without this wrapper the engine would be
+        left inside an open transaction with no rollback attempted;
+        instead the failed commit is rolled back and surfaced as a
+        :class:`~repro.errors.TransactionError` chaining the original.
+        Transient commit failures are retried first, like any other
+        operation.
+        """
+        try:
+            self._retry(self.commit)
+        except TransactionError:
+            raise
+        except Exception as exc:
+            try:
+                self.rollback()
+            except Exception:
+                pass  # the original failure is the one worth reporting
+            raise TransactionError(
+                "commit failed; the transaction was rolled back"
+            ) from exc
 
     # -- helpers -------------------------------------------------------------
 

@@ -1,0 +1,402 @@
+"""Deterministic fault injection for any storage engine.
+
+The paper promises that a rejected or failed translation "is rolled
+back"; making that promise hold under real-world failure modes — a
+transient ``database is locked``, a process crash between ``begin()``
+and ``commit()``, an I/O stall — requires being able to *produce* those
+failure modes on demand. :class:`FaultInjectingEngine` wraps any
+:class:`~repro.relational.engine.Engine` and executes a seeded
+:class:`FaultPlan`, so every failure scenario in the test suite, the
+chaos campaign (``python -m repro chaos``), and the benchmarks is
+reproducible from a seed.
+
+Three fault kinds are supported:
+
+* ``transient`` — raise :class:`~repro.errors.TransientEngineError`;
+  the condition clears by itself, so a retry of the same call succeeds
+  (unless the plan injects again). This models sqlite busy/locked.
+* ``crash`` — raise :class:`SimulatedCrash`, which derives from
+  ``BaseException`` so it sails *past* every ``except Exception``
+  rollback handler, exactly as a ``kill -9`` would. Recovery is then
+  the journal's job (:mod:`repro.relational.journal`).
+* ``latency`` — sleep before the call proceeds, for tail-latency and
+  timeout experiments.
+
+Rules match engine calls by operation name or by the groups
+``"mutation"`` (insert/delete/replace/clear), ``"read"``
+(get/get_many/scan/find_by/select/count/contains), ``"txn"``
+(begin/commit/rollback), or ``"*"`` (any ticked call).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import TransientEngineError
+from repro.relational.engine import Engine, ValuesLike
+from repro.relational.schema import RelationSchema
+
+__all__ = [
+    "SimulatedCrash",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjectingEngine",
+    "TransientEngineError",
+]
+
+MUTATION_OPS = ("insert", "delete", "replace", "clear")
+READ_OPS = ("get", "get_many", "scan", "find_by", "select", "count", "contains")
+TXN_OPS = ("begin", "commit", "rollback")
+
+_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "mutation": MUTATION_OPS,
+    "read": READ_OPS,
+    "txn": TXN_OPS,
+}
+
+
+class SimulatedCrash(BaseException):
+    """Stand-in for process death at an arbitrary instruction.
+
+    Deliberately *not* an :class:`Exception`: the library's rollback
+    handlers all catch ``Exception``, and a real crash would never give
+    them the chance to run. Code under test must therefore survive this
+    propagating through every layer — which is precisely what the
+    journal-based recovery path is for.
+    """
+
+    def __init__(self, operation: str, index: int) -> None:
+        super().__init__(f"simulated crash during {operation!r} #{index}")
+        self.operation = operation
+        self.index = index
+
+
+class FaultRule:
+    """One injection rule of a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    kind:
+        ``"transient"``, ``"crash"``, or ``"latency"``.
+    operations:
+        Operation names and/or group names this rule matches.
+    at:
+        Fire on exactly the Nth matching call (1-based), once.
+    rate:
+        Fire on each matching call with this probability, drawn from
+        the plan's seeded generator (deterministic per seed).
+    times:
+        Cap on how many times this rule may fire; ``None`` = unlimited
+        (``at`` implies ``times=1``).
+    delay:
+        Sleep duration for ``latency`` rules, seconds.
+    """
+
+    __slots__ = ("kind", "operations", "at", "rate", "times", "delay", "seen", "fired")
+
+    def __init__(
+        self,
+        kind: str,
+        operations: Sequence[str] = ("mutation",),
+        at: Optional[int] = None,
+        rate: Optional[float] = None,
+        times: Optional[int] = None,
+        delay: float = 0.0,
+    ) -> None:
+        if kind not in ("transient", "crash", "latency"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if at is None and rate is None:
+            rate = 1.0  # fire on every matching call (subject to `times`)
+        self.kind = kind
+        self.operations = tuple(operations)
+        self.at = at
+        self.rate = rate
+        self.times = 1 if (at is not None and times is None) else times
+        self.delay = delay
+        self.seen = 0  # matching calls observed
+        self.fired = 0  # faults actually injected
+
+    def matches(self, operation: str) -> bool:
+        for target in self.operations:
+            if target == "*" or target == operation:
+                return True
+            if operation in _GROUPS.get(target, ()):
+                return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        if self.times is None:
+            return False
+        return self.fired >= self.times
+
+    def decide(self, operation: str, rng: random.Random) -> bool:
+        """Whether this rule fires on this (matching) call."""
+        if self.exhausted:
+            return False
+        self.seen += 1
+        if self.at is not None:
+            fire = self.seen == self.at
+        else:
+            fire = rng.random() < self.rate
+        if fire:
+            self.fired += 1
+        return fire
+
+    def reset(self) -> None:
+        self.seen = 0
+        self.fired = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        trigger = f"at={self.at}" if self.at is not None else f"rate={self.rate}"
+        return (
+            f"FaultRule({self.kind}, ops={self.operations!r}, {trigger}, "
+            f"fired={self.fired})"
+        )
+
+
+class FaultPlan:
+    """A seeded, ordered set of :class:`FaultRule` to execute.
+
+    The plan is deterministic: the same seed and the same sequence of
+    engine calls produce the same injections. Fluent constructors cover
+    the common shapes::
+
+        FaultPlan(seed=7).transient_at("insert", 3)      # 3rd insert fails once
+        FaultPlan(seed=7).transient_rate(0.1)            # 10% of mutations fail
+        FaultPlan(seed=7).transient_burst(5, ("read",))  # next 5 reads fail
+        FaultPlan(seed=7).crash_at("commit", 1)          # die inside commit
+        FaultPlan(seed=7).latency("get", 0.005)          # slow point reads
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rules: List[FaultRule] = []
+        self._rng = random.Random(seed)
+
+    # -- fluent rule constructors ------------------------------------------
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def transient_at(
+        self, operation: str, at: int, times: Optional[int] = None
+    ) -> "FaultPlan":
+        return self.add(FaultRule("transient", (operation,), at=at, times=times))
+
+    def transient_rate(
+        self,
+        rate: float,
+        operations: Sequence[str] = ("mutation",),
+        times: Optional[int] = None,
+    ) -> "FaultPlan":
+        return self.add(FaultRule("transient", operations, rate=rate, times=times))
+
+    def transient_burst(
+        self, count: int, operations: Sequence[str] = ("mutation",)
+    ) -> "FaultPlan":
+        """The next ``count`` matching calls all fail transiently."""
+        return self.add(FaultRule("transient", operations, rate=1.0, times=count))
+
+    def crash_at(self, operation: str, at: int) -> "FaultPlan":
+        return self.add(FaultRule("crash", (operation,), at=at))
+
+    def latency(
+        self,
+        operation: str,
+        delay: float,
+        rate: float = 1.0,
+        times: Optional[int] = None,
+    ) -> "FaultPlan":
+        return self.add(
+            FaultRule("latency", (operation,), rate=rate, times=times, delay=delay)
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def decide(self, operation: str) -> Optional[FaultRule]:
+        """The first rule firing on this call, or None."""
+        for rule in self.rules:
+            if rule.matches(operation) and rule.decide(operation, self._rng):
+                return rule
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no rule can ever fire again (all capped rules spent)."""
+        return all(rule.exhausted for rule in self.rules)
+
+    def reset(self) -> None:
+        """Rewind every rule and the seeded generator (same seed)."""
+        for rule in self.rules:
+            rule.reset()
+        self._rng = random.Random(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"
+
+
+class FaultInjectingEngine(Engine):
+    """An engine wrapper that executes a :class:`FaultPlan`.
+
+    Every delegated call first *ticks*: the plan decides whether to
+    inject, and the injection (if any) is recorded in :attr:`injected`
+    and :attr:`history` before the fault is raised (or the latency
+    slept). Batched operations deliberately use the generic loops
+    inherited from :class:`Engine`, so per-operation faults fire inside
+    batches and the engine-level :class:`~repro.relational.retry.RetryPolicy`
+    gets to absorb them.
+
+    The wrapper shares the base engine's transaction state and
+    changelog, so journals, materialized views, and recovery all work
+    unchanged on top of it.
+    """
+
+    def __init__(self, base: Engine, plan: Optional[FaultPlan] = None) -> None:
+        self.base = base
+        self.plan = plan or FaultPlan()
+        self.injected: Dict[str, int] = {"transient": 0, "crash": 0, "latency": 0}
+        self.history: List[Tuple[str, int, str]] = []
+        self._op_counts: Dict[str, int] = {}
+        self._sleep = time.sleep
+
+    # -- fault dispatch -----------------------------------------------------
+
+    def _tick(self, operation: str) -> None:
+        index = self._op_counts.get(operation, 0) + 1
+        self._op_counts[operation] = index
+        rule = self.plan.decide(operation)
+        if rule is None:
+            return
+        self.injected[rule.kind] += 1
+        self.history.append((operation, index, rule.kind))
+        if rule.kind == "latency":
+            self._sleep(rule.delay)
+            return
+        if rule.kind == "crash":
+            raise SimulatedCrash(operation, index)
+        raise TransientEngineError(
+            f"injected transient fault during {operation!r} #{index}"
+        )
+
+    def operation_count(self, operation: str) -> int:
+        """How many times ``operation`` has been ticked so far."""
+        return self._op_counts.get(operation, 0)
+
+    # -- catalog (not ticked: DDL is setup, not workload) -------------------
+
+    def create_relation(self, schema: RelationSchema) -> None:
+        self.base.create_relation(schema)
+
+    def drop_relation(self, name: str) -> None:
+        self.base.drop_relation(name)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return self.base.relation_names()
+
+    def schema(self, name: str) -> RelationSchema:
+        return self.base.schema(name)
+
+    def has_relation(self, name: str) -> bool:
+        return self.base.has_relation(name)
+
+    def create_index(self, name: str, attribute_names: Sequence[str]) -> None:
+        self.base.create_index(name, attribute_names)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, name: str, values: ValuesLike) -> Tuple[Any, ...]:
+        self._tick("insert")
+        return self.base.insert(name, values)
+
+    def delete(self, name: str, key: Sequence[Any]) -> None:
+        self._tick("delete")
+        self.base.delete(name, key)
+
+    def replace(self, name: str, key: Sequence[Any], values: ValuesLike) -> None:
+        self._tick("replace")
+        self.base.replace(name, key, values)
+
+    def clear(self, name: str) -> None:
+        self._tick("clear")
+        self.base.clear(name)
+
+    # insert_many / apply_batch: inherited generic loops over the ticked
+    # primitives, wrapped in this engine's retry policy.
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, name: str, key: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        self._tick("get")
+        return self.base.get(name, key)
+
+    def contains(self, name: str, key: Sequence[Any]) -> bool:
+        self._tick("contains")
+        return self.base.contains(name, key)
+
+    def get_many(
+        self, name: str, keys
+    ) -> Dict[Tuple[Any, ...], Tuple[Any, ...]]:
+        self._tick("get_many")
+        return self.base.get_many(name, keys)
+
+    def scan(self, name: str) -> Iterator[Tuple[Any, ...]]:
+        self._tick("scan")
+        return self.base.scan(name)
+
+    def find_by(
+        self, name: str, attribute_names: Sequence[str], entry: Sequence[Any]
+    ) -> List[Tuple[Any, ...]]:
+        self._tick("find_by")
+        return self.base.find_by(name, attribute_names, entry)
+
+    def select(self, name: str, predicate) -> List[Tuple[Any, ...]]:
+        self._tick("select")
+        return self.base.select(name, predicate)
+
+    def count(self, name: str) -> int:
+        self._tick("count")
+        return self.base.count(name)
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self) -> None:
+        self._tick("begin")
+        self.base.begin()
+
+    def commit(self) -> None:
+        self._tick("commit")
+        self.base.commit()
+
+    def rollback(self) -> None:
+        # Never ticked: rollback is the recovery path; injecting faults
+        # into it would only test the injector, not the system.
+        self.base.rollback()
+
+    @property
+    def in_transaction(self) -> bool:
+        return getattr(self.base, "in_transaction", False)
+
+    # -- passthrough introspection -------------------------------------------
+
+    @property
+    def changelog(self):
+        return self.base.changelog
+
+    def operation_counters(self) -> Dict[str, int]:
+        counters = getattr(self.base, "operation_counters", None)
+        return counters() if counters is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjectingEngine({self.base!r}, {self.plan!r})"

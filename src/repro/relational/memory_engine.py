@@ -123,7 +123,7 @@ class MemoryEngine(Engine):
             except Exception:
                 self.rollback()
                 raise
-            self.commit()
+            self._finish_commit()
         return keys
 
     def apply_batch(self, operations) -> int:

@@ -30,6 +30,7 @@ from repro.errors import (
     NoSuchRowError,
     SchemaError,
     TransactionError,
+    TransientEngineError,
     UnknownRelationError,
 )
 from repro.relational.changelog import ChangeLog
@@ -64,13 +65,37 @@ class SqliteEngine(Engine):
         # sqlite's LIKE is case-insensitive by default; the in-memory
         # engine's pattern matching is case-sensitive (SQL standard), so
         # align sqlite with it for cross-backend parity.
-        self._connection.execute("PRAGMA case_sensitive_like = ON")
+        self._execute("PRAGMA case_sensitive_like = ON")
         self._schemas: Dict[str, RelationSchema] = {}
         self._savepoint_depth = 0
         self._savepoint_marks: List[int] = []
         self._log = ChangeLog()
         # Serializes batched mutations; see MemoryEngine._lock.
         self._lock = threading.RLock()
+
+    # -- statement execution -------------------------------------------------
+
+    def _execute(self, sql: str, params: Sequence[Any] = ()):
+        """Run one statement, mapping busy/locked into the transient
+        error class so :class:`~repro.relational.retry.RetryPolicy` (and
+        the serving layer's circuit breaker) can classify it."""
+        try:
+            return self._connection.execute(sql, params)
+        except sqlite3.OperationalError as exc:
+            raise self._map_operational_error(exc) from exc
+
+    def _executemany(self, sql: str, rows: Sequence[Sequence[Any]]):
+        try:
+            return self._connection.executemany(sql, rows)
+        except sqlite3.OperationalError as exc:
+            raise self._map_operational_error(exc) from exc
+
+    @staticmethod
+    def _map_operational_error(exc: sqlite3.OperationalError) -> Exception:
+        message = str(exc).lower()
+        if "locked" in message or "busy" in message:
+            return TransientEngineError(str(exc))
+        return exc
 
     # -- value conversion ----------------------------------------------------
 
@@ -135,12 +160,12 @@ class SqliteEngine(Engine):
             + ", ".join(columns)
             + f", PRIMARY KEY ({key_list}))"
         )
-        self._connection.execute(ddl)
+        self._execute(ddl)
         self._schemas[schema.name] = schema
 
     def drop_relation(self, name: str) -> None:
         self._schema_for(name)
-        self._connection.execute(f"DROP TABLE {_quote(name)}")
+        self._execute(f"DROP TABLE {_quote(name)}")
         del self._schemas[name]
 
     def relation_names(self) -> Tuple[str, ...]:
@@ -189,7 +214,7 @@ class SqliteEngine(Engine):
         row = self._coerce_values(name, values)
         sql = self._insert_sql(name, schema)
         try:
-            self._connection.execute(sql, self._encode(schema, row))
+            self._execute(sql, self._encode(schema, row))
         except sqlite3.IntegrityError as exc:
             raise self._map_integrity_error(
                 name, exc, schema.key_of(row)
@@ -210,12 +235,14 @@ class SqliteEngine(Engine):
         schema = self._schema_for(name)
         coerced = [self._coerce_values(name, values) for values in rows]
         sql = self._insert_sql(name, schema)
-        with self._lock:
+        encoded = [self._encode(schema, row) for row in coerced]
+
+        def attempt() -> List[Tuple[Any, ...]]:
+            # Statement-level retry: a transient failure (busy/locked)
+            # rolls the savepoint back and re-runs the whole batch.
             self.begin()
             try:
-                self._connection.executemany(
-                    sql, [self._encode(schema, row) for row in coerced]
-                )
+                self._executemany(sql, encoded)
             except sqlite3.IntegrityError as exc:
                 self.rollback()
                 raise self._map_integrity_error(
@@ -229,8 +256,11 @@ class SqliteEngine(Engine):
                 key = schema.key_of(row)
                 self._log.record_insert(name, key, row)
                 keys.append(key)
-            self.commit()
-        return keys
+            self._finish_commit()
+            return keys
+
+        with self._lock:
+            return self._retry(attempt)
 
     def _first_duplicate(
         self,
@@ -273,13 +303,13 @@ class SqliteEngine(Engine):
                         count += j - i
                         i = j
                     else:
-                        op.apply(self)
+                        self._retry(lambda op=op: op.apply(self))
                         count += 1
                         i += 1
             except Exception:
                 self.rollback()
                 raise
-            self.commit()
+            self._finish_commit()
         return count
 
     def _key_clause(self, schema: RelationSchema) -> str:
@@ -292,7 +322,7 @@ class SqliteEngine(Engine):
         if old is None:
             raise NoSuchRowError(name, tuple(key))
         sql = f"DELETE FROM {_quote(name)} WHERE {self._key_clause(schema)}"
-        cursor = self._connection.execute(sql, self._encode_key(schema, key))
+        cursor = self._execute(sql, self._encode_key(schema, key))
         if cursor.rowcount == 0:
             raise NoSuchRowError(name, tuple(key))
         self._log.record_delete(name, tuple(key), old)
@@ -315,7 +345,7 @@ class SqliteEngine(Engine):
             f"WHERE {self._key_clause(schema)}"
         )
         params = self._encode(schema, row) + self._encode_key(schema, key)
-        cursor = self._connection.execute(sql, params)
+        cursor = self._execute(sql, params)
         if cursor.rowcount == 0:
             raise NoSuchRowError(name, tuple(key))
         self._log.record_replace(name, tuple(key), old, row)
@@ -323,7 +353,7 @@ class SqliteEngine(Engine):
     def clear(self, name: str) -> None:
         schema = self._schema_for(name)
         rows = list(self.scan(name))
-        self._connection.execute(f"DELETE FROM {_quote(name)}")
+        self._execute(f"DELETE FROM {_quote(name)}")
         for row in rows:
             self._log.record_delete(name, schema.key_of(row), row)
 
@@ -332,7 +362,7 @@ class SqliteEngine(Engine):
     def get(self, name: str, key: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
         schema = self._schema_for(name)
         sql = f"SELECT * FROM {_quote(name)} WHERE {self._key_clause(schema)}"
-        cursor = self._connection.execute(sql, self._encode_key(schema, key))
+        cursor = self._execute(sql, self._encode_key(schema, key))
         row = cursor.fetchone()
         if row is None:
             return None
@@ -361,14 +391,14 @@ class SqliteEngine(Engine):
                 f"WHERE {column} IN ({placeholders})"
             )
             params = [self._encode_key(schema, key)[0] for key in chunk]
-            for raw in self._connection.execute(sql, params).fetchall():
+            for raw in self._execute(sql, params).fetchall():
                 row = self._decode(schema, raw)
                 found[schema.key_of(row)] = row
         return found
 
     def scan(self, name: str) -> Iterator[Tuple[Any, ...]]:
         schema = self._schema_for(name)  # eager: unknown names raise here
-        cursor = self._connection.execute(f"SELECT * FROM {_quote(name)}")
+        cursor = self._execute(f"SELECT * FROM {_quote(name)}")
         return iter([self._decode(schema, row) for row in cursor.fetchall()])
 
     def find_by(
@@ -392,7 +422,7 @@ class SqliteEngine(Engine):
                     params.append(value)
         where = " AND ".join(conditions) if conditions else "1 = 1"
         sql = f"SELECT * FROM {_quote(name)} WHERE {where}"
-        cursor = self._connection.execute(sql, params)
+        cursor = self._execute(sql, params)
         return [self._decode(schema, row) for row in cursor.fetchall()]
 
     def select(self, name: str, predicate: Expression) -> List[Tuple[Any, ...]]:
@@ -409,12 +439,12 @@ class SqliteEngine(Engine):
             for p in params
         ]
         sql = f"SELECT * FROM {_quote(name)} WHERE {fragment}"
-        cursor = self._connection.execute(sql, encoded_params)
+        cursor = self._execute(sql, encoded_params)
         return [self._decode(schema, row) for row in cursor.fetchall()]
 
     def count(self, name: str) -> int:
         self._schema_for(name)
-        cursor = self._connection.execute(f"SELECT COUNT(*) FROM {_quote(name)}")
+        cursor = self._execute(f"SELECT COUNT(*) FROM {_quote(name)}")
         return cursor.fetchone()[0]
 
     # -- indexes ----------------------------------------------------------------------
@@ -427,7 +457,7 @@ class SqliteEngine(Engine):
         columns_slug = "_".join(attribute_names)
         index_name = f"idx_{name}_{columns_slug}"
         columns = ", ".join(_quote(a) for a in attribute_names)
-        self._connection.execute(
+        self._execute(
             f"CREATE INDEX IF NOT EXISTS {_quote(index_name)} "
             f"ON {_quote(name)} ({columns})"
         )
@@ -437,22 +467,22 @@ class SqliteEngine(Engine):
     def begin(self) -> None:
         self._savepoint_depth += 1
         self._savepoint_marks.append(self._log.mark())
-        self._connection.execute(f"SAVEPOINT sp_{self._savepoint_depth}")
+        self._execute(f"SAVEPOINT sp_{self._savepoint_depth}")
 
     def commit(self) -> None:
         if self._savepoint_depth == 0:
             raise TransactionError("commit without matching begin")
-        self._connection.execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
+        self._execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
         self._savepoint_depth -= 1
         self._savepoint_marks.pop()
 
     def rollback(self) -> None:
         if self._savepoint_depth == 0:
             raise TransactionError("rollback without matching begin")
-        self._connection.execute(
+        self._execute(
             f"ROLLBACK TO SAVEPOINT sp_{self._savepoint_depth}"
         )
-        self._connection.execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
+        self._execute(f"RELEASE SAVEPOINT sp_{self._savepoint_depth}")
         self._savepoint_depth -= 1
         self._log.truncate(self._savepoint_marks.pop())
 

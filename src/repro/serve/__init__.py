@@ -9,7 +9,14 @@ concurrently, while translated updates, materialization, and cache
 syncs get exclusive access.
 """
 
+from repro.serve.breaker import DEGRADED, HEALTHY, CircuitBreaker
 from repro.serve.concurrent import ConcurrentPenguin
 from repro.serve.locks import ReadWriteLock
 
-__all__ = ["ConcurrentPenguin", "ReadWriteLock"]
+__all__ = [
+    "ConcurrentPenguin",
+    "ReadWriteLock",
+    "CircuitBreaker",
+    "HEALTHY",
+    "DEGRADED",
+]

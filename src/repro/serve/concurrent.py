@@ -20,16 +20,29 @@ The wrapper owns its lock but not the session: the underlying
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.instance import Instance
+from repro.errors import DegradedServiceError, TransactionError
 from repro.penguin import Penguin
 from repro.relational.operations import UpdatePlan
+from repro.relational.retry import is_transient_error
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.locks import ReadWriteLock
 from repro.structural.integrity import Violation
 from repro.structural.schema_graph import StructuralSchema
 
 __all__ = ["ConcurrentPenguin"]
+
+
+def _is_engine_fault(exc: BaseException) -> bool:
+    """Failures that indicate a sick engine rather than a bad request.
+
+    Validation and translation rejections are the caller's problem and
+    must not trip the breaker; transient storage faults and failed
+    commits are the engine's.
+    """
+    return is_transient_error(exc) or isinstance(exc, TransactionError)
 
 
 class ConcurrentPenguin:
@@ -40,10 +53,21 @@ class ConcurrentPenguin:
 
         serving = ConcurrentPenguin(penguin)
         serving = ConcurrentPenguin(university_schema(), backend="sqlite")
+
+    A :class:`~repro.serve.breaker.CircuitBreaker` tracks engine health.
+    After ``breaker.failure_threshold`` consecutive engine faults the
+    facade enters the DEGRADED state: writes fail fast with
+    :class:`~repro.errors.DegradedServiceError`, and reads are served
+    *stale* from materialized caches (counted in each view's
+    ``stats.stale_reads``). Every few refused requests one probe is let
+    through to the engine; the first success closes the breaker.
     """
 
     def __init__(
-        self, session: Union[Penguin, StructuralSchema], **penguin_kwargs: Any
+        self,
+        session: Union[Penguin, StructuralSchema],
+        breaker: Optional[CircuitBreaker] = None,
+        **penguin_kwargs: Any,
     ) -> None:
         if isinstance(session, Penguin):
             if penguin_kwargs:
@@ -55,16 +79,112 @@ class ConcurrentPenguin:
         else:
             self.penguin = Penguin(session, **penguin_kwargs)
         self.lock = ReadWriteLock()
+        self.breaker = breaker or CircuitBreaker()
+
+    # -- health-routed execution --------------------------------------------
+
+    def _read(
+        self,
+        engine_read: Callable[[], Any],
+        stale_read: Callable[[], Any],
+    ) -> Any:
+        """Serve a read: engine when healthy (or probing), stale otherwise.
+
+        ``stale_read`` raises :class:`DegradedServiceError` itself when
+        it cannot answer (no materialized cache, filtered query).
+        """
+        if self.breaker.allow():
+            try:
+                with self.lock.read_locked():
+                    result = engine_read()
+            except Exception as exc:
+                if not _is_engine_fault(exc):
+                    raise
+                self.breaker.record_failure()
+                if self.breaker.degraded:
+                    return stale_read()
+                raise
+            self.breaker.record_success()
+            return result
+        return stale_read()
+
+    def _write(self, engine_write: Callable[[], Any]) -> Any:
+        """Run a translated update, fail-fast while degraded.
+
+        The breaker is consulted *before* taking the write lock, so a
+        degraded facade refuses immediately instead of queueing callers
+        behind the writer lock.
+        """
+        if not self.breaker.allow():
+            raise DegradedServiceError(
+                "service is degraded: writes are refused while the "
+                "engine is unhealthy"
+            )
+        with self.lock.write_locked():
+            try:
+                result = engine_write()
+            except Exception as exc:
+                if _is_engine_fault(exc):
+                    self.breaker.record_failure()
+                raise
+        self.breaker.record_success()
+        return result
+
+    def _refuse_stale(self, reason: str) -> Any:
+        raise DegradedServiceError(f"service is degraded: {reason}")
+
+    def health(self) -> Dict[str, Any]:
+        """The breaker's state and counters, plus total stale reads."""
+        report = self.breaker.as_dict()
+        report["stale_reads"] = sum(
+            view_stats.get("stale_reads", 0)
+            for view_stats in self.penguin.cache_stats().values()
+        )
+        return report
 
     # -- shared (read-side) operations -------------------------------------
 
     def query(self, name: str, text: Optional[str] = None) -> List[Instance]:
-        with self.lock.read_locked():
-            return self.penguin.query(name, text)
+        return self._read(
+            lambda: self.penguin.query(name, text),
+            lambda: self._stale_query(name, text),
+        )
 
     def get(self, name: str, key: Sequence[Any]) -> Optional[Instance]:
-        with self.lock.read_locked():
-            return self.penguin.get(name, key)
+        return self._read(
+            lambda: self.penguin.get(name, key),
+            lambda: self._stale_get(name, key),
+        )
+
+    def _stale_query(self, name: str, text: Optional[str]) -> List[Instance]:
+        view = self.penguin.materialized(name)
+        if view is None:
+            return self._refuse_stale(
+                f"view object {name!r} has no materialized cache to "
+                f"serve stale reads from"
+            )
+        if text:
+            return self._refuse_stale(
+                "filtered queries need the engine; only full-extent "
+                "reads are served stale"
+            )
+        return view.stale_all()
+
+    def _stale_get(self, name: str, key: Sequence[Any]) -> Instance:
+        view = self.penguin.materialized(name)
+        if view is None:
+            return self._refuse_stale(
+                f"view object {name!r} has no materialized cache to "
+                f"serve stale reads from"
+            )
+        instance = view.stale_get(key)
+        if instance is None:
+            # Not cached — absence cannot be proven without the engine,
+            # so refusing beats answering a possibly-wrong None.
+            return self._refuse_stale(
+                f"instance {tuple(key)!r} of {name!r} is not cached"
+            )
+        return instance
 
     def check_integrity(self) -> List[Violation]:
         with self.lock.read_locked():
@@ -81,14 +201,12 @@ class ConcurrentPenguin:
     # -- exclusive (write-side) operations ----------------------------------
 
     def insert(self, name: str, instance: Union[Instance, Mapping]) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.insert(name, instance)
+        return self._write(lambda: self.penguin.insert(name, instance))
 
     def delete(
         self, name: str, key_or_instance: Union[Instance, Mapping, Sequence[Any]]
     ) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.delete(name, key_or_instance)
+        return self._write(lambda: self.penguin.delete(name, key_or_instance))
 
     def replace(
         self,
@@ -96,34 +214,32 @@ class ConcurrentPenguin:
         old: Union[Instance, Mapping, Sequence[Any]],
         new: Union[Instance, Mapping],
     ) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.replace(name, old, new)
+        return self._write(lambda: self.penguin.replace(name, old, new))
 
     def insert_many(
         self, name: str, instances: Iterable[Union[Instance, Mapping]]
     ) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.insert_many(name, instances)
+        return self._write(lambda: self.penguin.insert_many(name, instances))
 
     def delete_many(
         self,
         name: str,
         keys_or_instances: Iterable[Union[Instance, Mapping, Sequence[Any]]],
     ) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.delete_many(name, keys_or_instances)
+        return self._write(
+            lambda: self.penguin.delete_many(name, keys_or_instances)
+        )
 
     def apply_plan_batch(self, name: str, requests: Iterable) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.apply_plan_batch(name, requests)
+        return self._write(lambda: self.penguin.apply_plan_batch(name, requests))
 
     def delete_where(self, name: str, query: str) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.delete_where(name, query)
+        return self._write(lambda: self.penguin.delete_where(name, query))
 
     def update_where(self, name: str, query: str, transform) -> UpdatePlan:
-        with self.lock.write_locked():
-            return self.penguin.update_where(name, query, transform)
+        return self._write(
+            lambda: self.penguin.update_where(name, query, transform)
+        )
 
     # -- materialization (write-side: reshapes what readers see) -------------
 

@@ -108,3 +108,13 @@ def test_materialize_unknown_object(capsys):
         ["materialize", "--workload", "cad", "--object", "nope"]
     ) == 2
     assert "assembly_bom" in capsys.readouterr().err
+
+
+def test_chaos_command(capsys):
+    assert main(["chaos", "--seed", "0", "--ops", "60", "--patients", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos campaign (seed=0)" in out
+    assert "crash sweep" in out
+    assert "transient bulk" in out
+    assert "degraded serving" in out
+    assert "all held" in out

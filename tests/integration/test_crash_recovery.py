@@ -1,0 +1,164 @@
+"""Crash-point sweep: kill the process at every op index, then recover.
+
+The ISSUE's acceptance scenario: a multi-relation patient-chart deletion
+plan is applied *non-atomically* (each operation autocommits, modelling
+a storage layer without multi-operation atomicity) under journal
+protection, with a :class:`SimulatedCrash` injected at the k-th
+mutation for every k. Recovery from the journaled before/after images
+must leave the database exactly all-applied or all-reverted — never
+torn — with structural integrity intact.
+"""
+
+import pytest
+
+from repro.core.updates.translator import Translator
+from repro.penguin import Penguin
+from repro.relational.faults import FaultInjectingEngine, FaultPlan, SimulatedCrash
+from repro.relational.journal import (
+    ABORTED,
+    COMMITTED,
+    MemoryJournal,
+    apply_journaled,
+    recover,
+)
+from repro.relational.memory_engine import MemoryEngine
+from repro.structural.integrity import IntegrityChecker
+from repro.workloads.hospital import (
+    HospitalConfig,
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+
+PATIENTS = 2
+
+
+def fresh_hospital():
+    graph = hospital_schema()
+    engine = MemoryEngine()
+    graph.install(engine)
+    populate_hospital(engine, HospitalConfig(patients=PATIENTS))
+    return graph, engine, patient_chart_object(graph)
+
+
+def snapshot(engine):
+    return {name: set(engine.scan(name)) for name in engine.relation_names()}
+
+
+def _sweep_bounds():
+    """(patient id, plan length) of the chart whose deletion we sweep."""
+    _, engine, view_object = fresh_hospital()
+    pid = min(row[0] for row in engine.scan("PATIENT"))
+    plan = Translator(view_object).preview_delete(engine, key=(pid,))
+    return pid, len(plan)
+
+
+PID, PLAN_LEN = _sweep_bounds()
+
+
+class TestNonAtomicCrashSweep:
+    """Torn prefixes: each op autocommits, so only the journal can repair."""
+
+    def test_plan_is_multi_relation(self):
+        _, engine, view_object = fresh_hospital()
+        plan = Translator(view_object).preview_delete(engine, key=(PID,))
+        relations = {op.relation for op in plan.operations}
+        assert len(relations) >= 3  # patient, visits, and their children
+        assert len(plan) == PLAN_LEN >= 5
+
+    @pytest.mark.parametrize("k", range(1, PLAN_LEN + 1))
+    def test_crash_at_op_k_recovers_to_all_reverted(self, k):
+        graph, engine, view_object = fresh_hospital()
+        plan = Translator(view_object).preview_delete(engine, key=(PID,))
+        before = snapshot(engine)
+        journal = MemoryJournal()
+        faulty = FaultInjectingEngine(
+            engine, FaultPlan().crash_at("mutation", at=k)
+        )
+        with pytest.raises(SimulatedCrash):
+            apply_journaled(faulty, journal, plan, atomic=False)
+
+        report = recover(engine, journal)
+        assert report.clean
+        assert snapshot(engine) == before
+        assert {e.status for e in journal.entries()} == {ABORTED}
+        assert not IntegrityChecker(graph).check(engine)
+
+    def test_no_crash_control_point_commits(self):
+        """One index past the end: the plan completes and stays applied."""
+        graph, engine, view_object = fresh_hospital()
+        plan = Translator(view_object).preview_delete(engine, key=(PID,))
+        journal = MemoryJournal()
+        faulty = FaultInjectingEngine(
+            engine, FaultPlan().crash_at("mutation", at=PLAN_LEN + 1)
+        )
+        apply_journaled(faulty, journal, plan, atomic=False)
+        assert {e.status for e in journal.entries()} == {COMMITTED}
+        assert engine.get("PATIENT", (PID,)) is None
+        assert recover(engine, journal).pending_resolved == 0
+        assert not IntegrityChecker(graph).check(engine)
+
+    def test_crash_during_atomic_commit_reverts(self):
+        """Crash inside commit: the rollback already undid the batch;
+        recovery just has to notice nothing moved and mark ABORTED."""
+        graph, engine, view_object = fresh_hospital()
+        plan = Translator(view_object).preview_delete(engine, key=(PID,))
+        before = snapshot(engine)
+        journal = MemoryJournal()
+        faulty = FaultInjectingEngine(
+            engine, FaultPlan().crash_at("commit", at=1)
+        )
+        with pytest.raises(SimulatedCrash):
+            apply_journaled(faulty, journal, plan, atomic=True)
+        report = recover(engine, journal)
+        assert report.clean
+        assert snapshot(engine) == before
+        assert {e.status for e in journal.entries()} == {ABORTED}
+
+
+class TestTranslationCrash:
+    """Crash inside eager translation: the open transaction is discarded."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_session_recovers_after_mid_translation_crash(self, k):
+        graph, engine, view_object = fresh_hospital()
+        faulty = FaultInjectingEngine(
+            engine, FaultPlan().crash_at("mutation", at=k)
+        )
+        session = Penguin(
+            graph, engine=faulty, install=False, journal=MemoryJournal()
+        )
+        session.register_object(view_object)
+        before = snapshot(engine)
+        with pytest.raises(SimulatedCrash):
+            session.delete("patient_chart", (PID,))
+        report = session.recover()
+        assert report.clean
+        assert report.transactions_discarded >= 1
+        assert snapshot(engine) == before
+        assert not IntegrityChecker(graph).check(engine)
+
+    def test_recovery_runs_at_startup(self, tmp_path):
+        """A new session over a journal with PENDING entries heals first."""
+        from repro.relational.journal import FileJournal
+
+        path = tmp_path / "plans.journal"
+        graph, engine, view_object = fresh_hospital()
+        plan = Translator(view_object).preview_delete(engine, key=(PID,))
+        before = snapshot(engine)
+        journal = FileJournal(path)
+        faulty = FaultInjectingEngine(
+            engine, FaultPlan().crash_at("mutation", at=3)
+        )
+        with pytest.raises(SimulatedCrash):
+            apply_journaled(faulty, journal, plan, atomic=False)
+        journal.close()  # process dies with the entry PENDING
+
+        reopened = FileJournal(path)
+        session = Penguin(
+            graph, engine=engine, install=False, journal=reopened
+        )
+        assert session.recovery_report is not None
+        assert session.recovery_report.reverted
+        assert snapshot(engine) == before
+        reopened.close()

@@ -1,0 +1,145 @@
+"""Retry policy: classification, backoff, and engine integration."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import TransientEngineError, UpdateError
+from repro.relational.ddl import relation
+from repro.relational.faults import FaultInjectingEngine, FaultPlan, SimulatedCrash
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.retry import RetryPolicy, is_transient_error
+
+ITEMS = relation("ITEMS").integer("item_id").text("label").key("item_id").build()
+
+no_sleep = lambda _: None  # noqa: E731
+
+
+class TestClassification:
+    def test_transient_engine_error(self):
+        assert is_transient_error(TransientEngineError("locked"))
+
+    def test_sqlite_busy_and_locked(self):
+        assert is_transient_error(sqlite3.OperationalError("database is locked"))
+        assert is_transient_error(sqlite3.OperationalError("database is busy"))
+        assert not is_transient_error(sqlite3.OperationalError("no such table: X"))
+
+    def test_everything_else_is_permanent(self):
+        assert not is_transient_error(ValueError("nope"))
+        assert not is_transient_error(UpdateError("rejected"))
+
+
+class TestRunLoop:
+    def test_absorbs_transients_within_budget(self):
+        policy = RetryPolicy(max_attempts=4, sleep=no_sleep)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientEngineError("locked")
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert policy.stats() == {"retries": 2, "absorbed": 2, "gave_up": 0}
+
+    def test_gives_up_after_budget(self):
+        policy = RetryPolicy(max_attempts=3, sleep=no_sleep)
+
+        def always():
+            raise TransientEngineError("locked")
+
+        with pytest.raises(TransientEngineError):
+            policy.run(always)
+        assert policy.gave_up == 1
+        assert policy.retries == 2  # two sleeps for three attempts
+
+    def test_permanent_errors_not_retried(self):
+        policy = RetryPolicy(max_attempts=5, sleep=no_sleep)
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            policy.run(broken)
+        assert len(calls) == 1
+        assert policy.retries == 0
+
+    def test_crash_is_never_caught(self):
+        policy = RetryPolicy(max_attempts=5, sleep=no_sleep)
+        calls = []
+
+        def dying():
+            calls.append(1)
+            raise SimulatedCrash("insert", 1)
+
+        with pytest.raises(SimulatedCrash):
+            policy.run(dying)
+        assert len(calls) == 1
+
+    def test_max_attempts_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestBackoff:
+    def test_delay_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.04, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.01)
+        assert policy.delay(1) == pytest.approx(0.02)
+        assert policy.delay(2) == pytest.approx(0.04)
+        assert policy.delay(5) == pytest.approx(0.04)  # capped
+
+    def test_jitter_is_seeded(self):
+        a = RetryPolicy(seed=11)
+        b = RetryPolicy(seed=11)
+        assert [a.delay(i) for i in range(4)] == [b.delay(i) for i in range(4)]
+
+    def test_sleeps_follow_schedule(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, jitter=0.0, sleep=slept.append
+        )
+        attempts = [0]
+
+        def flaky():
+            attempts[0] += 1
+            if attempts[0] < 4:
+                raise TransientEngineError("locked")
+
+        policy.run(flaky)
+        assert slept == pytest.approx([0.01, 0.02, 0.04])
+
+
+class TestEngineIntegration:
+    def make_faulty(self, plan):
+        base = MemoryEngine()
+        base.create_relation(ITEMS)
+        engine = FaultInjectingEngine(base, plan)
+        engine.retry_policy = RetryPolicy(max_attempts=6, sleep=no_sleep)
+        return base, engine
+
+    def test_insert_many_survives_transients(self):
+        base, engine = self.make_faulty(
+            FaultPlan(seed=2).transient_rate(0.3, ("insert",), times=5)
+        )
+        rows = [(i, f"r{i}") for i in range(20)]
+        keys = engine.insert_many("ITEMS", rows)
+        assert len(keys) == 20
+        assert base.count("ITEMS") == 20
+        assert engine.retry_policy.gave_up == 0
+        assert engine.retry_policy.absorbed == engine.injected["transient"] > 0
+
+    def test_insert_many_gives_up_on_persistent_fault(self):
+        base, engine = self.make_faulty(
+            FaultPlan().transient_burst(100, ("insert",))
+        )
+        with pytest.raises(TransientEngineError):
+            engine.insert_many("ITEMS", [(1, "a")])
+        assert engine.retry_policy.gave_up == 1
+        assert not engine.in_transaction  # batch loop rolled back
+        assert base.count("ITEMS") == 0
