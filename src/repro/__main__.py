@@ -21,7 +21,13 @@ Commands:
 * ``chaos --seed S --ops N`` — run the seeded fault-injection campaign
   over the hospital workload (crash sweep with journal recovery,
   transient-fault bulk run, degraded-mode serving) and report whether
-  every resilience invariant held.
+  every resilience invariant held;
+* ``trace`` — run the canonical Figure-4 workload (query, EXPLAIN,
+  insert, get, delete) with tracing on and print the span trees, the
+  update EXPLAIN, and any slow-log entries; ``--jsonl FILE`` exports
+  the spans as JSON Lines;
+* ``metrics`` — run the same workload with the metrics registry live
+  and print the Prometheus-style exposition (or ``--json`` snapshot).
 """
 
 from __future__ import annotations
@@ -302,6 +308,86 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _observed_session() -> Penguin:
+    graph, engine = _build("university")
+    session = Penguin(graph, engine=engine, install=False)
+    session.register_object(course_info_object(graph))
+    return session
+
+
+def _figure4_course(session: Penguin) -> dict:
+    """The canonical insert: a graduate course in an existing department."""
+    dept = session.engine.get("DEPARTMENT", ("Computer Science",))
+    return {
+        "course_id": "CS999",
+        "title": "View Objects",
+        "units": 3,
+        "level": "graduate",
+        "dept_name": "Computer Science",
+        "DEPARTMENT": [{"dept_name": dept[0], "building": dept[1]}],
+        "CURRICULUM": [],
+        "GRADES": [],
+    }
+
+
+def _run_figure4_workload(session: Penguin) -> str:
+    """Figure 4's query plus one insert/get/delete round trip.
+
+    Returns the rendered update EXPLAIN of the insert, produced before
+    the insert executes (the explanation never touches the engine).
+    """
+    from repro.core.updates.operations import CompleteInsertion
+
+    course = _figure4_course(session)
+    session.query("course_info", "level = 'graduate' and count(STUDENT) < 5")
+    explanation = session.explain_update(
+        "course_info", CompleteInsertion(course)
+    )
+    session.insert("course_info", course)
+    session.get("course_info", ("CS999",))
+    session.delete("course_info", ("CS999",))
+    return explanation.render()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import repro.obs as obs
+
+    session = _observed_session()
+    hub = obs.configure(slow_threshold=args.slow_threshold)
+    try:
+        explain_text = _run_figure4_workload(session)
+    finally:
+        obs.disable()
+    print("=== update EXPLAIN (computed without executing) ===")
+    print(explain_text)
+    print("\n=== span trees (Figure-4 workload) ===")
+    print(hub.tracer.render(show_durations=not args.no_durations))
+    if hub.slow_log is not None and len(hub.slow_log):
+        print("\n=== slow operations (threshold "
+              f"{args.slow_threshold * 1000:.0f}ms) ===")
+        print(hub.slow_log.render())
+    if args.jsonl:
+        written = hub.tracer.export_jsonl(args.jsonl)
+        print(f"\nwrote {written} root span(s) to {args.jsonl}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import repro.obs as obs
+
+    session = _observed_session()
+    hub = obs.configure()
+    try:
+        _run_figure4_workload(session)
+    finally:
+        obs.disable()
+    if args.json:
+        print(json.dumps(hub.metrics.snapshot(), indent=2, default=str))
+    else:
+        print(hub.metrics.render_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -380,6 +466,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="hospital workload size (each chart adds crash points)",
     )
 
+    trace = commands.add_parser(
+        "trace",
+        help="trace the Figure-4 workload and print span trees + EXPLAIN",
+    )
+    trace.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="FILE",
+        help="also export the root spans as JSON Lines",
+    )
+    trace.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="slow-log retention threshold (default 0.05s)",
+    )
+    trace.add_argument(
+        "--no-durations",
+        action="store_true",
+        help="print the normalized (timing-free) span trees",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run the Figure-4 workload and print the metrics registry",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the snapshot as JSON instead of text exposition",
+    )
+
     return parser
 
 
@@ -393,6 +512,8 @@ def main(argv=None) -> int:
         "materialize": cmd_materialize,
         "bench-bulk": cmd_bench_bulk,
         "chaos": cmd_chaos,
+        "trace": cmd_trace,
+        "metrics": cmd_metrics,
     }[args.command]
     return handler(args)
 

@@ -18,6 +18,7 @@ driven by the same policy the dialog configured.
 
 from __future__ import annotations
 
+import repro.obs as obs
 from repro.errors import UpdateRejectedError
 from repro.core.instance import Instance
 from repro.core.updates import global_integrity
@@ -31,7 +32,14 @@ def translate_complete_deletion(
     ctx: TranslationContext, instance: Instance
 ) -> None:
     """Run VO-CD for ``instance``; mutations are recorded in ``ctx``."""
-    validate_deletion(ctx, instance)
+    with obs.tracer().span("validate", algorithm="VO-CD"):
+        validate_deletion(ctx, instance)
+    with obs.tracer().span("propagate", algorithm="VO-CD") as span:
+        _propagate_deletion(ctx, instance)
+        span.set(ops=len(ctx.plan))
+
+
+def _propagate_deletion(ctx: TranslationContext, instance: Instance) -> None:
     # Delete all matching tuples of every island projection, pivot first.
     for node_id in ctx.analysis.island_nodes:
         node = ctx.view_object.node(node_id)

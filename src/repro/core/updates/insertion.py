@@ -20,6 +20,7 @@ ownership, inverse subset, and reference connections, recursively
 
 from __future__ import annotations
 
+import repro.obs as obs
 from repro.errors import UpdateRejectedError
 from repro.core.instance import Instance
 from repro.core.updates import global_integrity
@@ -33,7 +34,14 @@ def translate_complete_insertion(
     ctx: TranslationContext, instance: Instance
 ) -> None:
     """Run VO-CI for ``instance``; mutations are recorded in ``ctx``."""
-    validate_insertion(ctx, instance)
+    with obs.tracer().span("validate", algorithm="VO-CI"):
+        validate_insertion(ctx, instance)
+    with obs.tracer().span("propagate", algorithm="VO-CI") as span:
+        _propagate_insertion(ctx, instance)
+        span.set(ops=len(ctx.plan))
+
+
+def _propagate_insertion(ctx: TranslationContext, instance: Instance) -> None:
     for node in ctx.view_object.tree.bfs():
         node_id = node.node_id
         in_island = ctx.analysis.is_island(node_id)

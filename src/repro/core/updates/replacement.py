@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.errors import UpdateRejectedError
 from repro.core.instance import ComponentTuple, Instance
 from repro.core.projection_tree import TreeNode
@@ -49,21 +50,24 @@ def translate_replacement(
 ) -> None:
     """Run VO-R; mutations are recorded in ``ctx``."""
     # Step 1: local validation.
-    validate_replacement(ctx, old, new)
-    # Step 2: propagation within the view object.
-    new = propagate_within_object(ctx.view_object, new)
-    # Step 3: translation into database operations (the state machine).
-    _walk_node(
-        ctx,
-        ctx.view_object.tree.root,
-        [old.root],
-        [new.root],
-        in_island=True,
-    )
-    # Step 4: validation against the structural model. The passes run
-    # to a joint fixpoint: a key-change collision may drop stale tuples
-    # whose own cascades the deletion pass must then pick up.
-    global_integrity.maintain_all(ctx)
+    with obs.tracer().span("validate", algorithm="VO-R"):
+        validate_replacement(ctx, old, new)
+    with obs.tracer().span("propagate", algorithm="VO-R") as span:
+        # Step 2: propagation within the view object.
+        new = propagate_within_object(ctx.view_object, new)
+        # Step 3: translation into database operations (the state machine).
+        _walk_node(
+            ctx,
+            ctx.view_object.tree.root,
+            [old.root],
+            [new.root],
+            in_island=True,
+        )
+        # Step 4: validation against the structural model. The passes run
+        # to a joint fixpoint: a key-change collision may drop stale tuples
+        # whose own cascades the deletion pass must then pick up.
+        global_integrity.maintain_all(ctx)
+        span.set(ops=len(ctx.plan))
 
 
 # ---------------------------------------------------------------------------

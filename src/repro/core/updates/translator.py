@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+import repro.obs as obs
 from repro.errors import GlobalValidationError, UpdateError
 from repro.core.dependency_island import analyze_island
 from repro.core.instance import Instance, build_instance
@@ -29,6 +30,7 @@ from repro.core.updates.insertion import translate_complete_insertion
 from repro.core.updates.policy import TranslatorPolicy
 from repro.core.updates.replacement import translate_replacement
 from repro.core.view_object import ViewObjectDefinition
+from repro.obs.explain import TranslationExplanation
 from repro.relational.engine import Engine
 from repro.relational.journal import (
     PlanJournal,
@@ -36,7 +38,6 @@ from repro.relational.journal import (
     plan_images,
 )
 from repro.relational.operations import UpdatePlan, coalesce_plans
-from repro.relational.operations import apply_plan_batch as _flush_plans
 from repro.structural.integrity import IntegrityChecker
 
 __all__ = ["Translator"]
@@ -109,7 +110,9 @@ class Translator:
         """Complete insertion of a fully specified instance."""
         instance = self._coerce_instance(instance)
         return self._run(
-            engine, lambda ctx: translate_complete_insertion(ctx, instance)
+            engine,
+            lambda ctx: translate_complete_insertion(ctx, instance),
+            op="insert",
         )
 
     def delete(
@@ -125,7 +128,9 @@ class Translator:
             instance = self.instantiate(engine, instance)
         instance = self._coerce_instance(instance)
         return self._run(
-            engine, lambda ctx: translate_complete_deletion(ctx, instance)
+            engine,
+            lambda ctx: translate_complete_deletion(ctx, instance),
+            op="delete",
         )
 
     def replace(
@@ -140,7 +145,9 @@ class Translator:
         old = self._coerce_instance(old)
         new = self._coerce_instance(new)
         return self._run(
-            engine, lambda ctx: translate_replacement(ctx, old, new)
+            engine,
+            lambda ctx: translate_replacement(ctx, old, new),
+            op="replace",
         )
 
     # -- batched operations --------------------------------------------------------
@@ -163,6 +170,7 @@ class Translator:
             engine,
             items,
             lambda ctx, instance: translate_complete_insertion(ctx, instance),
+            op="insert",
         )
 
     def delete_many(
@@ -183,6 +191,7 @@ class Translator:
             engine,
             items,
             lambda ctx, instance: translate_complete_deletion(ctx, instance),
+            op="delete",
         )
 
     def apply_plan_batch(
@@ -205,6 +214,7 @@ class Translator:
             requests,
             self._translate_request,
             prewarm=[i for i in instances if isinstance(i, Instance)],
+            op="batch",
         )
 
     def _translate_request(
@@ -266,6 +276,7 @@ class Translator:
         items: List[Any],
         translate_one: Callable[[TranslationContext, Any], None],
         prewarm: Optional[List[Instance]] = None,
+        op: str = "batch",
     ) -> UpdatePlan:
         if not self.policy.authorizes(self.user):
             from repro.errors import LocalValidationError
@@ -274,45 +285,75 @@ class Translator:
                 f"user {self.user!r} is not authorized to update through "
                 f"view object {self.view_object.name!r}"
             )
-        buffered = BufferedEngine(engine)
-        warm = prewarm if prewarm is not None else [
-            item for item in items if isinstance(item, Instance)
-        ]
-        self._prewarm(buffered, warm)
-        plans = []
-        for item in items:
-            ctx = TranslationContext(
-                self.view_object, buffered, self.policy, self.analysis
-            )
-            translate_one(ctx, item)
-            plans.append(ctx.plan)
-        if self.verify_integrity:
-            violations = self._checker.check(buffered)
-            if violations:
-                raise GlobalValidationError(
-                    f"batch translation left {len(violations)} integrity "
-                    f"violations: "
-                    + "; ".join(v.message for v in violations[:5])
+        tracer = obs.tracer()
+        registry = obs.metrics()
+        with tracer.span(
+            "translate.batch",
+            object=self.view_object.name,
+            op=op,
+            items=len(items),
+        ) as root:
+            buffered = BufferedEngine(engine)
+            warm = prewarm if prewarm is not None else [
+                item for item in items if isinstance(item, Instance)
+            ]
+            self._prewarm(buffered, warm)
+            plans = []
+            try:
+                for item in items:
+                    ctx = TranslationContext(
+                        self.view_object, buffered, self.policy, self.analysis
+                    )
+                    with tracer.span("translate", op=op):
+                        translate_one(ctx, item)
+                    plans.append(ctx.plan)
+                if self.verify_integrity:
+                    with tracer.span("verify"):
+                        violations = self._checker.check(buffered)
+                    if violations:
+                        raise GlobalValidationError(
+                            f"batch translation left {len(violations)} "
+                            f"integrity violations: "
+                            + "; ".join(v.message for v in violations[:5])
+                        )
+            except Exception:
+                registry.counter("translation_failures_total", op=op).inc()
+                raise
+            # Nothing touched the real engine yet: a failure above simply
+            # discards the overlay. The flush below is one transaction.
+            journal = self._active_journal(engine, need_changelog=False)
+            with tracer.span("coalesce") as fold:
+                combined = coalesce_plans(plans, engine.schema)
+                fold.set(
+                    ops_before=sum(len(plan) for plan in plans),
+                    ops_after=len(combined),
                 )
-        # Nothing touched the real engine yet: a failure above simply
-        # discards the overlay. The flush below is one transaction.
-        journal = self._active_journal(engine, need_changelog=False)
-        if journal is None:
-            return _flush_plans(engine, plans)
-        # Journaled flush: the base engine is still unmutated, so the
-        # before-images can be read directly; the intent is durable
-        # before the first operation lands.
-        combined = coalesce_plans(plans, engine.schema)
-        images = plan_images(engine, combined)
-        entry_id = journal.begin(combined, images, label=self.view_object.name)
-        try:
-            engine.apply_batch(combined.operations)
-        except Exception:
-            # apply_batch rolled the transaction back: nothing landed.
-            journal.mark_aborted(entry_id)
-            raise
-        journal.mark_committed(entry_id)
-        return combined
+            root.set(ops=len(combined), journaled=journal is not None)
+            if journal is None:
+                with tracer.span("engine.apply", ops=len(combined)):
+                    engine.apply_batch(combined.operations)
+                registry.counter("translations_total", op=op).inc()
+                registry.histogram("plan_ops", op=op).observe(len(combined))
+                return combined
+            # Journaled flush: the base engine is still unmutated, so the
+            # before-images can be read directly; the intent is durable
+            # before the first operation lands.
+            images = plan_images(engine, combined)
+            entry_id = journal.begin(
+                combined, images, label=self.view_object.name
+            )
+            try:
+                with tracer.span("engine.apply", ops=len(combined)):
+                    engine.apply_batch(combined.operations)
+            except Exception:
+                # apply_batch rolled the transaction back: nothing landed.
+                journal.mark_aborted(entry_id)
+                registry.counter("translation_failures_total", op=op).inc()
+                raise
+            journal.mark_committed(entry_id)
+            registry.counter("translations_total", op=op).inc()
+            registry.histogram("plan_ops", op=op).observe(len(combined))
+            return combined
 
     def _prewarm(self, buffered: BufferedEngine, instances: List[Instance]) -> None:
         """Batch-load every component key the translations will probe.
@@ -355,6 +396,7 @@ class Translator:
             lambda ctx: translate_partial_insertion(
                 ctx, instance, node_id, values
             ),
+            op="partial_insert",
         )
 
     def delete_component(
@@ -373,6 +415,7 @@ class Translator:
             lambda ctx: translate_partial_deletion(
                 ctx, instance, node_id, values
             ),
+            op="partial_delete",
         )
 
     def update_component(
@@ -392,6 +435,7 @@ class Translator:
             lambda ctx: translate_partial_update(
                 ctx, instance, node_id, old_values, new_values
             ),
+            op="partial_update",
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -461,7 +505,11 @@ class Translator:
             journal.mark_committed(entry_id)
 
     def _run(
-        self, engine: Engine, translation, preview: bool = False
+        self,
+        engine: Engine,
+        translation,
+        preview: bool = False,
+        op: str = "update",
     ) -> UpdatePlan:
         if not self.policy.authorizes(self.user):
             from repro.errors import LocalValidationError
@@ -475,24 +523,39 @@ class Translator:
         )
         journal = None if preview else self._active_journal(engine)
         mark = engine.changelog.mark() if journal is not None else None
-        engine.begin()
-        try:
-            translation(ctx)
-            if self.verify_integrity:
-                violations = self._checker.check(engine)
-                if violations:
-                    raise GlobalValidationError(
-                        f"translation left {len(violations)} integrity "
-                        f"violations: "
-                        + "; ".join(v.message for v in violations[:5])
-                    )
-        except Exception:
-            engine.rollback()
-            raise
-        if preview:
-            engine.rollback()
-        else:
-            self._journal_and_commit(engine, journal, mark, ctx.plan)
+        tracer = obs.tracer()
+        registry = obs.metrics()
+        with tracer.span(
+            "translate",
+            object=self.view_object.name,
+            op=op,
+            preview=preview,
+        ) as span:
+            engine.begin()
+            try:
+                translation(ctx)
+                if self.verify_integrity:
+                    with tracer.span("verify"):
+                        violations = self._checker.check(engine)
+                    if violations:
+                        raise GlobalValidationError(
+                            f"translation left {len(violations)} integrity "
+                            f"violations: "
+                            + "; ".join(v.message for v in violations[:5])
+                        )
+            except Exception:
+                engine.rollback()
+                registry.counter("translation_failures_total", op=op).inc()
+                raise
+            span.set(ops=len(ctx.plan), journaled=journal is not None)
+            if preview:
+                engine.rollback()
+                registry.counter("translation_previews_total", op=op).inc()
+            else:
+                with tracer.span("commit", ops=len(ctx.plan)):
+                    self._journal_and_commit(engine, journal, mark, ctx.plan)
+                registry.counter("translations_total", op=op).inc()
+                registry.histogram("plan_ops", op=op).observe(len(ctx.plan))
         return ctx.plan
 
     # -- previews (translate, report the plan, change nothing) ----------------
@@ -504,6 +567,7 @@ class Translator:
             engine,
             lambda ctx: translate_complete_insertion(ctx, instance),
             preview=True,
+            op="insert",
         )
 
     def preview_delete(
@@ -522,6 +586,7 @@ class Translator:
             engine,
             lambda ctx: translate_complete_deletion(ctx, instance),
             preview=True,
+            op="delete",
         )
 
     def preview_replace(
@@ -539,7 +604,90 @@ class Translator:
             engine,
             lambda ctx: translate_replacement(ctx, old, new),
             preview=True,
+            op="replace",
         )
+
+    # -- EXPLAIN (translate over an overlay, execute nothing) ------------------
+
+    def explain(
+        self, engine: Engine, request: "UpdateRequest"
+    ) -> TranslationExplanation:
+        """The would-be plan of one update request, without executing it.
+
+        The request runs through the real VO-CI / VO-CD / VO-R code over
+        a :class:`BufferedEngine` overlay, so the reported operations,
+        relations, and CASE reasons are exactly what :meth:`apply` would
+        produce against the current database — but the base engine is
+        never touched. The counterpart of
+        :func:`repro.core.query.explain_query` for updates.
+        """
+        return self._explain(engine, [request])
+
+    def explain_batch(
+        self, engine: Engine, requests: Iterable["UpdateRequest"]
+    ) -> TranslationExplanation:
+        """The coalesced would-be plan of a batch, without executing it."""
+        return self._explain(engine, list(requests))
+
+    def _explain(
+        self, engine: Engine, requests: List["UpdateRequest"]
+    ) -> TranslationExplanation:
+        operation = self._describe_requests(requests)
+        with obs.tracer().span(
+            "explain",
+            object=self.view_object.name,
+            op=operation,
+            items=len(requests),
+        ) as span:
+            buffered = BufferedEngine(engine)
+            plans: List[UpdatePlan] = []
+            for request in requests:
+                ctx = TranslationContext(
+                    self.view_object, buffered, self.policy, self.analysis
+                )
+                self._translate_request(ctx, request)
+                plans.append(ctx.plan)
+            combined = UpdatePlan()
+            for plan in plans:
+                combined.extend(plan)
+            coalesced = coalesce_plans(plans, engine.schema)
+            span.set(ops=len(combined))
+        obs.metrics().counter("explains_total", op=operation).inc()
+        touched = set(combined.relations_touched())
+        rules = []
+        for connection in self.view_object.graph.connections:
+            if connection.source in touched or connection.target in touched:
+                rules.append(f"{connection.name}: {connection.describe()}")
+        return TranslationExplanation(
+            object_name=self.view_object.name,
+            operation=operation,
+            plan=combined,
+            coalesced=coalesced,
+            island_relations=tuple(self.analysis.island_relations),
+            connections=tuple(rules),
+            verify_integrity=self.verify_integrity,
+            items=len(requests),
+        )
+
+    @staticmethod
+    def _describe_requests(requests: Sequence["UpdateRequest"]) -> str:
+        """One op label for a request list: its kind, or "mixed"."""
+        names = {
+            "CompleteInsertion": "insert",
+            "CompleteDeletion": "delete",
+            "Replacement": "replace",
+            "PartialInsertion": "partial_insert",
+            "PartialDeletion": "partial_delete",
+            "PartialUpdate": "partial_update",
+        }
+        kinds = {
+            names.get(type(request).__name__, "update") for request in requests
+        }
+        if not kinds:
+            return "empty"
+        if len(kinds) == 1:
+            return next(iter(kinds))
+        return "mixed"
 
     # -- query-driven bulk operations ---------------------------------------------
 

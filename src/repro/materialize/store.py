@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.errors import ViewObjectError
 from repro.core.instance import Instance
 from repro.core.instantiation import Instantiator
@@ -87,19 +88,33 @@ class MaterializedView:
     def sync(self) -> int:
         """Bring the cache up to the changelog head; returns records applied."""
         with self._lock:
-            return self.maintainer.sync()
+            pending = self.maintainer.staleness()
+            if not pending:
+                return self.maintainer.sync()
+            with obs.tracer().span(
+                "view.sync", object=self.view_object.name
+            ) as span:
+                applied = self.maintainer.sync()
+                span.set(records=applied)
+            obs.metrics().counter(
+                "cache_sync_records_total", object=self.view_object.name
+            ).inc(applied)
+            return applied
 
     def get(self, key: Sequence[Any]) -> Optional[Instance]:
         """The instance with pivot key ``key``, or None."""
         with self._lock:
             self.sync()
             pivot_key = tuple(key)
+            self._count_lookup()
             cached = self._instances.get(pivot_key)
             if cached is not None:
                 self.stats.hits += 1
+                self._count_hit()
                 return cached
             values = self.engine.get(self.view_object.pivot_relation, pivot_key)
             if values is None:
+                self._count_miss()
                 return None
             return self._assemble_into_cache(pivot_key, values, count_miss=True)
 
@@ -121,9 +136,11 @@ class MaterializedView:
                 self.view_object.pivot_relation, predicate
             ):
                 pivot_key = self._pivot_schema.key_of(values)
+                self._count_lookup()
                 cached = self._instances.get(pivot_key)
                 if cached is not None:
                     self.stats.hits += 1
+                    self._count_hit()
                     instances.append(cached)
                 else:
                     instances.append(
@@ -150,6 +167,9 @@ class MaterializedView:
             instance = self._instances.get(tuple(key))
             if instance is not None:
                 self.stats.stale_reads += 1
+                obs.metrics().counter(
+                    "cache_stale_reads_total", object=self.view_object.name
+                ).inc()
             return instance
 
     def stale_all(self) -> List[Instance]:
@@ -160,6 +180,9 @@ class MaterializedView:
         """
         with self._lock:
             self.stats.stale_reads += 1
+            obs.metrics().counter(
+                "cache_stale_reads_total", object=self.view_object.name
+            ).inc()
             return list(self._instances.values())
 
     @property
@@ -176,9 +199,25 @@ class MaterializedView:
     ) -> Instance:
         if count_miss:
             self.stats.misses += 1
+            self._count_miss()
         instance = self.instantiator.assemble(self.engine, values)
         self._instances[pivot_key] = instance
         return instance
+
+    def _count_lookup(self) -> None:
+        obs.metrics().counter(
+            "cache_lookups_total", object=self.view_object.name
+        ).inc()
+
+    def _count_hit(self) -> None:
+        obs.metrics().counter(
+            "cache_hits_total", object=self.view_object.name
+        ).inc()
+
+    def _count_miss(self) -> None:
+        obs.metrics().counter(
+            "cache_misses_total", object=self.view_object.name
+        ).inc()
 
     def evict(self, pivot_key: PivotKey) -> None:
         with self._lock:

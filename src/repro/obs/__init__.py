@@ -1,0 +1,170 @@
+"""Observability: tracing, metrics, and the slow-operation log.
+
+Keller's framework treats the chosen translation strategy as a
+first-class artifact; this package makes the *executions* of that
+strategy first-class too. One :class:`Observability` hub bundles
+
+* a :class:`~repro.obs.trace.Tracer` (hierarchical spans:
+  ``translate > validate > propagate > engine.apply > commit``),
+* a :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms for every layer), and
+* a :class:`~repro.obs.slowlog.SlowLog` (threshold-gated outliers),
+
+and the library's layers consult the *active* hub through the
+module-level accessors :func:`tracer` / :func:`metrics` /
+:func:`slow_log`. By default the hub is disabled: the accessors hand
+out shared no-op objects, so instrumented code paths cost one function
+call and nothing else. :func:`configure` swaps in a live hub;
+:func:`disable` restores the no-op one; :func:`use` scopes a hub to a
+``with`` block (tests, benchmarks, property-based equivalence checks).
+
+>>> import repro.obs as obs
+>>> hub = obs.configure()
+>>> # ... run translated updates ...
+>>> print(hub.tracer.render())          # doctest: +SKIP
+>>> print(hub.metrics.render_text())    # doctest: +SKIP
+>>> obs.disable()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import SlowEntry, SlowLog
+from repro.obs.trace import NOOP_TRACER, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "configure",
+    "disable",
+    "use",
+    "active",
+    "tracer",
+    "metrics",
+    "slow_log",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SlowLog",
+    "SlowEntry",
+    "NOOP_TRACER",
+    "NULL_REGISTRY",
+]
+
+
+class Observability:
+    """One tracer + one metrics registry + one slow log, as a unit."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+        slow_log: Optional[SlowLog] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.slow_log = slow_log
+        if slow_log is not None and tracer.enabled:
+            tracer.on_root.append(slow_log.consider)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The no-op hub: shared disabled tracer, null registry."""
+        return cls(NOOP_TRACER, NULL_REGISTRY, None)
+
+    @classmethod
+    def enabled(
+        cls,
+        span_capacity: int = 256,
+        slow_threshold: Optional[float] = None,
+        clock=None,
+    ) -> "Observability":
+        tracer = Tracer(capacity=span_capacity)
+        if clock is not None:
+            tracer.clock = clock
+        slow = None if slow_threshold is None else SlowLog(slow_threshold)
+        return cls(tracer, MetricsRegistry(), slow)
+
+    @property
+    def is_enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Observability(enabled={self.is_enabled}, "
+            f"slow_log={self.slow_log is not None})"
+        )
+
+
+_DISABLED = Observability.disabled()
+_active = _DISABLED
+
+
+def active() -> Observability:
+    """The hub instrumented code currently reports to."""
+    return _active
+
+
+def tracer() -> Tracer:
+    return _active.tracer
+
+
+def metrics() -> MetricsRegistry:
+    return _active.metrics
+
+
+def slow_log() -> Optional[SlowLog]:
+    return _active.slow_log
+
+
+def configure(
+    span_capacity: int = 256,
+    slow_threshold: Optional[float] = None,
+    clock=None,
+) -> Observability:
+    """Install (and return) a fresh live hub.
+
+    ``slow_threshold`` (seconds) turns on the slow-operation log;
+    ``clock`` injects a fake clock for deterministic tests.
+    """
+    global _active
+    _active = Observability.enabled(
+        span_capacity=span_capacity, slow_threshold=slow_threshold, clock=clock
+    )
+    return _active
+
+
+def disable() -> None:
+    """Restore the shared no-op hub."""
+    global _active
+    _active = _DISABLED
+
+
+@contextlib.contextmanager
+def use(hub: Optional[Observability] = None) -> Iterator[Observability]:
+    """Scope a hub to a ``with`` block, restoring the previous one after.
+
+    With no argument, a fresh enabled hub is created for the block:
+
+    >>> import repro.obs as obs
+    >>> with obs.use() as hub:
+    ...     pass  # instrumented code reports to `hub` here
+    """
+    global _active
+    previous = _active
+    _active = hub if hub is not None else Observability.enabled()
+    try:
+        yield _active
+    finally:
+        _active = previous

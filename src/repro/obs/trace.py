@@ -1,0 +1,316 @@
+"""Hierarchical tracing of the translation pipeline.
+
+The paper treats a translated update as a derivation the DBA can audit
+("the output is the set of database operations"); tracing extends that
+auditability to *time*. A :class:`Tracer` produces trees of
+:class:`Span` objects — ``translate > validate > propagate >
+engine.apply > commit`` — with attributes recorded along the way
+(relation names, plan sizes, cache hits, retry counts).
+
+Design constraints, in order:
+
+* **zero cost when disabled** — the singleton no-op span makes a
+  disabled ``tracer.span(...)`` a dict-free constant-time call;
+* **zero dependencies** — spans live in plain objects, the sink is an
+  in-memory ring buffer (a bounded ``deque``), and the exporter writes
+  JSON Lines with the standard library;
+* **thread-local nesting** — each thread grows its own span stack, so
+  concurrent serving threads trace independently without locking each
+  other.
+
+Finished *root* spans land in the ring buffer and are offered to any
+registered ``on_root`` callbacks (the slow-operation log hooks in
+there).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["Span", "Tracer", "NOOP_TRACER"]
+
+Clock = Callable[[], float]
+
+
+class Span:
+    """One timed operation, possibly with children.
+
+    A span is its own context manager: ``with tracer.span(...) as s``
+    pushes it onto the tracer's thread-local stack on enter and pops
+    (recording the end time and any error) on exit.  The enter/exit
+    bodies are deliberately flat — no helper calls, the thread-local
+    stack resolved once and cached — because this is the hottest path
+    of the whole layer: every traced operation pays it.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "start",
+        "end",
+        "error",
+        "_tracer",
+        "_stack",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = attributes or {}
+        self.children: List["Span"] = []
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.error: Optional[str] = None
+        self._tracer = tracer
+
+    # -- context management (the hot path) ------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        local = tracer._local
+        try:
+            stack = local.stack
+        except AttributeError:
+            stack = local.stack = []
+        self._stack = stack
+        if stack:
+            stack[-1].children.append(self)
+        stack.append(self)
+        self.start = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.end = self._tracer.clock()
+        if exc is not None and self.error is None:
+            self.error = f"{type(exc).__name__}: {exc}"
+        # Tolerate a mismatched pop (a crash mid-span unwinding through
+        # BaseException handlers) by draining down to this span.
+        stack = self._stack
+        while stack and stack.pop() is not self:
+            pass
+        if not stack:
+            self._tracer._finish_root(self)
+        return False
+
+    # -- recording -----------------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def record_error(self, exc: BaseException) -> None:
+        self.error = f"{type(exc).__name__}: {exc}"
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while unfinished)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with ``name``, depth first."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1000, 3),
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def render(self, show_durations: bool = True) -> str:
+        """An indented, human-readable span tree."""
+        lines: List[str] = []
+        self._render_into(lines, 0, show_durations)
+        return "\n".join(lines)
+
+    def _render_into(self, lines: List[str], depth: int, show_durations: bool) -> None:
+        parts = [("  " * depth) + self.name]
+        if show_durations:
+            parts.append(f"[{self.duration * 1000:.3f}ms]")
+        if self.attributes:
+            parts.extend(
+                f"{key}={self.attributes[key]}" for key in sorted(self.attributes)
+            )
+        if self.error is not None:
+            parts.append(f"error={self.error!r}")
+        lines.append(" ".join(parts))
+        for child in self.children:
+            child._render_into(lines, depth + 1, show_durations)
+
+    def normalized(self) -> str:
+        """The tree with every timing stripped: golden-trace form.
+
+        Two runs of the same workload produce byte-identical normalized
+        trees, so translation-pipeline changes show up as fixture
+        diffs.
+        """
+        return self.render(show_durations=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, children={len(self.children)}, "
+            f"attrs={self.attributes!r})"
+        )
+
+
+class _NoopSpan:
+    """Shared span stand-in for the disabled tracer: absorbs everything."""
+
+    __slots__ = ()
+    name = "noop"
+    attributes: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration = 0.0
+    error = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def record_error(self, exc: BaseException) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces span trees and keeps the most recent roots.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size: how many finished root spans are retained.
+    clock:
+        Injection point for tests (defaults to ``time.perf_counter``).
+    enabled:
+        A disabled tracer hands out the shared no-op span; flipping
+        :attr:`enabled` at runtime is allowed (in-flight spans finish
+        normally).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Clock = time.perf_counter,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self.enabled = enabled
+        self.on_root: List[Callable[[Span], None]] = []
+        self._roots: deque = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.dropped = 0  # roots evicted from the ring buffer
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Union[Span, _NoopSpan]:
+        """A context manager opening one span under the current one."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(name, attributes, tracer=self)
+
+    def _finish_root(self, span: Span) -> None:
+        with self._lock:
+            if len(self._roots) == self._roots.maxlen:
+                self.dropped += 1
+            self._roots.append(span)
+        for callback in self.on_root:
+            callback(span)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost live span of this thread, or None."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def roots(self) -> Tuple[Span, ...]:
+        """The retained finished root spans, oldest first."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def take(self) -> Tuple[Span, ...]:
+        """Return the retained roots and clear the buffer."""
+        with self._lock:
+            roots = tuple(self._roots)
+            self._roots.clear()
+            return roots
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self.dropped = 0
+
+    # -- export --------------------------------------------------------------
+
+    def render(self, show_durations: bool = True) -> str:
+        """Every retained root span rendered as one text block."""
+        return "\n".join(
+            root.render(show_durations=show_durations) for root in self.roots()
+        )
+
+    def export_jsonl(self, sink: Union[str, IO[str]]) -> int:
+        """Write retained roots as JSON Lines; returns spans written.
+
+        ``sink`` is a path or an open text file object. Each line is
+        one root span with its full child tree inlined.
+        """
+        roots = self.roots()
+        if isinstance(sink, str):
+            with open(sink, "w", encoding="utf-8") as handle:
+                return self.export_jsonl(handle)
+        for root in roots:
+            sink.write(json.dumps(root.to_dict(), default=str) + "\n")
+        return len(roots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(enabled={self.enabled}, roots={len(self._roots)}, "
+            f"capacity={self.capacity})"
+        )
+
+
+#: The shared disabled tracer handed out while tracing is off.
+NOOP_TRACER = Tracer(enabled=False)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+import repro.obs as obs
 from repro.errors import ViewObjectError
 from repro.core.information_metric import InformationMetric
 from repro.core.instance import Instance
@@ -40,6 +41,7 @@ from repro.dialog.drivers import choose_translator
 from repro.dialog.transcript import Transcript
 from repro.materialize.maintainer import LAZY
 from repro.materialize.store import MaterializedStore, MaterializedView
+from repro.obs.explain import TranslationExplanation
 from repro.relational.engine import Engine
 from repro.relational.journal import PlanJournal, RecoveryReport, recover
 from repro.relational.memory_engine import MemoryEngine
@@ -230,18 +232,37 @@ class Penguin:
         """
         view_object = self.object(name)
         view = self._materialized.view(name)
-        if not text:
-            if view is not None:
-                return view.all()
-            return Instantiator(view_object).all(self.engine)
-        return execute_query(view_object, self.engine, text, instantiator=view)
+        with obs.tracer().span(
+            "penguin.query", object=name, materialized=view is not None
+        ) as span:
+            if not text:
+                if view is not None:
+                    results = view.all()
+                else:
+                    results = Instantiator(view_object).all(self.engine)
+            else:
+                results = execute_query(
+                    view_object, self.engine, text, instantiator=view
+                )
+            span.set(results=len(results))
+        obs.metrics().counter("queries_total", object=name).inc()
+        return results
 
     def get(self, name: str, key: Sequence[Any]) -> Optional[Instance]:
         """One instance by object key, or None."""
         view = self._materialized.view(name)
-        if view is not None:
-            return view.get(key)
-        return Instantiator(self.object(name)).by_key(self.engine, key)
+        with obs.tracer().span(
+            "penguin.get", object=name, materialized=view is not None
+        ) as span:
+            if view is not None:
+                instance = view.get(key)
+            else:
+                instance = Instantiator(self.object(name)).by_key(
+                    self.engine, key
+                )
+            span.set(found=instance is not None)
+        obs.metrics().counter("gets_total", object=name).inc()
+        return instance
 
     # -- updates ----------------------------------------------------------------------
 
@@ -270,6 +291,14 @@ class Penguin:
     def update_where(self, name: str, query: str, transform) -> UpdatePlan:
         """Replace every matching instance by ``transform(instance_dict)``."""
         return self.translator(name).update_where(self.engine, query, transform)
+
+    def explain_update(self, name: str, request) -> TranslationExplanation:
+        """The would-be plan of one update request, without executing it.
+
+        See :meth:`Translator.explain` — the update counterpart of the
+        query planner's ``explain_query``.
+        """
+        return self.translator(name).explain(self.engine, request)
 
     # -- batched updates ---------------------------------------------------------------
 

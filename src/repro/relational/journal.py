@@ -35,6 +35,7 @@ import os
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.errors import JournalError
 from repro.relational.engine import Engine
 from repro.relational.operations import (
@@ -301,7 +302,8 @@ class PlanJournal:
                     "images": entry.image_records,
                 }
             )
-            return entry_id
+        obs.metrics().counter("journal_entries_total", label=label).inc()
+        return entry_id
 
     def mark_committed(self, entry_id: int) -> None:
         self._mark(entry_id, COMMITTED)
@@ -544,6 +546,24 @@ def recover(engine: Engine, journal: PlanJournal) -> RecoveryReport:
     """
     report = RecoveryReport()
 
+    with obs.tracer().span("journal.recover") as span:
+        _recover_into(engine, journal, report)
+        span.set(
+            replayed=len(report.replayed),
+            reverted=len(report.reverted),
+            conflicts=len(report.conflicts),
+        )
+    registry = obs.metrics()
+    registry.counter("journal_recoveries_total").inc()
+    registry.counter("journal_replayed_total").inc(len(report.replayed))
+    registry.counter("journal_reverted_total").inc(len(report.reverted))
+    registry.counter("journal_conflicts_total").inc(len(report.conflicts))
+    return report
+
+
+def _recover_into(
+    engine: Engine, journal: PlanJournal, report: RecoveryReport
+) -> None:
     # A simulated crash can leave the engine mid-transaction; a real
     # restart would discard that transaction implicitly, so do the same.
     while getattr(engine, "in_transaction", False):
@@ -581,4 +601,3 @@ def recover(engine: Engine, journal: PlanJournal) -> RecoveryReport:
         engine.commit()
         journal.mark_aborted(entry.entry_id)
         report.reverted.append(entry.entry_id)
-    return report

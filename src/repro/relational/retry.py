@@ -29,6 +29,7 @@ import sqlite3
 import time
 from typing import Any, Callable, Optional
 
+import repro.obs as obs
 from repro.errors import TransientEngineError
 
 __all__ = ["RetryPolicy", "is_transient_error"]
@@ -120,12 +121,18 @@ class RetryPolicy:
                 failures += 1
                 if failures >= self.max_attempts:
                     self.gave_up += 1
+                    obs.metrics().counter("retry_gave_up_total").inc()
                     raise
                 self.retries += 1
+                obs.metrics().counter("retries_total").inc()
+                span = obs.tracer().current
+                if span is not None:
+                    span.set(retries=failures)
                 self._sleep(self.delay(failures - 1))
                 continue
             if failures:
                 self.absorbed += failures
+                obs.metrics().counter("retry_absorbed_total").inc(failures)
             return result
 
     def stats(self) -> dict:

@@ -260,7 +260,9 @@ class SqliteEngine(Engine):
             return keys
 
         with self._lock:
-            return self._retry(attempt)
+            keys = self._retry(attempt)
+        self._record_batch("engine_insert_rows_total", len(keys))
+        return keys
 
     def _first_duplicate(
         self,
@@ -310,6 +312,7 @@ class SqliteEngine(Engine):
                 self.rollback()
                 raise
             self._finish_commit()
+        self._record_batch("engine_apply_ops_total", count)
         return count
 
     def _key_clause(self, schema: RelationSchema) -> str:

@@ -22,6 +22,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict
 
+import repro.obs as obs
+
 __all__ = ["CircuitBreaker", "HEALTHY", "DEGRADED"]
 
 HEALTHY = "healthy"
@@ -92,8 +94,10 @@ class CircuitBreaker:
             if self._refused_since_probe >= self.probe_interval:
                 self._refused_since_probe = 0
                 self.probes += 1
+                obs.metrics().counter("breaker_probes_total").inc()
                 return True
             self.refusals += 1
+            obs.metrics().counter("breaker_refusals_total").inc()
             return False
 
     def record_success(self) -> None:
@@ -103,6 +107,8 @@ class CircuitBreaker:
             if self._state == DEGRADED:
                 self._state = HEALTHY
                 self.closed += 1
+                obs.metrics().counter("breaker_closed_total").inc()
+                obs.metrics().gauge("breaker_state").set(0)
 
     def record_failure(self) -> None:
         with self._lock:
@@ -115,6 +121,8 @@ class CircuitBreaker:
                 self._state = DEGRADED
                 self.opened += 1
                 self._refused_since_probe = 0
+                obs.metrics().counter("breaker_opened_total").inc()
+                obs.metrics().gauge("breaker_state").set(1)
 
     def reset(self) -> None:
         """Force-close the breaker (e.g. after out-of-band recovery)."""
@@ -122,6 +130,7 @@ class CircuitBreaker:
             self._state = HEALTHY
             self._consecutive_failures = 0
             self._refused_since_probe = 0
+        obs.metrics().gauge("breaker_state").set(0)
 
     # -- introspection -------------------------------------------------------
 

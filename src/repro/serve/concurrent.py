@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+import repro.obs as obs
 from repro.core.instance import Instance
 from repro.errors import DegradedServiceError, TransactionError
 from repro.penguin import Penguin
@@ -102,10 +103,13 @@ class ConcurrentPenguin:
                     raise
                 self.breaker.record_failure()
                 if self.breaker.degraded:
+                    obs.metrics().counter("serve_reads_total", mode="stale").inc()
                     return stale_read()
                 raise
             self.breaker.record_success()
+            obs.metrics().counter("serve_reads_total", mode="engine").inc()
             return result
+        obs.metrics().counter("serve_reads_total", mode="stale").inc()
         return stale_read()
 
     def _write(self, engine_write: Callable[[], Any]) -> Any:
@@ -116,6 +120,7 @@ class ConcurrentPenguin:
         behind the writer lock.
         """
         if not self.breaker.allow():
+            obs.metrics().counter("serve_writes_total", mode="refused").inc()
             raise DegradedServiceError(
                 "service is degraded: writes are refused while the "
                 "engine is unhealthy"
@@ -126,8 +131,10 @@ class ConcurrentPenguin:
             except Exception as exc:
                 if _is_engine_fault(exc):
                     self.breaker.record_failure()
+                obs.metrics().counter("serve_writes_total", mode="failed").inc()
                 raise
         self.breaker.record_success()
+        obs.metrics().counter("serve_writes_total", mode="applied").inc()
         return result
 
     def _refuse_stale(self, reason: str) -> Any:
@@ -197,6 +204,18 @@ class ConcurrentPenguin:
     def cache_stats(self) -> Dict[str, Dict[str, float]]:
         with self.lock.read_locked():
             return self.penguin.cache_stats()
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """The active metrics registry's snapshot.
+
+        Safe under concurrent serving: the registry takes no
+        facade-wide lock, so this never blocks readers or writers.
+        """
+        return obs.metrics().snapshot()
+
+    def metrics_text(self) -> str:
+        """The active metrics registry, rendered for scraping."""
+        return obs.metrics().render_text()
 
     # -- exclusive (write-side) operations ----------------------------------
 

@@ -26,6 +26,7 @@ class ReadWriteLock:
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._readers = 0
+        self._readers_waiting = 0
         self._writers_waiting = 0
         self._writer_owner: Optional[int] = None
         self._write_depth = 0
@@ -40,8 +41,12 @@ class ReadWriteLock:
                 # against itself.
                 self._owner_reads += 1
                 return
-            while self._writer_owner is not None or self._writers_waiting:
-                self._cond.wait()
+            self._readers_waiting += 1
+            try:
+                while self._writer_owner is not None or self._writers_waiting:
+                    self._cond.wait()
+            finally:
+                self._readers_waiting -= 1
             self._readers += 1
 
     def release_read(self) -> None:
@@ -113,6 +118,19 @@ class ReadWriteLock:
     def write_held(self) -> bool:
         with self._cond:
             return self._writer_owner is not None
+
+    @property
+    def waiting_readers(self) -> int:
+        """Threads parked in ``acquire_read`` (tests poll this instead
+        of sleeping a fixed interval)."""
+        with self._cond:
+            return self._readers_waiting
+
+    @property
+    def waiting_writers(self) -> int:
+        """Threads parked in ``acquire_write``."""
+        with self._cond:
+            return self._writers_waiting
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

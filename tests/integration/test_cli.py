@@ -110,6 +110,62 @@ def test_materialize_unknown_object(capsys):
     assert "assembly_bom" in capsys.readouterr().err
 
 
+def test_trace_command_emits_explain_and_span_tree(capsys):
+    assert main(["trace", "--no-durations"]) == 0
+    out = capsys.readouterr().out
+    # The EXPLAIN block, computed before anything executes.
+    assert "=== update EXPLAIN (computed without executing) ===" in out
+    assert "update translation on 'course_info'" in out
+    assert "INSERT COURSES" in out
+    # The span trees for the Figure-4 workload: query, insert, get, delete.
+    assert "=== span trees (Figure-4 workload) ===" in out
+    for name in ("translate", "validate", "propagate", "commit", "query"):
+        assert name in out, f"span {name!r} missing from trace output"
+    assert "op=insert" in out
+    assert "op=delete" in out
+    # Child spans are indented under their roots.
+    assert "\n  validate" in out
+
+
+def test_trace_command_jsonl_export(tmp_path, capsys):
+    target = tmp_path / "spans.jsonl"
+    assert main(["trace", "--jsonl", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert f"root span(s) to {target}" in out
+    lines = target.read_text().splitlines()
+    assert lines, "JSONL export wrote no spans"
+    names = [json.loads(line)["name"] for line in lines]
+    assert "translate" in names
+
+
+def test_trace_command_slow_log(capsys):
+    # A zero threshold makes every root span "slow".
+    assert main(["trace", "--slow-threshold", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "=== slow operations" in out
+
+
+def test_metrics_command_text_exposition(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip(), "metrics snapshot was empty"
+    assert "translations_total" in out
+    assert "plan_ops" in out
+    assert '# TYPE' in out
+
+
+def test_metrics_command_json_snapshot(capsys):
+    assert main(["metrics", "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"], "no counters recorded on the Figure-4 workload"
+    totals = {
+        key: value
+        for key, value in snap["counters"].items()
+        if key.startswith("translations_total")
+    }
+    assert sum(totals.values()) >= 2  # the insert and the delete
+
+
 def test_chaos_command(capsys):
     assert main(["chaos", "--seed", "0", "--ops", "60", "--patients", "2"]) == 0
     out = capsys.readouterr().out

@@ -30,6 +30,8 @@ from repro.workloads.hospital import (
     populate_hospital,
 )
 
+pytestmark = pytest.mark.chaos
+
 PATIENTS = 2
 
 

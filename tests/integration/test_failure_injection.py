@@ -19,6 +19,8 @@ from repro.workloads.university import (
     university_schema,
 )
 
+pytestmark = pytest.mark.chaos
+
 
 class InjectedFault(Exception):
     """The synthetic storage failure."""

@@ -1,0 +1,73 @@
+"""Unit tests for the threshold-gated slow-operation log."""
+
+import pytest
+
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import Tracer
+from tests.obs.test_trace import FakeClock
+
+
+def finished_span(tracer):
+    (root,) = tracer.take()
+    return root
+
+
+class TestSlowLog:
+    def test_retains_only_slow_spans(self):
+        slow = SlowLog(threshold=5.0)
+        fast_tracer = Tracer(clock=FakeClock(step=1.0))
+        with fast_tracer.span("fast"):
+            pass
+        slow_tracer = Tracer(clock=FakeClock(step=10.0))
+        with slow_tracer.span("slow"):
+            pass
+        assert slow.consider(finished_span(fast_tracer)) is False
+        assert slow.consider(finished_span(slow_tracer)) is True
+        assert [entry.name for entry in slow.entries()] == ["slow"]
+        assert slow.observed == 2
+        assert slow.retained == 1
+
+    def test_zero_threshold_retains_everything(self):
+        slow = SlowLog(threshold=0.0)
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("anything"):
+            pass
+        assert slow.consider(finished_span(tracer)) is True
+
+    def test_capacity_is_a_ring(self):
+        slow = SlowLog(threshold=0.0, capacity=2)
+        tracer = Tracer(clock=FakeClock())
+        for index in range(3):
+            with tracer.span(f"s{index}"):
+                pass
+            slow.consider(finished_span(tracer))
+        assert [entry.name for entry in slow.entries()] == ["s1", "s2"]
+        assert slow.retained == 3  # lifetime counter keeps counting
+
+    def test_entry_carries_attributes_and_error(self):
+        slow = SlowLog(threshold=0.0)
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken", relation="COURSES"):
+                raise RuntimeError("disk on fire")
+        slow.consider(finished_span(tracer))
+        (entry,) = slow.entries()
+        assert entry.attributes == {"relation": "COURSES"}
+        assert "disk on fire" in entry.error
+        assert "relation=COURSES" in entry.describe()
+        assert entry.as_dict()["duration_ms"] == 1000.0
+
+    def test_wired_through_tracer_on_root(self):
+        tracer = Tracer(clock=FakeClock())
+        slow = SlowLog(threshold=0.0)
+        tracer.on_root.append(slow.consider)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert len(slow) == 1  # only the root is offered
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            SlowLog(threshold=-1)
+        with pytest.raises(ValueError):
+            SlowLog(capacity=0)

@@ -25,6 +25,8 @@ from repro.relational.operations import (  # noqa: E402
     UpdatePlan,
 )
 
+pytestmark = pytest.mark.chaos
+
 LEFT = relation("LEFT").integer("id").text("val").key("id").build()
 RIGHT = relation("RIGHT").integer("id").text("val").key("id").build()
 

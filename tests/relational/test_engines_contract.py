@@ -1,14 +1,18 @@
-"""Engine contract: both backends must behave identically.
+"""Engine contract: every engine implementation must behave identically.
 
-Every test here runs against the in-memory engine and the sqlite
-backend through the parametrized ``backend`` fixture, pinning down the
-behaviour the upper layers rely on.
+Every test here runs against four engines — the in-memory engine, the
+sqlite backend, the ``BufferedEngine`` overlay, and a no-fault
+``FaultInjectingEngine`` wrapper — pinning down the behaviour the
+upper layers rely on.  The overlay engine deliberately refuses DDL and
+rollback (it defers both to its base); those tests skip it with the
+reason stated.
 """
 
 import datetime
 
 import pytest
 
+from repro.core.updates.bulk import BufferedEngine
 from repro.errors import (
     DuplicateKeyError,
     NoSuchRowError,
@@ -18,22 +22,40 @@ from repro.errors import (
 )
 from repro.relational.ddl import relation
 from repro.relational.expressions import attr
+from repro.relational.faults import FaultInjectingEngine, FaultPlan
+from repro.relational.memory_engine import MemoryEngine
 from tests.conftest import make_engine
 
+CONTRACT_SCHEMA = (
+    relation("T")
+    .text("k")
+    .integer("n", nullable=True)
+    .boolean("flag", nullable=True)
+    .date("d", nullable=True)
+    .key("k")
+    .build()
+)
 
-@pytest.fixture
-def engine(backend):
-    engine = make_engine(backend)
-    engine.create_relation(
-        relation("T")
-        .text("k")
-        .integer("n", nullable=True)
-        .boolean("flag", nullable=True)
-        .date("d", nullable=True)
-        .key("k")
-        .build()
-    )
-    return engine
+
+@pytest.fixture(params=["memory", "sqlite", "buffered", "fault"])
+def engine(request):
+    kind = request.param
+    if kind in ("memory", "sqlite"):
+        engine = make_engine(kind)
+        engine.create_relation(CONTRACT_SCHEMA)
+        return engine
+    base = MemoryEngine()
+    base.create_relation(CONTRACT_SCHEMA)
+    if kind == "buffered":
+        return BufferedEngine(base)
+    return FaultInjectingEngine(base, FaultPlan())  # no rules: passthrough
+
+
+def skip_if_overlay(engine, capability):
+    if isinstance(engine, BufferedEngine):
+        pytest.skip(
+            f"BufferedEngine defers {capability} to its base by design"
+        )
 
 
 class TestCatalog:
@@ -45,14 +67,16 @@ class TestCatalog:
         assert not engine.has_relation("U")
 
     def test_duplicate_create_rejected(self, engine):
+        skip_if_overlay(engine, "DDL")
         with pytest.raises(SchemaError):
             engine.create_relation(relation("T").text("k").key("k").build())
 
     def test_unknown_relation(self, engine):
         with pytest.raises(UnknownRelationError):
-            engine.scan("U")
+            list(engine.scan("U"))
 
     def test_drop_relation(self, engine):
+        skip_if_overlay(engine, "DDL")
         engine.drop_relation("T")
         assert not engine.has_relation("T")
 
@@ -171,6 +195,7 @@ class TestTransactions:
         assert engine.count("T") == 1
 
     def test_rollback_discards_changes(self, engine):
+        skip_if_overlay(engine, "rollback")
         engine.insert("T", ("keep", 0, None, None))
         engine.begin()
         engine.insert("T", ("a", 1, None, None))
@@ -180,6 +205,7 @@ class TestTransactions:
         assert engine.get("T", ("a",)) is None
 
     def test_rollback_restores_replace(self, engine):
+        skip_if_overlay(engine, "rollback")
         engine.insert("T", ("a", 1, None, None))
         engine.begin()
         engine.replace("T", ("a",), ("b", 9, None, None))
@@ -188,6 +214,7 @@ class TestTransactions:
         assert engine.get("T", ("b",)) is None
 
     def test_nested_inner_rollback(self, engine):
+        skip_if_overlay(engine, "rollback")
         engine.begin()
         engine.insert("T", ("outer", 1, None, None))
         engine.begin()
@@ -198,6 +225,7 @@ class TestTransactions:
         assert not engine.contains("T", ("inner",))
 
     def test_nested_outer_rollback_discards_inner_commit(self, engine):
+        skip_if_overlay(engine, "rollback")
         engine.begin()
         engine.begin()
         engine.insert("T", ("inner", 2, None, None))
@@ -214,6 +242,7 @@ class TestTransactions:
             engine.rollback()
 
     def test_transaction_context_manager(self, engine):
+        skip_if_overlay(engine, "rollback")
         with engine.transaction():
             engine.insert("T", ("a", 1, None, None))
         assert engine.count("T") == 1

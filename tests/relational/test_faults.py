@@ -12,6 +12,8 @@ from repro.relational.faults import (
 )
 from repro.relational.memory_engine import MemoryEngine
 
+pytestmark = pytest.mark.chaos
+
 ITEMS = relation("ITEMS").integer("item_id").text("label").key("item_id").build()
 
 

@@ -14,6 +14,21 @@ from repro.workloads.university import populate_university, university_schema
 COURSE_KEY = ("M100",)
 
 
+def wait_until(predicate, timeout=5.0):
+    """Poll until ``predicate()`` holds.
+
+    Replaces fixed ``time.sleep`` pauses: the follow-up assertion runs
+    only once the watched thread is provably parked on the lock, so the
+    test cannot race the scheduler.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.001)
+    raise AssertionError("condition not reached within timeout")
+
+
 class TestReadWriteLock:
     def test_readers_share(self):
         lock = ReadWriteLock()
@@ -42,7 +57,7 @@ class TestReadWriteLock:
 
         thread = threading.Thread(target=reader)
         thread.start()
-        time.sleep(0.05)
+        wait_until(lambda: lock.waiting_readers == 1)
         assert observed == []
         lock.release_write()
         thread.join(timeout=5)
@@ -59,7 +74,7 @@ class TestReadWriteLock:
 
         thread = threading.Thread(target=writer)
         thread.start()
-        time.sleep(0.05)
+        wait_until(lambda: lock.waiting_writers == 1)
         order.append("first")
         lock.release_write()
         thread.join(timeout=5)
@@ -68,17 +83,14 @@ class TestReadWriteLock:
     def test_waiting_writer_blocks_new_readers(self):
         lock = ReadWriteLock()
         lock.acquire_read()
-        started = threading.Event()
 
         def writer():
-            started.set()
             with lock.write_locked():
                 pass
 
         writer_thread = threading.Thread(target=writer)
         writer_thread.start()
-        started.wait(timeout=5)
-        time.sleep(0.05)  # let the writer reach the wait loop
+        wait_until(lambda: lock.waiting_writers == 1)
         late = []
 
         def reader():
@@ -87,7 +99,7 @@ class TestReadWriteLock:
 
         reader_thread = threading.Thread(target=reader)
         reader_thread.start()
-        time.sleep(0.05)
+        wait_until(lambda: lock.waiting_readers == 1)
         # writer preference: the late reader queues behind the writer
         assert late == []
         lock.release_read()
@@ -155,6 +167,7 @@ class TestConcurrentPenguin:
         server.replace("course_info", COURSE_KEY, updated)
         assert server.get("course_info", COURSE_KEY).root.values["title"] == "Renamed"
 
+    @pytest.mark.slow
     def test_stress_no_torn_instances(self):
         """ISSUE acceptance: >= 4 readers against one writer, and every
         read observes title/units moving in lockstep (never a torn mix

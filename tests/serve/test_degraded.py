@@ -15,6 +15,8 @@ from repro.workloads.hospital import (
     populate_hospital,
 )
 
+pytestmark = pytest.mark.chaos
+
 OBJECT = "patient_chart"
 
 
