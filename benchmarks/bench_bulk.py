@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from benchmarks.bench_json import summarize, write_bench_json
 from repro.penguin import Penguin
 from repro.relational.sqlite_engine import SqliteEngine
 from repro.workloads.figures import course_info_object
@@ -61,9 +62,12 @@ def test_bulk_speedup_sqlite(tmp_path):
     batch = [new_course(i) for i in range(BATCH)]
 
     session = sqlite_session(tmp_path / "sequential.db")
+    per_insert = []
     started = time.perf_counter()
     for data in batch:
+        insert_started = time.perf_counter()
         session.insert("course_info", data)
+        per_insert.append(time.perf_counter() - insert_started)
     sequential = time.perf_counter() - started
 
     session = sqlite_session(tmp_path / "bulk.db")
@@ -74,6 +78,17 @@ def test_bulk_speedup_sqlite(tmp_path):
     assert session.engine.count("COURSES") >= BATCH
     assert len(plan) == BATCH
     speedup = sequential / bulk
+    write_bench_json(
+        "bulk",
+        {
+            "sequential_insert_s": summarize(per_insert),
+            "sequential_total_s": sequential,
+            "bulk_total_s": bulk,
+            "batch": BATCH,
+            "speedup": speedup,
+            "floor": SPEEDUP_FLOOR,
+        },
+    )
     print(
         f"\n[sqlite, file-backed] {BATCH} inserts: sequential "
         f"{sequential:.3f}s, bulk {bulk:.3f}s -> {speedup:.1f}x"

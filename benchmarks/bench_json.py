@@ -1,0 +1,77 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json`` emission.
+
+Each benchmark module that owns an acceptance bar writes its measured
+numbers to ``BENCH_<name>.json`` in the repository root so the perf
+trajectory is tracked across commits (CI uploads the files as
+artifacts). A file carries the emitting benchmark's name, the git SHA
+it measured, and one entry per metric; entries produced from sample
+lists carry ``iterations``, ``median``, ``p95``, ``min``, and ``max``.
+
+Multiple tests in one module merge into the same file: each
+:func:`write_bench_json` call updates the named entries and rewrites
+the file atomically-enough for a sequential pytest run.
+
+This module is importable by benchmarks but contains no tests itself
+(the ``bench_`` prefix keeps it alongside its users; pytest collects
+nothing from it).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, Sequence
+
+__all__ = ["REPO_ROOT", "git_sha", "summarize", "write_bench_json"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_sha() -> str:
+    """The commit the numbers belong to (``unknown`` outside a checkout)."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return probe.stdout.strip() or "unknown"
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Distribution summary of one metric's samples (nearest-rank p95)."""
+    if not samples:
+        raise ValueError("cannot summarize zero samples")
+    ordered = sorted(samples)
+    rank = max(0, math.ceil(0.95 * len(ordered)) - 1)
+    return {
+        "iterations": len(ordered),
+        "median": statistics.median(ordered),
+        "p95": ordered[rank],
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+
+
+def write_bench_json(name: str, entries: Dict[str, Any]) -> Path:
+    """Merge ``entries`` into ``BENCH_<name>.json`` and return its path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload: Dict[str, Any] = {"benchmark": name}
+    if path.exists():
+        try:
+            payload.update(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            pass  # a torn or stale file is simply replaced
+    payload["benchmark"] = name
+    payload["git_sha"] = git_sha()
+    payload.setdefault("entries", {})
+    payload["entries"].update(entries)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from benchmarks.bench_json import summarize, write_bench_json
 from repro.materialize import EAGER, FULL_REFRESH, LAZY
 from repro.penguin import Penguin
 from repro.workloads.figures import course_info_object
@@ -51,15 +52,19 @@ SESSIONS = {"university": university_session, "hospital": hospital_session}
 
 
 def timed_queries(session, name, rounds):
-    """Best-of-three timing of ``rounds`` repeated full queries."""
-    best = float("inf")
+    """Best-of-three timing of ``rounds`` repeated full queries.
+
+    Returns ``(best, attempts)``: the attempt totals feed the JSON
+    emission, the best one the speedup assertion.
+    """
+    attempts = []
     for _ in range(3):
         started = time.perf_counter()
         for _ in range(rounds):
             instances = session.query(name)
-        best = min(best, time.perf_counter() - started)
+        attempts.append(time.perf_counter() - started)
     assert instances
-    return best
+    return min(attempts), attempts
 
 
 @pytest.mark.parametrize("workload", sorted(SESSIONS))
@@ -67,11 +72,20 @@ def test_speedup_read_heavy(workload):
     """Repeated query() on an unchanged database: cached vs dynamic."""
     session, name = SESSIONS[workload]()
     rounds = 15
-    uncached = timed_queries(session, name, rounds)
+    uncached, uncached_attempts = timed_queries(session, name, rounds)
     view = session.materialize(name, policy=LAZY)
     session.query(name)  # warm
-    cached = timed_queries(session, name, rounds)
+    cached, cached_attempts = timed_queries(session, name, rounds)
     speedup = uncached / cached
+    write_bench_json(
+        "materialize",
+        {
+            f"{workload}_dynamic_s": summarize(uncached_attempts),
+            f"{workload}_materialized_s": summarize(cached_attempts),
+            f"{workload}_speedup": speedup,
+            "floor": SPEEDUP_FLOOR,
+        },
+    )
     print(
         f"\n[{workload}] {rounds} repeated query(): dynamic {uncached:.4f}s, "
         f"materialized {cached:.4f}s -> {speedup:.1f}x "

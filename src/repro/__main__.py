@@ -27,13 +27,21 @@ Commands:
   update EXPLAIN, and any slow-log entries; ``--jsonl FILE`` exports
   the spans as JSON Lines;
 * ``metrics`` — run the same workload with the metrics registry live
-  and print the Prometheus-style exposition (or ``--json`` snapshot).
+  and print the Prometheus-style exposition (or ``--json`` snapshot);
+* ``audit`` — run a deterministic audited workload on the hospital
+  schema (a Figure-4-style insert/replace/delete round trip plus a
+  seeded mixed batch) and interrogate the trail: ``tail`` prints the
+  newest audit records, ``why``/``history`` print a tuple's provenance
+  chain and image sequence, ``as-of`` reconstructs a past state, and
+  ``replay`` re-executes the log onto a fresh engine and verifies the
+  final state byte-for-byte.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from pathlib import Path
@@ -388,6 +396,152 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_chart(pid: int, rng: random.Random) -> dict:
+    """One synthetic patient chart (5 base tuples across 5 relations)."""
+    return {
+        "patient_id": pid,
+        "name": f"Audit Patient {pid}",
+        "birth_year": 1930 + rng.randrange(80),
+        "ward_name": rng.choice(["East-1", "East-2", "West-1", "ICU", None]),
+        "VISIT": [
+            {
+                "patient_id": pid,
+                "visit_no": 1,
+                "visit_date": "1991-05-29",
+                "physician_id": 9000 + rng.randrange(8),
+                "reason": "audit",
+                "DIAGNOSIS": [
+                    {
+                        "patient_id": pid,
+                        "visit_no": 1,
+                        "diag_no": 1,
+                        "code": rng.choice(["hypertension", "migraine"]),
+                        "severity": rng.choice(["mild", "moderate"]),
+                    }
+                ],
+                "PRESCRIPTION": [
+                    {
+                        "patient_id": pid,
+                        "visit_no": 1,
+                        "rx_no": 1,
+                        "med_id": "MED-01",
+                        "days": 5 + rng.randrange(25),
+                        "MEDICATION": [],
+                    }
+                ],
+                "LAB_RESULT": [
+                    {
+                        "patient_id": pid,
+                        "visit_no": 1,
+                        "test_no": 1,
+                        "test_name": "CBC",
+                        "value": round(rng.uniform(0.5, 200.0), 1),
+                    }
+                ],
+                "PHYSICIAN": [],
+            }
+        ],
+    }
+
+
+FIGURE4_PATIENT = 77001
+
+
+def _run_audit_workload(ops: int, seed: int) -> Penguin:
+    """Build an audited hospital session and run the scripted workload.
+
+    The workload is deterministic per ``(ops, seed)``: a Figure-4-style
+    insert/replace/delete round trip on patient ``FIGURE4_PATIENT``,
+    then ``ops`` seeded mixed view updates (insert-heavy so the trail
+    ends with live tuples to interrogate).
+    """
+    from repro.obs.audit import MemoryAuditLog
+
+    graph, engine = _build("hospital")
+    session = Penguin(
+        graph, engine=engine, install=False, audit=MemoryAuditLog()
+    )
+    session.register_object(patient_chart_object(graph))
+
+    rng = random.Random(seed)
+    chart = _audit_chart(FIGURE4_PATIENT, rng)
+    session.insert("patient_chart", chart)
+    revised = dict(chart)
+    revised["name"] = "Audit Patient (revised)"
+    revised["ward_name"] = "ICU"
+    session.replace("patient_chart", (FIGURE4_PATIENT,), revised)
+    session.delete("patient_chart", (FIGURE4_PATIENT,))
+
+    live: list = []
+    next_pid = 80000
+    for _ in range(ops):
+        roll = rng.random()
+        if not live or roll < 0.55:
+            pid = next_pid
+            next_pid += 1
+            session.insert("patient_chart", _audit_chart(pid, rng))
+            live.append(pid)
+        elif roll < 0.85:
+            pid = rng.choice(live)
+            session.replace(
+                "patient_chart", (pid,), _audit_chart(pid, rng)
+            )
+        else:
+            pid = live.pop(rng.randrange(len(live)))
+            session.delete("patient_chart", (pid,))
+    return session
+
+
+def _coerce_key(tokens) -> tuple:
+    """CLI key tokens to tuple values (ints where they parse as ints)."""
+    key = []
+    for token in tokens:
+        try:
+            key.append(int(token))
+        except ValueError:
+            key.append(token)
+    return tuple(key)
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    session = _run_audit_workload(args.ops, args.seed)
+    log = session.audit
+
+    if args.audit_command == "tail":
+        print(f"audit log: {len(log)} record(s), head ASN {log.head_asn()}")
+        for record in log.tail(args.count):
+            print(record.describe())
+        return 0
+
+    if args.audit_command in ("why", "history"):
+        key = _coerce_key(args.key)
+        links = (
+            session.why(args.relation, key)
+            if args.audit_command == "why"
+            else session.tuple_history(args.relation, key)
+        )
+        label = "provenance" if args.audit_command == "why" else "history"
+        print(f"{label} of {args.relation}{key}: {len(links)} link(s)")
+        for link in links:
+            print(link.describe())
+        return 0
+
+    if args.audit_command == "as-of":
+        state = session.as_of(args.asn, relation=args.relation)
+        if args.relation is not None:
+            state = {args.relation: state}
+        print(f"state as of ASN {args.asn}:")
+        for relation in sorted(state):
+            rows = state[relation]
+            print(f"  {relation:<14} {len(rows)} tuple(s)")
+        return 0
+
+    # replay: the audit log as a correctness oracle (CI smoke path).
+    report = session.replay_audit()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -499,6 +653,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the snapshot as JSON instead of text exposition",
     )
 
+    audit = commands.add_parser(
+        "audit",
+        help="run an audited hospital workload and interrogate the trail",
+    )
+    audit.add_argument("--ops", type=int, default=40,
+                       help="seeded mixed view updates after the "
+                            "Figure-4 round trip (default 40)")
+    audit.add_argument("--seed", type=int, default=0)
+    audit_commands = audit.add_subparsers(
+        dest="audit_command", required=True
+    )
+
+    audit_tail = audit_commands.add_parser(
+        "tail", help="print the newest audit records"
+    )
+    audit_tail.add_argument("-n", "--count", type=int, default=10)
+
+    for name, help_text in (
+        ("why", "print a tuple's provenance chain (follows re-homing)"),
+        ("history", "print a tuple's before/after image sequence"),
+    ):
+        sub = audit_commands.add_parser(name, help=help_text)
+        sub.add_argument("--relation", default="PATIENT")
+        sub.add_argument(
+            "--key",
+            nargs="+",
+            default=[str(FIGURE4_PATIENT)],
+            help="key values (integers are coerced; default: the "
+                 "Figure-4 patient)",
+        )
+
+    audit_as_of = audit_commands.add_parser(
+        "as-of", help="reconstruct the state at a past ASN"
+    )
+    audit_as_of.add_argument("asn", type=int)
+    audit_as_of.add_argument("--relation", default=None)
+
+    audit_commands.add_parser(
+        "replay",
+        help="re-execute the audit log on a fresh engine and verify "
+             "the final state byte-for-byte",
+    )
+
     return parser
 
 
@@ -514,6 +711,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
+        "audit": cmd_audit,
     }[args.command]
     return handler(args)
 

@@ -30,9 +30,14 @@ from repro.core.updates.insertion import translate_complete_insertion
 from repro.core.updates.policy import TranslatorPolicy
 from repro.core.updates.replacement import translate_replacement
 from repro.core.view_object import ViewObjectDefinition
+from repro.obs.audit import AuditLog
+from repro.obs.audit import COMMITTED as AUDIT_COMMITTED
+from repro.obs.audit import CRASHED as AUDIT_CRASHED
+from repro.obs.audit import ROLLED_BACK as AUDIT_ROLLED_BACK
 from repro.obs.explain import TranslationExplanation
 from repro.relational.engine import Engine
 from repro.relational.journal import (
+    Images,
     PlanJournal,
     images_from_records,
     plan_images,
@@ -67,6 +72,13 @@ class Translator:
         write-ahead intent (PENDING before application, COMMITTED
         after), so a crash mid-apply can be resolved by
         :func:`repro.relational.journal.recover`.
+    audit:
+        An optional :class:`~repro.obs.audit.AuditLog`. When set, every
+        top-level view-level update is recorded with its coalesced plan,
+        before/after images, dependency island, policy answers, and
+        outcome (committed / rolled back / crashed) — the provenance
+        trail behind :class:`~repro.obs.lineage.LineageIndex` and
+        :func:`~repro.obs.history.replay`.
     """
 
     def __init__(
@@ -76,6 +88,7 @@ class Translator:
         verify_integrity: bool = False,
         user: Optional[str] = None,
         journal: Optional[PlanJournal] = None,
+        audit: Optional[AuditLog] = None,
     ) -> None:
         self.view_object = view_object
         self.policy = policy or TranslatorPolicy.permissive()
@@ -83,6 +96,8 @@ class Translator:
         self.verify_integrity = verify_integrity
         self.user = user
         self.journal = journal
+        self.audit = audit
+        self._policy_dict: Optional[Dict[str, Any]] = None
         self._instantiator = Instantiator(view_object)
         self._checker = IntegrityChecker(view_object.graph)
 
@@ -100,6 +115,8 @@ class Translator:
         bound.verify_integrity = self.verify_integrity
         bound.user = user
         bound.journal = self.journal
+        bound.audit = self.audit
+        bound._policy_dict = self._policy_dict
         bound._instantiator = self._instantiator
         bound._checker = self._checker
         return bound
@@ -316,12 +333,19 @@ class Translator:
                             f"integrity violations: "
                             + "; ".join(v.message for v in violations[:5])
                         )
-            except Exception:
+            except Exception as exc:
                 registry.counter("translation_failures_total", op=op).inc()
+                audit = self._active_audit(engine)
+                if audit is not None:
+                    self._audit(
+                        audit, op, AUDIT_ROLLED_BACK, items=len(items),
+                        error=exc,
+                    )
                 raise
             # Nothing touched the real engine yet: a failure above simply
             # discards the overlay. The flush below is one transaction.
             journal = self._active_journal(engine, need_changelog=False)
+            audit = self._active_audit(engine)
             with tracer.span("coalesce") as fold:
                 combined = coalesce_plans(plans, engine.schema)
                 fold.set(
@@ -329,28 +353,53 @@ class Translator:
                     ops_after=len(combined),
                 )
             root.set(ops=len(combined), journaled=journal is not None)
-            if journal is None:
+            if journal is None and audit is None:
                 with tracer.span("engine.apply", ops=len(combined)):
                     engine.apply_batch(combined.operations)
                 registry.counter("translations_total", op=op).inc()
                 registry.histogram("plan_ops", op=op).observe(len(combined))
                 return combined
-            # Journaled flush: the base engine is still unmutated, so the
-            # before-images can be read directly; the intent is durable
-            # before the first operation lands.
+            # Journaled/audited flush: the base engine is still
+            # unmutated, so the before-images can be read directly; the
+            # intent is durable before the first operation lands.
             images = plan_images(engine, combined)
-            entry_id = journal.begin(
-                combined, images, label=self.view_object.name
-            )
+            entry_id = None
+            if journal is not None:
+                entry_id = journal.begin(
+                    combined, images, label=self.view_object.name
+                )
             try:
                 with tracer.span("engine.apply", ops=len(combined)):
                     engine.apply_batch(combined.operations)
-            except Exception:
+            except Exception as exc:
                 # apply_batch rolled the transaction back: nothing landed.
-                journal.mark_aborted(entry_id)
+                if entry_id is not None:
+                    journal.mark_aborted(entry_id)
                 registry.counter("translation_failures_total", op=op).inc()
+                if audit is not None:
+                    self._audit(
+                        audit, op, AUDIT_ROLLED_BACK, plan=combined,
+                        items=len(items), error=exc, journal_entry=entry_id,
+                    )
                 raise
-            journal.mark_committed(entry_id)
+            except BaseException as exc:
+                # A crash mid-apply: the journal entry (if any) stays
+                # PENDING for recovery; the audit record says ``crashed``
+                # until reconciliation settles it.
+                if audit is not None:
+                    self._audit(
+                        audit, op, AUDIT_CRASHED, plan=combined,
+                        images=images, items=len(items), error=exc,
+                        journal_entry=entry_id,
+                    )
+                raise
+            if entry_id is not None:
+                journal.mark_committed(entry_id)
+            if audit is not None:
+                self._audit(
+                    audit, op, AUDIT_COMMITTED, plan=combined, images=images,
+                    items=len(items), journal_entry=entry_id,
+                )
             registry.counter("translations_total", op=op).inc()
             registry.histogram("plan_ops", op=op).observe(len(combined))
             return combined
@@ -481,28 +530,104 @@ class Translator:
             return None
         return self.journal
 
-    def _journal_and_commit(self, engine: Engine, journal, mark, plan) -> None:
-        """Write the PENDING intent, commit, then mark it COMMITTED.
+    def _active_audit(self, engine: Engine) -> Optional[AuditLog]:
+        """The audit log to record into, or None when auditing is off.
+
+        Mirrors :meth:`_active_journal`: only *top-level* updates are
+        audited. Inside an enclosing transaction (``delete_where`` /
+        ``update_where`` looping over :meth:`delete` / :meth:`replace`,
+        or a user-opened :meth:`Penguin.transaction` block) the outer
+        scope owns the view-level operation and audits it once.
+        """
+        if self.audit is None:
+            return None
+        if getattr(engine, "in_transaction", False):
+            return None
+        return self.audit
+
+    def _policy_answers(self) -> Dict[str, Any]:
+        """The policy's dialog answers as JSON-safe data, cached."""
+        if self._policy_dict is None:
+            from repro.core.serialization import policy_to_dict
+
+            self._policy_dict = policy_to_dict(self.policy)
+        return self._policy_dict
+
+    def _audit(
+        self,
+        audit: AuditLog,
+        op: str,
+        outcome: str,
+        plan: Optional[UpdatePlan] = None,
+        images: Optional[Images] = None,
+        items: int = 1,
+        error: Optional[BaseException] = None,
+        journal_entry: Optional[int] = None,
+    ) -> int:
+        return audit.append(
+            op=op,
+            object_name=self.view_object.name,
+            outcome=outcome,
+            plan=plan,
+            images=images,
+            island=self.analysis.island_relations,
+            policy=self._policy_answers(),
+            user=self.user,
+            items=items,
+            error=None if error is None else f"{type(error).__name__}: {error}",
+            journal_entry=journal_entry,
+        )
+
+    def _finalize(
+        self,
+        engine: Engine,
+        journal: Optional[PlanJournal],
+        audit: Optional[AuditLog],
+        images: Optional[Images],
+        plan: UpdatePlan,
+        op: str,
+        items: int = 1,
+    ) -> None:
+        """Write the PENDING intent, commit, then record the outcome.
 
         Called with the transaction still open and every effect already
-        applied: the changelog records since ``mark`` carry the
-        before/after images the live engine can no longer provide. A
-        failed commit (already rolled back by ``_finish_commit``) marks
-        the entry ABORTED; a simulated crash — a ``BaseException`` —
-        leaves it PENDING for recovery, exactly like a real crash would.
+        applied; ``images`` carry the before/after cells (reconstructed
+        from the changelog since the live engine can no longer provide
+        them). A failed commit (already rolled back by
+        ``_finish_commit``) marks the journal entry ABORTED and audits
+        the update as rolled back; a simulated crash — a
+        ``BaseException`` — leaves the entry PENDING for recovery and
+        audits the update as crashed, to be reconciled once recovery
+        settles its fate.
         """
         entry_id = None
         if journal is not None:
-            images = images_from_records(engine, engine.changelog.since(mark))
             entry_id = journal.begin(plan, images, label=self.view_object.name)
         try:
             engine._finish_commit()
-        except Exception:
+        except Exception as exc:
             if entry_id is not None:
                 journal.mark_aborted(entry_id)
+            if audit is not None:
+                self._audit(
+                    audit, op, AUDIT_ROLLED_BACK, plan=plan, items=items,
+                    error=exc, journal_entry=entry_id,
+                )
+            raise
+        except BaseException as exc:
+            if audit is not None:
+                self._audit(
+                    audit, op, AUDIT_CRASHED, plan=plan, images=images,
+                    items=items, error=exc, journal_entry=entry_id,
+                )
             raise
         if entry_id is not None:
             journal.mark_committed(entry_id)
+        if audit is not None:
+            self._audit(
+                audit, op, AUDIT_COMMITTED, plan=plan, images=images,
+                items=items, journal_entry=entry_id,
+            )
 
     def _run(
         self,
@@ -522,7 +647,13 @@ class Translator:
             self.view_object, engine, self.policy, self.analysis
         )
         journal = None if preview else self._active_journal(engine)
-        mark = engine.changelog.mark() if journal is not None else None
+        audit = None if preview else self._active_audit(engine)
+        # The eager path needs the changelog to reconstruct before/after
+        # images; both the journal and the audit log consume them.
+        use_changelog = journal is not None or (
+            audit is not None and engine.changelog is not None
+        )
+        mark = engine.changelog.mark() if use_changelog else None
         tracer = obs.tracer()
         registry = obs.metrics()
         with tracer.span(
@@ -543,17 +674,37 @@ class Translator:
                             f"violations: "
                             + "; ".join(v.message for v in violations[:5])
                         )
-            except Exception:
+            except Exception as exc:
                 engine.rollback()
                 registry.counter("translation_failures_total", op=op).inc()
+                if audit is not None:
+                    self._audit(
+                        audit, op, AUDIT_ROLLED_BACK, plan=ctx.plan, error=exc
+                    )
+                raise
+            except BaseException as exc:
+                # A (simulated) crash mid-translation: no rollback — the
+                # state is left torn for recovery, and the audit record
+                # says so. No journal entry exists yet, so the record
+                # stays ``crashed`` (recovery discards the transaction,
+                # reverting the effects; replay rightly excludes it).
+                if audit is not None:
+                    self._audit(
+                        audit, op, AUDIT_CRASHED, plan=ctx.plan, error=exc
+                    )
                 raise
             span.set(ops=len(ctx.plan), journaled=journal is not None)
             if preview:
                 engine.rollback()
                 registry.counter("translation_previews_total", op=op).inc()
             else:
+                images = None
+                if use_changelog:
+                    images = images_from_records(
+                        engine, engine.changelog.since(mark)
+                    )
                 with tracer.span("commit", ops=len(ctx.plan)):
-                    self._journal_and_commit(engine, journal, mark, ctx.plan)
+                    self._finalize(engine, journal, audit, images, ctx.plan, op)
                 registry.counter("translations_total", op=op).inc()
                 registry.histogram("plan_ops", op=op).observe(len(ctx.plan))
         return ctx.plan
@@ -703,16 +854,33 @@ class Translator:
 
         instances = execute_query(self.view_object, engine, query)
         journal = self._active_journal(engine)
-        mark = engine.changelog.mark() if journal is not None else None
+        audit = self._active_audit(engine)
+        use_changelog = journal is not None or (
+            audit is not None and engine.changelog is not None
+        )
+        mark = engine.changelog.mark() if use_changelog else None
         combined = UpdatePlan()
         engine.begin()
         try:
             for instance in instances:
                 combined.extend(self.delete(engine, instance))
-        except Exception:
+        except Exception as exc:
             engine.rollback()
+            if audit is not None:
+                self._audit(
+                    audit, "delete_where", AUDIT_ROLLED_BACK, plan=combined,
+                    items=len(instances), error=exc,
+                )
             raise
-        self._journal_and_commit(engine, journal, mark, combined)
+        images = (
+            images_from_records(engine, engine.changelog.since(mark))
+            if use_changelog
+            else None
+        )
+        self._finalize(
+            engine, journal, audit, images, combined, "delete_where",
+            items=len(instances),
+        )
         return combined
 
     def update_where(
@@ -730,17 +898,34 @@ class Translator:
 
         instances = execute_query(self.view_object, engine, query)
         journal = self._active_journal(engine)
-        mark = engine.changelog.mark() if journal is not None else None
+        audit = self._active_audit(engine)
+        use_changelog = journal is not None or (
+            audit is not None and engine.changelog is not None
+        )
+        mark = engine.changelog.mark() if use_changelog else None
         combined = UpdatePlan()
         engine.begin()
         try:
             for instance in instances:
                 new_data = transform(instance.to_dict())
                 combined.extend(self.replace(engine, instance, new_data))
-        except Exception:
+        except Exception as exc:
             engine.rollback()
+            if audit is not None:
+                self._audit(
+                    audit, "update_where", AUDIT_ROLLED_BACK, plan=combined,
+                    items=len(instances), error=exc,
+                )
             raise
-        self._journal_and_commit(engine, journal, mark, combined)
+        images = (
+            images_from_records(engine, engine.changelog.since(mark))
+            if use_changelog
+            else None
+        )
+        self._finalize(
+            engine, journal, audit, images, combined, "update_where",
+            items=len(instances),
+        )
         return combined
 
     # -- request-object dispatch ------------------------------------------------

@@ -87,6 +87,12 @@ class JournalError(RelationalError):
     """The plan journal is unusable (corrupt record, unknown entry id)."""
 
 
+class AuditError(ReproError):
+    """The audit log is unusable or inconsistent with the live state
+    (corrupt record, unknown ASN, or a reconstruction that fails its
+    verification against the head)."""
+
+
 class DegradedServiceError(ReproError):
     """The serving layer is in the DEGRADED health state.
 

@@ -21,7 +21,7 @@ the mark (see :meth:`Maintainer.rewind`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from repro.errors import ViewObjectError
 
@@ -47,6 +47,12 @@ class Maintainer:
         self.view = view
         self.policy = policy
         self.high_water = len(view.changelog)
+        # Audit attribution: when the view carries an audit log, each
+        # sync round is attributed to the audit head ASN at the time —
+        # the view update whose changelog records triggered the
+        # maintenance. ``attributions`` maps ASN -> records absorbed.
+        self.last_attributed_asn = 0
+        self.attributions: Dict[int, int] = {}
 
     # -- introspection ----------------------------------------------------------
 
@@ -64,6 +70,13 @@ class Maintainer:
             return 0
         self.high_water = len(view.changelog)
         view.stats.records_applied += len(records)
+        audit = getattr(view, "audit", None)
+        if audit is not None:
+            asn = audit.head_asn()
+            self.last_attributed_asn = asn
+            self.attributions[asn] = (
+                self.attributions.get(asn, 0) + len(records)
+            )
         if self.policy == FULL_REFRESH:
             view.rebuild()
             return len(records)

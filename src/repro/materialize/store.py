@@ -18,7 +18,10 @@ chose to accelerate.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.audit import AuditLog
 
 import repro.obs as obs
 from repro.errors import ViewObjectError
@@ -44,6 +47,7 @@ class MaterializedView:
         view_object: ViewObjectDefinition,
         engine: Engine,
         policy: str = LAZY,
+        audit: Optional["AuditLog"] = None,
     ) -> None:
         changelog = engine.changelog
         if changelog is None:
@@ -54,6 +58,9 @@ class MaterializedView:
         self.view_object = view_object
         self.engine = engine
         self.changelog = changelog
+        # When an audit log is attached, the maintainer attributes each
+        # maintenance round to the audit head ASN that triggered it.
+        self.audit = audit
         self.instantiator = Instantiator(view_object)
         self.dependencies = DependencyIndex(view_object)
         self.stats = CacheStats()
@@ -261,8 +268,11 @@ class MaterializedView:
 class MaterializedStore:
     """The materialized views of one engine, keyed by object name."""
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(
+        self, engine: Engine, audit: Optional["AuditLog"] = None
+    ) -> None:
         self.engine = engine
+        self.audit = audit
         self._views: Dict[str, MaterializedView] = {}
 
     def materialize(
@@ -272,7 +282,9 @@ class MaterializedStore:
             raise ViewObjectError(
                 f"view object {view_object.name!r} is already materialized"
             )
-        view = MaterializedView(view_object, self.engine, policy)
+        view = MaterializedView(
+            view_object, self.engine, policy, audit=self.audit
+        )
         self._views[view_object.name] = view
         return view
 

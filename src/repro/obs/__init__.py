@@ -60,7 +60,53 @@ __all__ = [
     "SlowEntry",
     "NOOP_TRACER",
     "NULL_REGISTRY",
+    "AuditLog",
+    "AuditRecord",
+    "MemoryAuditLog",
+    "FileAuditLog",
+    "LineageIndex",
+    "LineageLink",
+    "ReplayReport",
+    "as_of",
+    "replay",
+    "COMMITTED",
+    "ROLLED_BACK",
+    "DEGRADED_REJECTED",
+    "CRASHED",
 ]
+
+# The audit subsystem sits *above* the relational layer (it reuses the
+# journal's plan/image serialization), while this package sits *below*
+# it (the engines report metrics here). Importing it eagerly would close
+# that loop, so the audit names resolve lazily on first attribute access
+# (PEP 562) — `repro.obs.MemoryAuditLog` works, but importing
+# `repro.obs` alone never touches the relational layer.
+_LAZY_EXPORTS = {
+    "AuditLog": "repro.obs.audit",
+    "AuditRecord": "repro.obs.audit",
+    "MemoryAuditLog": "repro.obs.audit",
+    "FileAuditLog": "repro.obs.audit",
+    "COMMITTED": "repro.obs.audit",
+    "ROLLED_BACK": "repro.obs.audit",
+    "DEGRADED_REJECTED": "repro.obs.audit",
+    "CRASHED": "repro.obs.audit",
+    "LineageIndex": "repro.obs.lineage",
+    "LineageLink": "repro.obs.lineage",
+    "ReplayReport": "repro.obs.history",
+    "as_of": "repro.obs.history",
+    "replay": "repro.obs.history",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
 
 
 class Observability:

@@ -1,0 +1,437 @@
+"""The update audit log: every view-level update as an immutable record.
+
+The paper's translator turns one view-object update into "the set of
+database operations"; PR 4 made each execution *watchable* (spans,
+counters, EXPLAIN). This module makes executions *permanent*: an
+:class:`AuditLog` assigns every view-level update a monotonically
+increasing **audit sequence number** (ASN) and records
+
+* the view operation as submitted (op kind, object name, item count,
+  requesting user),
+* the dependency island the translator computed at definition time,
+* the coalesced :class:`~repro.relational.operations.UpdatePlan` that
+  was applied,
+* the per-cell before/after images (reusing the journal's image
+  machinery — one serialization format for both subsystems),
+* the translator policy answers in force, and
+* the **outcome**: ``committed``, ``rolled_back``, ``degraded_rejected``
+  (the serving layer refused it while the circuit breaker was open), or
+  ``crashed`` (a simulated/real crash interrupted it; recovery later
+  reconciles it to committed or rolled back via :meth:`AuditLog.reconcile`).
+
+Like the journal, the log is append-only: an outcome change is a
+*resolution marker* appended after the fact, never an in-place edit, so
+replaying a :class:`FileAuditLog` file reconstructs exactly the
+in-memory state. The file backend fsyncs every append and tolerates a
+torn tail line on reopen (truncated, mirroring ``journal.py``'s crash
+discipline); corruption anywhere *before* the tail raises
+:class:`~repro.errors.AuditError`.
+
+On top of this log sit :class:`~repro.obs.lineage.LineageIndex`
+(``why`` / ``history`` per tuple) and :mod:`repro.obs.history`
+(``as_of`` time travel, ``replay`` verification).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import AuditError
+from repro.relational.journal import (
+    Images,
+    PlanJournal,
+    decode_images,
+    decode_plan,
+    encode_images,
+    encode_plan,
+)
+from repro.relational.journal import ABORTED as JOURNAL_ABORTED
+from repro.relational.journal import COMMITTED as JOURNAL_COMMITTED
+from repro.relational.operations import UpdatePlan
+
+__all__ = [
+    "COMMITTED",
+    "ROLLED_BACK",
+    "DEGRADED_REJECTED",
+    "CRASHED",
+    "OUTCOMES",
+    "AuditRecord",
+    "AuditLog",
+    "MemoryAuditLog",
+    "FileAuditLog",
+]
+
+COMMITTED = "committed"
+ROLLED_BACK = "rolled_back"
+DEGRADED_REJECTED = "degraded_rejected"
+CRASHED = "crashed"
+OUTCOMES = (COMMITTED, ROLLED_BACK, DEGRADED_REJECTED, CRASHED)
+
+
+class AuditRecord:
+    """One audited view-level update.
+
+    Immutable by convention: the only field that ever changes after
+    append is :attr:`outcome` (and :attr:`error`), and only through
+    :meth:`AuditLog.resolve`, which appends a resolution marker rather
+    than rewriting the record.
+    """
+
+    __slots__ = (
+        "asn",
+        "op",
+        "object_name",
+        "outcome",
+        "plan_records",
+        "image_records",
+        "island",
+        "policy",
+        "user",
+        "items",
+        "error",
+        "journal_entry",
+    )
+
+    def __init__(
+        self,
+        asn: int,
+        op: str,
+        object_name: str,
+        outcome: str,
+        plan_records: List[Dict[str, Any]],
+        image_records: List[List[Any]],
+        island: Tuple[str, ...] = (),
+        policy: Optional[Dict[str, Any]] = None,
+        user: Optional[str] = None,
+        items: int = 1,
+        error: Optional[str] = None,
+        journal_entry: Optional[int] = None,
+    ) -> None:
+        self.asn = asn
+        self.op = op
+        self.object_name = object_name
+        self.outcome = outcome
+        self.plan_records = plan_records
+        self.image_records = image_records
+        self.island = tuple(island)
+        self.policy = policy
+        self.user = user
+        self.items = items
+        self.error = error
+        self.journal_entry = journal_entry
+
+    def plan(self) -> UpdatePlan:
+        return decode_plan(self.plan_records)
+
+    def images(self) -> Images:
+        return decode_images(self.image_records)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "asn": self.asn,
+            "op": self.op,
+            "object": self.object_name,
+            "outcome": self.outcome,
+            "items": self.items,
+            "plan": self.plan_records,
+            "images": self.image_records,
+            "island": list(self.island),
+        }
+        if self.policy is not None:
+            out["policy"] = self.policy
+        if self.user is not None:
+            out["user"] = self.user
+        if self.error is not None:
+            out["error"] = self.error
+        if self.journal_entry is not None:
+            out["journal_entry"] = self.journal_entry
+        return out
+
+    def describe(self) -> str:
+        """One human-readable line (the ``audit tail`` format)."""
+        parts = [
+            f"#{self.asn}",
+            f"{self.object_name}.{self.op}",
+            self.outcome,
+            f"ops={len(self.plan_records)}",
+            f"cells={len(self.image_records)}",
+        ]
+        if self.items != 1:
+            parts.append(f"items={self.items}")
+        if self.user is not None:
+            parts.append(f"user={self.user}")
+        if self.journal_entry is not None:
+            parts.append(f"journal=#{self.journal_entry}")
+        if self.error is not None:
+            parts.append(f"error={self.error!r}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AuditRecord(#{self.asn}, {self.object_name}.{self.op}, "
+            f"{self.outcome}, {len(self.plan_records)} ops)"
+        )
+
+
+class AuditLog:
+    """Common machinery of the audit backends (append-only, thread-safe).
+
+    :attr:`version` increments on every append *and* resolution; the
+    :class:`~repro.obs.lineage.LineageIndex` uses it to know when its
+    derived chains are stale.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[int, AuditRecord] = {}
+        self._next_asn = 1
+        self._lock = threading.Lock()
+        self.version = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def append(
+        self,
+        op: str,
+        object_name: str,
+        outcome: str,
+        plan: Optional[UpdatePlan] = None,
+        images: Optional[Images] = None,
+        island: Iterable[str] = (),
+        policy: Optional[Dict[str, Any]] = None,
+        user: Optional[str] = None,
+        items: int = 1,
+        error: Optional[str] = None,
+        journal_entry: Optional[int] = None,
+    ) -> int:
+        """Record one view-level update; returns its ASN."""
+        if outcome not in OUTCOMES:
+            raise AuditError(
+                f"unknown audit outcome {outcome!r}; choose from {OUTCOMES}"
+            )
+        plan_records = encode_plan(plan) if plan is not None else []
+        image_records = encode_images(images) if images is not None else []
+        with self._lock:
+            asn = self._next_asn
+            self._next_asn += 1
+            record = AuditRecord(
+                asn,
+                op,
+                object_name,
+                outcome,
+                plan_records,
+                image_records,
+                island=tuple(island),
+                policy=policy,
+                user=user,
+                items=items,
+                error=error,
+                journal_entry=journal_entry,
+            )
+            self._records[asn] = record
+            self._append_payload(
+                {"event": "record", **record.as_dict()}
+            )
+            self.version += 1
+        return asn
+
+    def resolve(
+        self, asn: int, outcome: str, error: Optional[str] = None
+    ) -> None:
+        """Append a resolution marker changing a record's outcome.
+
+        Used by :meth:`reconcile` when journal recovery settles the fate
+        of an update audited as ``crashed``.
+        """
+        if outcome not in OUTCOMES:
+            raise AuditError(
+                f"unknown audit outcome {outcome!r}; choose from {OUTCOMES}"
+            )
+        with self._lock:
+            record = self._records.get(asn)
+            if record is None:
+                raise AuditError(f"unknown audit record #{asn}")
+            record.outcome = outcome
+            if error is not None:
+                record.error = error
+            self._append_payload(
+                {"event": "resolve", "asn": asn, "outcome": outcome,
+                 **({"error": error} if error is not None else {})}
+            )
+            self.version += 1
+
+    def reconcile(self, journal: PlanJournal) -> int:
+        """Settle every ``crashed`` record against the journal's verdict.
+
+        A crash between audit append and commit leaves the record
+        ``crashed`` while the journal entry is still PENDING; after
+        :func:`~repro.relational.journal.recover` runs, the entry is
+        COMMITTED (the plan had fully landed) or ABORTED (it was
+        reverted). This folds that verdict back into the audit log so
+        ``replay``/``as_of`` see the truth. Idempotent; returns how many
+        records were resolved.
+        """
+        with self._lock:
+            crashed = [
+                record
+                for record in self._records.values()
+                if record.outcome == CRASHED
+                and record.journal_entry is not None
+            ]
+        settled = 0
+        entries = {entry.entry_id: entry for entry in journal.entries()}
+        for record in crashed:
+            entry = entries.get(record.journal_entry)
+            if entry is None:
+                continue
+            if entry.status == JOURNAL_COMMITTED:
+                self.resolve(record.asn, COMMITTED)
+                settled += 1
+            elif entry.status == JOURNAL_ABORTED:
+                self.resolve(
+                    record.asn, ROLLED_BACK, error="reverted by recovery"
+                )
+                settled += 1
+        return settled
+
+    # -- reading ------------------------------------------------------------
+
+    def records(self) -> List[AuditRecord]:
+        """Every record, in ASN order."""
+        with self._lock:
+            return [self._records[asn] for asn in sorted(self._records)]
+
+    def committed(self) -> List[AuditRecord]:
+        """The records whose effects are in the database, in ASN order."""
+        return [r for r in self.records() if r.outcome == COMMITTED]
+
+    def tail(self, n: int = 10) -> List[AuditRecord]:
+        return self.records()[-n:]
+
+    def record(self, asn: int) -> AuditRecord:
+        with self._lock:
+            try:
+                return self._records[asn]
+            except KeyError:
+                raise AuditError(f"unknown audit record #{asn}") from None
+
+    def head_asn(self) -> int:
+        """The highest assigned ASN (0 when the log is empty)."""
+        with self._lock:
+            return self._next_asn - 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- backend hook --------------------------------------------------------
+
+    def _append_payload(self, payload: Dict[str, Any]) -> None:
+        """Persist one event (called under the log lock)."""
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryAuditLog(AuditLog):
+    """Audit log kept only in memory — tests and ephemeral sessions."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryAuditLog({len(self._records)} records)"
+
+
+class FileAuditLog(AuditLog):
+    """Durable audit log: append-only JSON lines, fsync'd per append.
+
+    Reopening the same path reloads every record and folds the
+    resolution markers. A torn final line — the process died mid-append
+    — is detected and truncated away, exactly the crash discipline of
+    :class:`~repro.relational.journal.FileJournal`; a corrupt line
+    anywhere *before* the tail is real damage and raises
+    :class:`~repro.errors.AuditError`.
+    """
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        self._load()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as f:
+            data = f.read()
+        offset = 0
+        torn_at: Optional[int] = None
+        for raw in data.split(b"\n"):
+            line_start = offset
+            offset += len(raw) + 1
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line.decode("utf-8"))
+                self._replay_payload(payload)
+            except (ValueError, KeyError, UnicodeDecodeError) as exc:
+                # Only the *final* non-blank line may be damaged (a
+                # crash mid-append); anything after it means mid-file
+                # corruption.
+                rest = data[min(offset, len(data)):]
+                if rest.strip():
+                    raise AuditError(
+                        f"{self.path}: corrupt audit record before the "
+                        f"tail (byte offset {line_start})"
+                    ) from exc
+                torn_at = line_start
+                break
+        if torn_at is not None:
+            with open(self.path, "r+b") as f:
+                f.truncate(torn_at)
+
+    def _replay_payload(self, payload: Dict[str, Any]) -> None:
+        event = payload["event"]
+        if event == "record":
+            record = AuditRecord(
+                payload["asn"],
+                payload["op"],
+                payload["object"],
+                payload["outcome"],
+                payload["plan"],
+                payload["images"],
+                island=tuple(payload.get("island", ())),
+                policy=payload.get("policy"),
+                user=payload.get("user"),
+                items=payload.get("items", 1),
+                error=payload.get("error"),
+                journal_entry=payload.get("journal_entry"),
+            )
+            self._records[record.asn] = record
+            self._next_asn = max(self._next_asn, record.asn + 1)
+            self.version += 1
+        elif event == "resolve":
+            record = self._records.get(payload["asn"])
+            if record is None:
+                raise AuditError(
+                    f"{self.path}: resolution marker for unknown "
+                    f"record #{payload['asn']}"
+                )
+            record.outcome = payload["outcome"]
+            if payload.get("error") is not None:
+                record.error = payload["error"]
+            self.version += 1
+        else:
+            raise AuditError(f"{self.path}: unknown audit event {event!r}")
+
+    def _append_payload(self, payload: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileAuditLog({self.path!r}, {len(self._records)} records)"

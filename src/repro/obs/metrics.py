@@ -53,10 +53,21 @@ def _label_pairs(labels: Dict[str, Any]) -> LabelPairs:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus exposition format: inside a quoted
+    label value, backslash, double-quote, and line-feed must appear as
+    ``\\\\``, ``\\"``, and ``\\n``."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(pairs: LabelPairs) -> str:
     if not pairs:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in pairs)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
     return "{" + inner + "}"
 
 

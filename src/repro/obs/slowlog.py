@@ -62,8 +62,10 @@ class SlowLog:
     Parameters
     ----------
     threshold:
-        Minimum duration (seconds) for a span to be retained. Zero
-        retains everything — useful in tests and demos.
+        Duration (seconds) a span must *exceed* to be retained; a span
+        landing exactly on the threshold is not slow. Zero therefore
+        retains every span with nonzero duration — useful in tests and
+        demos.
     capacity:
         Ring-buffer size.
     """
@@ -83,7 +85,7 @@ class SlowLog:
     def consider(self, span: Span) -> bool:
         """Tracer ``on_root`` hook: retain the span if slow enough."""
         self.observed += 1
-        if span.duration < self.threshold:
+        if span.duration <= self.threshold:
             return False
         entry = SlowEntry(
             span.name, span.duration, dict(span.attributes), span.error

@@ -41,7 +41,10 @@ from repro.dialog.drivers import choose_translator
 from repro.dialog.transcript import Transcript
 from repro.materialize.maintainer import LAZY
 from repro.materialize.store import MaterializedStore, MaterializedView
+from repro.obs.audit import AuditLog
 from repro.obs.explain import TranslationExplanation
+from repro.obs.history import ReplayReport, as_of, replay
+from repro.obs.lineage import LineageIndex, LineageLink
 from repro.relational.engine import Engine
 from repro.relational.journal import PlanJournal, RecoveryReport, recover
 from repro.relational.memory_engine import MemoryEngine
@@ -76,6 +79,14 @@ class Penguin:
         runs immediately (resolving any plan a previous process crashed
         in the middle of); the report is kept as
         :attr:`recovery_report`.
+    audit:
+        An optional :class:`~repro.obs.audit.AuditLog`. When set, every
+        view-level update through this session is recorded (plan,
+        before/after images, island, policy, outcome) and the lineage
+        facade — :meth:`why`, :meth:`tuple_history`, :meth:`as_of`,
+        :meth:`replay_audit` — becomes available. When both a journal
+        and an audit log are set, startup recovery reconciles any
+        update audited as ``crashed`` against the journal's verdict.
     """
 
     def __init__(
@@ -87,6 +98,7 @@ class Penguin:
         install: bool = True,
         verify_integrity: bool = False,
         journal: Optional[PlanJournal] = None,
+        audit: Optional[AuditLog] = None,
     ) -> None:
         self.graph = graph
         if engine is None:
@@ -100,15 +112,19 @@ class Penguin:
         self.metric = metric or InformationMetric()
         self.verify_integrity = verify_integrity
         self.journal = journal
+        self.audit = audit
         self.recovery_report: Optional[RecoveryReport] = None
         self._objects: Dict[str, ViewObjectDefinition] = {}
         self._translators: Dict[str, Translator] = {}
         self._checker = IntegrityChecker(graph)
-        self._materialized = MaterializedStore(engine)
+        self._materialized = MaterializedStore(engine, audit=audit)
+        self._lineage: Optional[LineageIndex] = None
         if install:
             graph.install(engine)
         if journal is not None:
             self.recovery_report = recover(engine, journal)
+            if audit is not None:
+                audit.reconcile(journal)
 
     # -- object definition ------------------------------------------------------
 
@@ -169,6 +185,7 @@ class Penguin:
             view_object, source, verify_integrity=self.verify_integrity
         )
         translator.journal = self.journal
+        translator.audit = self.audit
         self._translators[name] = translator
         return translator, transcript
 
@@ -179,6 +196,7 @@ class Penguin:
             policy=policy,
             verify_integrity=self.verify_integrity,
             journal=self.journal,
+            audit=self.audit,
         )
         self._translators[name] = translator
         return translator
@@ -190,6 +208,7 @@ class Penguin:
                 self.object(name),
                 verify_integrity=self.verify_integrity,
                 journal=self.journal,
+                audit=self.audit,
             )
         return self._translators[name]
 
@@ -388,11 +407,57 @@ class Penguin:
 
     def recover(self) -> RecoveryReport:
         """Resolve pending journal entries now (e.g. after a simulated
-        crash mid-session); requires a journal. Idempotent."""
+        crash mid-session); requires a journal. Idempotent. With an
+        audit log attached, updates audited as ``crashed`` are
+        reconciled against the journal's verdict afterwards."""
         if self.journal is None:
             raise ViewObjectError("this session has no plan journal")
         self.recovery_report = recover(self.engine, self.journal)
+        if self.audit is not None:
+            self.audit.reconcile(self.journal)
         return self.recovery_report
+
+    # -- audit & lineage ---------------------------------------------------------
+
+    def _require_audit(self) -> AuditLog:
+        if self.audit is None:
+            raise ViewObjectError(
+                "this session has no audit log; pass audit=MemoryAuditLog() "
+                "(or a FileAuditLog) to the Penguin constructor"
+            )
+        return self.audit
+
+    def lineage(self) -> LineageIndex:
+        """The per-tuple lineage index over this session's audit log.
+
+        Cached; the index rebuilds itself lazily when the log grows.
+        """
+        audit = self._require_audit()
+        if self._lineage is None or self._lineage.log is not audit:
+            self._lineage = LineageIndex(audit)
+        return self._lineage
+
+    def why(self, relation: str, key: Sequence[Any]) -> List[LineageLink]:
+        """The provenance chain of the base tuple at ``(relation, key)``:
+        every committed view update that produced or touched it, oldest
+        first, following key re-homing back to the originating update."""
+        return self.lineage().why(relation, key)
+
+    def tuple_history(
+        self, relation: str, key: Sequence[Any]
+    ) -> List[LineageLink]:
+        """The before/after image sequence of one exact cell."""
+        return self.lineage().history(relation, key)
+
+    def as_of(self, asn: int, relation: Optional[str] = None):
+        """The database (or one relation) reconstructed at a past ASN,
+        verified cell-by-cell against the live head."""
+        return as_of(self._require_audit(), self.engine, asn, relation=relation)
+
+    def replay_audit(self, fresh_engine: Optional[Engine] = None) -> ReplayReport:
+        """Re-execute the audited plans onto a fresh engine and compare
+        final states byte-for-byte — the audit log as correctness oracle."""
+        return replay(self._require_audit(), self.engine, fresh_engine)
 
     # -- integrity ---------------------------------------------------------------------
 

@@ -59,6 +59,10 @@ __all__ = [
     "apply_journaled",
     "recover",
     "RecoveryReport",
+    "encode_plan",
+    "decode_plan",
+    "encode_images",
+    "decode_images",
 ]
 
 PENDING = "pending"
@@ -100,7 +104,7 @@ def _decode_row(row: Optional[Sequence[Any]]) -> Optional[Tuple[Any, ...]]:
     return tuple(_decode_scalar(v) for v in row)
 
 
-def _encode_plan(plan: UpdatePlan) -> List[Dict[str, Any]]:
+def encode_plan(plan: UpdatePlan) -> List[Dict[str, Any]]:
     out = []
     for operation, reason in zip(plan.operations, plan.reasons):
         record: Dict[str, Any] = {
@@ -117,7 +121,7 @@ def _encode_plan(plan: UpdatePlan) -> List[Dict[str, Any]]:
     return out
 
 
-def _decode_plan(records: Iterable[Dict[str, Any]]) -> UpdatePlan:
+def decode_plan(records: Iterable[Dict[str, Any]]) -> UpdatePlan:
     plan = UpdatePlan()
     for record in records:
         kind = record["kind"]
@@ -138,14 +142,14 @@ def _decode_plan(records: Iterable[Dict[str, Any]]) -> UpdatePlan:
     return plan
 
 
-def _encode_images(images: Images) -> List[List[Any]]:
+def encode_images(images: Images) -> List[List[Any]]:
     return [
         [relation, _encode_row(key), _encode_row(before), _encode_row(after)]
         for (relation, key), (before, after) in images.items()
     ]
 
 
-def _decode_images(rows: Iterable[Sequence[Any]]) -> Images:
+def decode_images(rows: Iterable[Sequence[Any]]) -> Images:
     images: Images = {}
     for relation, key, before, after in rows:
         images[(relation, _decode_row(key))] = (
@@ -255,10 +259,10 @@ class JournalEntry:
         self.label = label
 
     def plan(self) -> UpdatePlan:
-        return _decode_plan(self.plan_records)
+        return decode_plan(self.plan_records)
 
     def images(self) -> Images:
-        return _decode_images(self.image_records)
+        return decode_images(self.image_records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -290,7 +294,7 @@ class PlanJournal:
             entry_id = self._next_id
             self._next_id += 1
             entry = JournalEntry(
-                entry_id, _encode_plan(plan), _encode_images(images), label
+                entry_id, encode_plan(plan), encode_images(images), label
             )
             self._entries[entry_id] = entry
             self._append(

@@ -112,15 +112,24 @@ class ConcurrentPenguin:
         obs.metrics().counter("serve_reads_total", mode="stale").inc()
         return stale_read()
 
-    def _write(self, engine_write: Callable[[], Any]) -> Any:
+    def _write(
+        self,
+        engine_write: Callable[[], Any],
+        op: str = "update",
+        object_name: str = "",
+    ) -> Any:
         """Run a translated update, fail-fast while degraded.
 
         The breaker is consulted *before* taking the write lock, so a
         degraded facade refuses immediately instead of queueing callers
-        behind the writer lock.
+        behind the writer lock. Refusals are audited (outcome
+        ``degraded_rejected``) when the session carries an audit log —
+        the trail records updates that were *asked for* and never ran,
+        not just the ones that did.
         """
         if not self.breaker.allow():
             obs.metrics().counter("serve_writes_total", mode="refused").inc()
+            self._audit_refusal(op, object_name)
             raise DegradedServiceError(
                 "service is degraded: writes are refused while the "
                 "engine is unhealthy"
@@ -139,6 +148,19 @@ class ConcurrentPenguin:
 
     def _refuse_stale(self, reason: str) -> Any:
         raise DegradedServiceError(f"service is degraded: {reason}")
+
+    def _audit_refusal(self, op: str, object_name: str) -> None:
+        audit = getattr(self.penguin, "audit", None)
+        if audit is None:
+            return
+        from repro.obs.audit import DEGRADED_REJECTED
+
+        audit.append(
+            op=op,
+            object_name=object_name,
+            outcome=DEGRADED_REJECTED,
+            error="DegradedServiceError: writes refused while degraded",
+        )
 
     def health(self) -> Dict[str, Any]:
         """The breaker's state and counters, plus total stale reads."""
@@ -220,12 +242,18 @@ class ConcurrentPenguin:
     # -- exclusive (write-side) operations ----------------------------------
 
     def insert(self, name: str, instance: Union[Instance, Mapping]) -> UpdatePlan:
-        return self._write(lambda: self.penguin.insert(name, instance))
+        return self._write(
+            lambda: self.penguin.insert(name, instance),
+            op="insert", object_name=name,
+        )
 
     def delete(
         self, name: str, key_or_instance: Union[Instance, Mapping, Sequence[Any]]
     ) -> UpdatePlan:
-        return self._write(lambda: self.penguin.delete(name, key_or_instance))
+        return self._write(
+            lambda: self.penguin.delete(name, key_or_instance),
+            op="delete", object_name=name,
+        )
 
     def replace(
         self,
@@ -233,12 +261,18 @@ class ConcurrentPenguin:
         old: Union[Instance, Mapping, Sequence[Any]],
         new: Union[Instance, Mapping],
     ) -> UpdatePlan:
-        return self._write(lambda: self.penguin.replace(name, old, new))
+        return self._write(
+            lambda: self.penguin.replace(name, old, new),
+            op="replace", object_name=name,
+        )
 
     def insert_many(
         self, name: str, instances: Iterable[Union[Instance, Mapping]]
     ) -> UpdatePlan:
-        return self._write(lambda: self.penguin.insert_many(name, instances))
+        return self._write(
+            lambda: self.penguin.insert_many(name, instances),
+            op="insert", object_name=name,
+        )
 
     def delete_many(
         self,
@@ -246,18 +280,26 @@ class ConcurrentPenguin:
         keys_or_instances: Iterable[Union[Instance, Mapping, Sequence[Any]]],
     ) -> UpdatePlan:
         return self._write(
-            lambda: self.penguin.delete_many(name, keys_or_instances)
+            lambda: self.penguin.delete_many(name, keys_or_instances),
+            op="delete", object_name=name,
         )
 
     def apply_plan_batch(self, name: str, requests: Iterable) -> UpdatePlan:
-        return self._write(lambda: self.penguin.apply_plan_batch(name, requests))
+        return self._write(
+            lambda: self.penguin.apply_plan_batch(name, requests),
+            op="batch", object_name=name,
+        )
 
     def delete_where(self, name: str, query: str) -> UpdatePlan:
-        return self._write(lambda: self.penguin.delete_where(name, query))
+        return self._write(
+            lambda: self.penguin.delete_where(name, query),
+            op="delete_where", object_name=name,
+        )
 
     def update_where(self, name: str, query: str, transform) -> UpdatePlan:
         return self._write(
-            lambda: self.penguin.update_where(name, query, transform)
+            lambda: self.penguin.update_where(name, query, transform),
+            op="update_where", object_name=name,
         )
 
     # -- materialization (write-side: reshapes what readers see) -------------

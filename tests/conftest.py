@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.information_metric import InformationMetric
@@ -15,6 +17,21 @@ from repro.workloads.hospital import (
     populate_hospital,
 )
 from repro.workloads.university import populate_university, university_schema
+
+
+def wait_until(predicate, timeout=5.0):
+    """Poll until ``predicate()`` holds.
+
+    Replaces fixed ``time.sleep`` pauses in concurrency tests: the
+    follow-up assertion runs only once the watched thread is provably
+    in the expected state, so the test cannot race the scheduler.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.001)
+    raise AssertionError("condition not reached within timeout")
 
 
 def make_engine(backend: str):

@@ -1,0 +1,319 @@
+"""AuditLog backends and the translator's recording discipline."""
+
+import json
+
+import pytest
+
+from repro.errors import AuditError, UpdateError
+from repro.obs.audit import (
+    COMMITTED,
+    CRASHED,
+    ROLLED_BACK,
+    AuditLog,
+    FileAuditLog,
+    MemoryAuditLog,
+)
+from repro.penguin import Penguin
+from repro.relational.journal import (
+    MemoryJournal,
+    plan_images,
+)
+from repro.relational.operations import UpdatePlan
+from repro.workloads.figures import course_info_object
+from repro.workloads.university import populate_university, university_schema
+
+pytestmark = pytest.mark.audit
+
+COURSE_KEY = ("CS999",)
+
+
+def new_course(course_id="CS999", title="View Objects"):
+    return {
+        "course_id": course_id,
+        "title": title,
+        "units": 3,
+        "level": "graduate",
+        "dept_name": "Computer Science",
+        "DEPARTMENT": [],
+        "CURRICULUM": [],
+        "GRADES": [],
+    }
+
+
+def audited_session(audit=None, journal=None):
+    audit = audit if audit is not None else MemoryAuditLog()
+    session = Penguin(university_schema(), journal=journal, audit=audit)
+    populate_university(session.engine)
+    session.register_object(course_info_object(session.graph))
+    return session
+
+
+def sample_plan(session):
+    """A real translated plan + images (without applying anything)."""
+    plan = session.translator("course_info").preview_insert(
+        session.engine, new_course()
+    )
+    return plan, plan_images(session.engine, plan)
+
+
+class TestAuditLogCore:
+    def test_append_assigns_monotonic_asns(self):
+        log = MemoryAuditLog()
+        session = audited_session(audit=MemoryAuditLog())
+        plan, images = sample_plan(session)
+        first = log.append(
+            "insert", "course_info", COMMITTED, plan=plan, images=images,
+            island=("COURSES",), policy={"q": True}, user="keller",
+        )
+        second = log.append("delete", "course_info", COMMITTED)
+        assert (first, second) == (1, 2)
+        assert log.head_asn() == 2
+        assert len(log) == 2
+        record = log.record(1)
+        assert record.op == "insert"
+        assert record.island == ("COURSES",)
+        assert record.user == "keller"
+        assert record.policy == {"q": True}
+        # The stored plan and images decode back to what went in.
+        assert [op.describe() for op in record.plan()] == [
+            op.describe() for op in plan
+        ]
+        assert record.images() == images
+
+    def test_unknown_asn_and_outcome_raise(self):
+        log = MemoryAuditLog()
+        with pytest.raises(AuditError):
+            log.record(7)
+        with pytest.raises(AuditError):
+            log.append("insert", "x", "exploded")
+        log.append("insert", "x", COMMITTED)
+        with pytest.raises(AuditError):
+            log.resolve(1, "exploded")
+        with pytest.raises(AuditError):
+            log.resolve(99, ROLLED_BACK)
+
+    def test_resolve_rewrites_outcome_and_bumps_version(self):
+        log = MemoryAuditLog()
+        asn = log.append("insert", "x", CRASHED)
+        version = log.version
+        log.resolve(asn, COMMITTED)
+        assert log.record(asn).outcome == COMMITTED
+        assert log.version == version + 1
+        assert log.committed()[0].asn == asn
+
+    def test_tail_returns_newest_records(self):
+        log = MemoryAuditLog()
+        for i in range(15):
+            log.append("insert", f"o{i}", COMMITTED)
+        assert [r.asn for r in log.tail(3)] == [13, 14, 15]
+
+    def test_reconcile_folds_journal_verdicts(self):
+        session = audited_session()
+        plan, images = sample_plan(session)
+        journal = MemoryJournal()
+        committed_id = journal.begin(plan, images)
+        journal.mark_committed(committed_id)
+        aborted_id = journal.begin(plan, images)
+        journal.mark_aborted(aborted_id)
+
+        log = MemoryAuditLog()
+        log.append(
+            "insert", "course_info", CRASHED, journal_entry=committed_id
+        )
+        log.append(
+            "insert", "course_info", CRASHED, journal_entry=aborted_id
+        )
+        log.append("insert", "course_info", CRASHED)  # no journal entry
+        assert log.reconcile(journal) == 2
+        assert log.record(1).outcome == COMMITTED
+        assert log.record(2).outcome == ROLLED_BACK
+        assert log.record(2).error == "reverted by recovery"
+        assert log.record(3).outcome == CRASHED  # nothing to settle against
+        assert log.reconcile(journal) == 0  # idempotent
+
+
+class TestFileAuditLog:
+    def test_reopen_reloads_records_and_resolutions(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = FileAuditLog(path)
+        session = audited_session()
+        plan, images = sample_plan(session)
+        log.append(
+            "insert", "course_info", CRASHED, plan=plan, images=images,
+            island=("COURSES",), user="keller", journal_entry=4,
+        )
+        log.append("delete", "course_info", COMMITTED, items=3)
+        log.resolve(1, COMMITTED)
+        log.close()
+
+        reopened = FileAuditLog(path)
+        assert len(reopened) == 2
+        assert reopened.head_asn() == 2
+        first, second = reopened.records()
+        assert first.outcome == COMMITTED  # the resolution marker folded
+        assert first.journal_entry == 4
+        assert first.images() == images
+        assert second.items == 3
+        # Appends continue from the reloaded ASN watermark.
+        assert reopened.append("insert", "course_info", COMMITTED) == 3
+        reopened.close()
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = FileAuditLog(path)
+        log.append("insert", "course_info", COMMITTED)
+        log.append("delete", "course_info", COMMITTED)
+        log.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"event":"record","asn":3,"op"')
+
+        reopened = FileAuditLog(path)
+        assert len(reopened) == 2  # the torn line is gone
+        reopened.append("replace", "course_info", COMMITTED)
+        reopened.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert [entry["asn"] for entry in lines] == [1, 2, 3]
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = FileAuditLog(path)
+        log.append("insert", "course_info", COMMITTED)
+        log.append("delete", "course_info", COMMITTED)
+        log.close()
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-5]  # damage a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(AuditError, match="corrupt audit record"):
+            FileAuditLog(path)
+
+    def test_resolution_for_unknown_record_raises(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text('{"event":"resolve","asn":9,"outcome":"committed"}\n')
+        with pytest.raises(AuditError, match="unknown"):
+            FileAuditLog(path)
+        path.write_text('{"event":"gibberish"}\n')
+        with pytest.raises(AuditError, match="unknown audit event"):
+            FileAuditLog(path)
+
+
+class TestTranslatorRecording:
+    def test_single_updates_audited_with_full_context(self):
+        session = audited_session()
+        log = session.audit
+        session.insert("course_info", new_course())
+        session.replace(
+            "course_info", COURSE_KEY, new_course(title="Replaced")
+        )
+        session.delete("course_info", COURSE_KEY)
+        assert len(log) == 3
+        ops = [(r.op, r.outcome) for r in log.records()]
+        assert ops == [
+            ("insert", COMMITTED),
+            ("replace", COMMITTED),
+            ("delete", COMMITTED),
+        ]
+        for record in log.records():
+            assert record.object_name == "course_info"
+            assert record.plan_records, "plan must be captured"
+            assert record.image_records, "images must be captured"
+            assert "COURSES" in record.island
+            assert isinstance(record.policy, dict) and record.policy
+
+    def test_previews_and_explains_are_not_audited(self):
+        from repro.core.updates.operations import CompleteInsertion
+
+        session = audited_session()
+        translator = session.translator("course_info")
+        translator.preview_insert(session.engine, new_course())
+        session.explain_update("course_info", CompleteInsertion(new_course()))
+        session.query("course_info")
+        session.get("course_info", ("M100",))
+        assert len(session.audit) == 0
+
+    def test_failed_translation_audited_as_rolled_back(self):
+        session = audited_session()
+        session.insert("course_info", new_course())
+        with pytest.raises(UpdateError):
+            session.insert("course_info", new_course())  # duplicate key
+        records = session.audit.records()
+        assert [r.outcome for r in records] == [COMMITTED, ROLLED_BACK]
+        assert records[-1].error
+        # The rollback left no trace in the database, and the audit
+        # trail still replays to the live state.
+        assert session.replay_audit().ok
+
+    def test_batch_audited_as_one_record_with_items(self):
+        session = audited_session()
+        batch = [new_course(f"CS90{i}") for i in range(4)]
+        session.insert_many("course_info", batch)
+        assert len(session.audit) == 1
+        record = session.audit.record(1)
+        assert record.items == 4
+        assert record.outcome == COMMITTED
+        assert len(record.plan_records) == 4
+
+    def test_query_driven_updates_audited_once(self):
+        session = audited_session()
+        for i in range(3):
+            session.insert("course_info", new_course(f"CS90{i}"))
+        session.delete_where("course_info", "title = 'View Objects'")
+        records = session.audit.records()
+        assert records[-1].op == "delete_where"
+        assert records[-1].items == 3
+        assert records[-1].outcome == COMMITTED
+        # inner per-instance deletes ran inside the transaction and
+        # must not produce their own records
+        assert len(records) == 4
+
+    def test_journaled_path_links_audit_to_journal_entry(self):
+        journal = MemoryJournal()
+        session = audited_session(journal=journal)
+        session.insert("course_info", new_course())
+        record = session.audit.record(1)
+        assert record.outcome == COMMITTED
+        assert record.journal_entry is not None
+        entry_ids = {entry.entry_id for entry in journal.entries()}
+        assert record.journal_entry in entry_ids
+
+    def test_for_user_attribution_lands_in_records(self):
+        session = audited_session()
+        translator = session.translator("course_info").for_user("keller")
+        plan = UpdatePlan()  # reuse the session's engine directly
+        del plan
+        translator.insert(session.engine, new_course())
+        assert session.audit.record(1).user == "keller"
+
+
+class TestMaintenanceAttribution:
+    def test_sync_attributed_to_triggering_asn(self):
+        session = audited_session()
+        view = session.materialize("course_info")
+        session.query("course_info")  # initial fill, head ASN 0
+        session.insert("course_info", new_course())
+        session.query("course_info")  # sync absorbs the insert's records
+        maintainer = view.maintainer
+        head = session.audit.head_asn()
+        assert head == 1
+        assert maintainer.last_attributed_asn == head
+        assert maintainer.attributions[head] >= 1
+
+    def test_unaudited_view_keeps_no_attributions(self):
+        session = Penguin(university_schema())
+        populate_university(session.engine)
+        session.register_object(course_info_object(session.graph))
+        view = session.materialize("course_info")
+        session.insert("course_info", new_course())
+        session.query("course_info")
+        assert view.maintainer.attributions == {}
+        assert view.maintainer.last_attributed_asn == 0
+
+
+def test_base_class_append_payload_is_noop():
+    log = AuditLog()
+    log.append("insert", "x", COMMITTED)
+    log.close()
+    assert log.head_asn() == 1

@@ -118,6 +118,28 @@ class TestRegistry:
         assert "sizes_count 1" in text
         assert 'sizes_bucket{le="+Inf"}' in text
 
+    def test_render_text_escapes_hostile_label_values(self):
+        """Prometheus exposition: ``\\``, ``"``, and newlines in label
+        values must be escaped, never emitted raw (a raw newline would
+        split the sample line; a raw quote would end the value early).
+        """
+        registry = MetricsRegistry()
+        hostile = 'a"b\\c\nd'
+        registry.counter("hits", object=hostile).inc()
+        registry.histogram("sizes", object=hostile).observe(3)
+        text = registry.render_text()
+        escaped = 'a\\"b\\\\c\\nd'
+        assert f'hits{{object="{escaped}"}} 1' in text
+        # Histogram lines re-assemble the label block around ``le``;
+        # the escaping must survive that path too.
+        assert f'sizes_bucket{{object="{escaped}",le="5"}} 1' in text
+        assert f'sizes_count{{object="{escaped}"}} 1' in text
+        # No raw newline leaked into any sample line.
+        assert all(
+            line.startswith(("# TYPE", "hits", "sizes"))
+            for line in text.splitlines()
+        )
+
     def test_reset_drops_instruments(self):
         registry = MetricsRegistry()
         registry.counter("hits").inc()

@@ -27,6 +27,27 @@ class TestSlowLog:
         assert slow.observed == 2
         assert slow.retained == 1
 
+    def test_exactly_at_threshold_is_not_logged(self):
+        """The boundary is exclusive: "slower than", not "as slow as"."""
+        slow = SlowLog(threshold=1.0)
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("exact"):
+            pass
+        span = finished_span(tracer)
+        assert span.duration == 1.0  # precondition: exactly on the line
+        assert slow.consider(span) is False
+        assert slow.retained == 0
+
+    def test_epsilon_over_threshold_is_logged(self):
+        slow = SlowLog(threshold=1.0)
+        tracer = Tracer(clock=FakeClock(step=1.0 + 1e-6))
+        with tracer.span("barely"):
+            pass
+        span = finished_span(tracer)
+        assert span.duration > 1.0
+        assert slow.consider(span) is True
+        assert [entry.name for entry in slow.entries()] == ["barely"]
+
     def test_zero_threshold_retains_everything(self):
         slow = SlowLog(threshold=0.0)
         tracer = Tracer(clock=FakeClock())

@@ -173,6 +173,55 @@ class TestExport:
         assert data["attributes"] == {"op": "insert"}
         assert data["children"][0]["name"] == "child"
 
+    def test_jsonl_export_parse_rebuilds_the_same_span_forest(
+        self, tracer, tmp_path
+    ):
+        """Full round trip: export → parse → identical tree structure
+        (names, attributes, errors, and child nesting for every root).
+        """
+        with tracer.span("translate", op="insert", object="course_info"):
+            with tracer.span("validate"):
+                pass
+            with tracer.span("apply", relation="COURSES"):
+                with tracer.span("statement"):
+                    pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("boom")
+        target = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(str(target)) == 2
+        parsed = [
+            json.loads(line)
+            for line in target.read_text().splitlines()
+            if line.strip()
+        ]
+        assert parsed == [root.to_dict() for root in tracer.roots()]
+
+        def shape(node):
+            return (
+                node["name"],
+                node.get("attributes", {}),
+                node.get("error"),
+                [shape(child) for child in node.get("children", [])],
+            )
+
+        assert shape(parsed[0]) == (
+            "translate",
+            {"op": "insert", "object": "course_info"},
+            None,
+            [
+                ("validate", {}, None, []),
+                (
+                    "apply",
+                    {"relation": "COURSES"},
+                    None,
+                    [("statement", {}, None, [])],
+                ),
+            ],
+        )
+        assert shape(parsed[1])[0] == "broken"
+        assert "boom" in parsed[1]["error"]
+
     def test_jsonl_to_path(self, tracer, tmp_path):
         with tracer.span("root"):
             pass

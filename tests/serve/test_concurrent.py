@@ -10,23 +10,9 @@ from repro.penguin import Penguin
 from repro.serve import ConcurrentPenguin, ReadWriteLock
 from repro.workloads.figures import course_info_object
 from repro.workloads.university import populate_university, university_schema
+from tests.conftest import wait_until
 
 COURSE_KEY = ("M100",)
-
-
-def wait_until(predicate, timeout=5.0):
-    """Poll until ``predicate()`` holds.
-
-    Replaces fixed ``time.sleep`` pauses: the follow-up assertion runs
-    only once the watched thread is provably parked on the lock, so the
-    test cannot race the scheduler.
-    """
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return
-        time.sleep(0.001)
-    raise AssertionError("condition not reached within timeout")
 
 
 class TestReadWriteLock:
