@@ -1,0 +1,116 @@
+"""Serving-layer benchmark: zipfian HTTP load and micro-batch folding.
+
+Two questions:
+
+* **End-to-end latency** — what does a 4-shard deployment serve under
+  a seeded zipfian mix (70% reads, hot head, mixed writes) over
+  concurrent keep-alive connections? Reported as p50/p95/p99 and
+  ops/s, written to ``BENCH_serve.json`` (the serve-smoke CI job
+  uploads it).
+* **Micro-batch folding** — under write-heavy concurrency, how many
+  HTTP writes fold into each translated batch? The batcher's whole
+  point is >1.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q``.
+"""
+
+import asyncio
+
+import repro.obs as obs
+from benchmarks.bench_json import write_bench_json
+from repro.serve.http import PenguinServer
+from repro.serve.load import run_load
+from repro.shard import ShardedPenguin, sharded_loader
+from repro.workloads.hospital import (
+    HospitalConfig,
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+
+OBJECT = "patient_chart"
+PATIENTS = 25
+SHARDS = 4
+
+
+def build_server(batch_window=0.005):
+    graph = hospital_schema()
+    sharded = ShardedPenguin(graph, "PATIENT", num_shards=SHARDS)
+    populate_hospital(
+        sharded_loader(sharded), HospitalConfig(patients=PATIENTS)
+    )
+    sharded.register_object(patient_chart_object(graph))
+    sharded.materialize(OBJECT, "lazy")
+    return PenguinServer(sharded, port=0, batch_window=batch_window)
+
+
+def test_zipfian_serve_load():
+    """The BENCH_serve.json headline numbers."""
+    with obs.use():
+        server = build_server()
+        handle = server.in_background()
+        try:
+            report = asyncio.run(
+                run_load(
+                    server.host,
+                    server.port,
+                    ops=600,
+                    workers=8,
+                    population=PATIENTS,
+                    skew=1.1,
+                    seed=7,
+                )
+            )
+        finally:
+            handle.stop()
+
+    assert report.ops == 600
+    assert report.errors == 0
+    write_bench_json("serve", {"zipfian_http": report.as_dict()})
+    print(f"\n[serve] {report.describe()}")
+
+
+def test_micro_batch_folding():
+    """Write-heavy concurrency folds >1 request per translated batch."""
+    with obs.use():
+        server = build_server(batch_window=0.02)
+        handle = server.in_background()
+        try:
+            report = asyncio.run(
+                run_load(
+                    server.host,
+                    server.port,
+                    ops=120,
+                    workers=12,
+                    population=PATIENTS,
+                    skew=0.0,
+                    seed=3,
+                    read_fraction=0.0,
+                    insert_fraction=1.0,
+                    delete_fraction=0.0,
+                )
+            )
+        finally:
+            handle.stop()
+        batcher = server.batcher
+
+    assert report.errors == 0
+    assert batcher.requests_batched == 120
+    fold = batcher.requests_batched / max(1, batcher.batches_flushed)
+    write_bench_json(
+        "serve",
+        {
+            "micro_batch": {
+                "writes": batcher.requests_batched,
+                "batches": batcher.batches_flushed,
+                "fold_factor": round(fold, 2),
+                "throughput_ops_s": round(report.throughput, 1),
+            }
+        },
+    )
+    print(
+        f"\n[micro-batch] {batcher.requests_batched} writes in "
+        f"{batcher.batches_flushed} batches (fold {fold:.2f}x)"
+    )
+    # 12 concurrent writers against a 20ms window must fold somewhere.
+    assert fold > 1.0

@@ -542,6 +542,122 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _build_sharded_hospital(shards: int, patients: int):
+    """A sharded hospital deployment, loaded and object-registered."""
+    from repro.shard import ShardedPenguin, sharded_loader
+    from repro.workloads.hospital import HospitalConfig
+
+    graph = hospital_schema()
+    sharded = ShardedPenguin(graph, partition_by="PATIENT", num_shards=shards)
+    populate_hospital(
+        sharded_loader(sharded), HospitalConfig(patients=patients)
+    )
+    sharded.register_object(patient_chart_object(graph))
+    # Materialized caches give the DEGRADED path something to serve
+    # stale reads from (and exercise per-shard maintenance).
+    sharded.materialize("patient_chart", "lazy")
+    return sharded
+
+
+def _write_serve_bench(report) -> Path:
+    """Emit ``BENCH_serve.json``; prefers the shared bench writer."""
+    entries = {"serve": report.as_dict()}
+    try:
+        from benchmarks.bench_json import write_bench_json
+    except ImportError:
+        path = Path.cwd() / "BENCH_serve.json"
+        path.write_text(
+            json.dumps(
+                {"benchmark": "serve", "entries": entries},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        return path
+    return write_bench_json("serve", entries)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    import repro.obs as obs
+    from repro.serve.http import PenguinServer
+    from repro.serve.load import run_load
+
+    obs.configure()  # live metrics so /metrics has content
+    sharded = _build_sharded_hospital(args.shards, args.patients)
+    port = args.port
+    if port is None:
+        port = 0 if (args.smoke or args.load_ops) else 8642
+    server = PenguinServer(
+        sharded,
+        host=args.host,
+        port=port,
+        batch_window=args.batch_window,
+    )
+
+    if args.smoke or args.load_ops:
+        handle = server.in_background()
+        try:
+            print(f"topology: {sharded.describe()}")
+            print(f"listening on {handle.url}")
+            ops = args.load_ops or 400
+            report = asyncio.run(
+                run_load(
+                    server.host,
+                    server.port,
+                    ops=ops,
+                    workers=args.workers,
+                    population=args.patients,
+                    skew=args.skew,
+                    seed=args.seed,
+                )
+            )
+        finally:
+            handle.stop()
+        print(f"load: {report.describe()}")
+        bench_path = _write_serve_bench(report)
+        print(f"wrote {bench_path}")
+        degraded = sharded.health()["degraded"]
+        if not args.smoke:
+            return 0
+        p95 = report.summary().get("p95", 0.0)
+        checks = [
+            ("all ops answered", report.ops == ops),
+            ("no 5xx errors", report.errors == 0),
+            (
+                f"p95 {p95:.2f}ms <= {args.p95_bound:.0f}ms",
+                p95 <= args.p95_bound,
+            ),
+            ("no shard degraded", not degraded),
+            ("clean shutdown", not server.running),
+        ]
+        ok = all(passed for _, passed in checks)
+        for label, passed in checks:
+            print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+        print("serve-smoke:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+
+    async def _serve_forever() -> None:
+        await server.start()
+        print(f"topology: {sharded.describe()}")
+        print(
+            f"listening on http://{server.host}:{server.port}", flush=True
+        )
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -696,6 +812,43 @@ def build_parser() -> argparse.ArgumentParser:
              "the final state byte-for-byte",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve a sharded hospital deployment over HTTP/JSON "
+             "(asyncio front end with write micro-batching)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="listen port (default 8642; load/smoke modes default to "
+             "an ephemeral port)",
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--patients", type=int, default=25,
+        help="resident hospital population (zipfian reads target it)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="micro-batch window folding concurrent writes per object",
+    )
+    serve.add_argument(
+        "--load-ops", type=int, default=0, metavar="N",
+        help="run the zipfian load generator for N ops and exit",
+    )
+    serve.add_argument("--workers", type=int, default=8)
+    serve.add_argument("--skew", type=float, default=1.1)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: zipfian burst, assert p95 bound + clean "
+             "shutdown, emit BENCH_serve.json, exit non-zero on FAIL",
+    )
+    serve.add_argument(
+        "--p95-bound", type=float, default=250.0, metavar="MS",
+        help="smoke-mode p95 latency bound in milliseconds",
+    )
+
     return parser
 
 
@@ -712,6 +865,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "audit": cmd_audit,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

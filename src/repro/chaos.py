@@ -53,6 +53,7 @@ from repro.workloads.hospital import (
     patient_chart_object,
     populate_hospital,
 )
+from repro.workloads.synthetic import ZipfianWorkload
 
 __all__ = ["ChaosReport", "run_campaign", "run_crash_sweep",
            "run_transient_bulk", "run_degraded_serving"]
@@ -339,10 +340,18 @@ def run_transient_bulk(
     count = max(1, ops // _OPS_PER_CHART)
     batch = [_new_chart(i) for i in range(count)]
     report.bulk_instances = count
+    # Victim choice is zipfian (seeded): hot charts are deleted with
+    # realistic skew instead of a fixed stride, so the retry path sees
+    # the same contention shape as the serving load test.
+    workload = ZipfianWorkload(
+        population=count, skew=1.1, seed=seed, tenants=4
+    )
+    victims = sorted(
+        {(50_000 + workload.sample_rank(),) for _ in range(max(1, count // 3))}
+    )
     try:
         plan = session.insert_many(OBJECT_NAME, batch)
         report.bulk_operations += len(plan)
-        victims = [(50_000 + i,) for i in range(0, count, 3)]
         plan = session.delete_many(OBJECT_NAME, victims)
         report.bulk_operations += len(plan)
     except Exception as exc:  # noqa: BLE001 - any escape is a violation

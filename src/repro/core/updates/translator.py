@@ -234,6 +234,70 @@ class Translator:
             op="batch",
         )
 
+    def apply_plan(
+        self,
+        engine: Engine,
+        plan: UpdatePlan,
+        op: str = "update",
+        items: int = 1,
+    ) -> UpdatePlan:
+        """Journal, apply, and audit an already-translated coalesced plan.
+
+        The flush half of :meth:`_run_batch`, for callers that produced
+        the plan elsewhere — :meth:`explain` / :meth:`explain_batch` run
+        the full translation pipeline over a buffer, and a shard
+        coordinator partitions the result before applying each piece on
+        its owning engine through this method. The base engine must be
+        in the same state translation observed (the plan's before-images
+        are read here, ahead of the first operation).
+        """
+        journal = self._active_journal(engine, need_changelog=False)
+        audit = self._active_audit(engine)
+        registry = obs.metrics()
+        with obs.tracer().span(
+            "apply_plan", object=self.view_object.name, op=op, ops=len(plan)
+        ):
+            images = (
+                plan_images(engine, plan)
+                if journal is not None or audit is not None
+                else None
+            )
+            entry_id = None
+            if journal is not None:
+                entry_id = journal.begin(
+                    plan, images, label=self.view_object.name
+                )
+            try:
+                engine.apply_batch(plan.operations)
+            except Exception as exc:
+                # apply_batch rolled its transaction back: nothing landed.
+                if entry_id is not None:
+                    journal.mark_aborted(entry_id)
+                registry.counter("translation_failures_total", op=op).inc()
+                if audit is not None:
+                    self._audit(
+                        audit, op, AUDIT_ROLLED_BACK, plan=plan, items=items,
+                        error=exc, journal_entry=entry_id,
+                    )
+                raise
+            except BaseException as exc:
+                if audit is not None:
+                    self._audit(
+                        audit, op, AUDIT_CRASHED, plan=plan, images=images,
+                        items=items, error=exc, journal_entry=entry_id,
+                    )
+                raise
+            if entry_id is not None:
+                journal.mark_committed(entry_id)
+            if audit is not None:
+                self._audit(
+                    audit, op, AUDIT_COMMITTED, plan=plan, images=images,
+                    items=items, journal_entry=entry_id,
+                )
+            registry.counter("translations_total", op=op).inc()
+            registry.histogram("plan_ops", op=op).observe(len(plan))
+        return plan
+
     def _translate_request(
         self, ctx: TranslationContext, request: "UpdateRequest"
     ) -> None:

@@ -349,6 +349,16 @@ class Penguin:
         one coalesced plan and apply it atomically."""
         return self.translator(name).apply_plan_batch(self.engine, requests)
 
+    def apply_translated_plan(
+        self, name: str, plan: UpdatePlan, op: str = "update", items: int = 1
+    ) -> UpdatePlan:
+        """Apply a plan produced by :meth:`explain_update` (or a shard
+        coordinator), journaled and audited exactly like a translated
+        update — without re-running translation."""
+        return self.translator(name).apply_plan(
+            self.engine, plan, op=op, items=items
+        )
+
     # -- transactions ----------------------------------------------------------------
 
     def transaction(self):

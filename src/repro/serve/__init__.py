@@ -10,7 +10,9 @@ syncs get exclusive access.
 """
 
 from repro.serve.breaker import DEGRADED, HEALTHY, CircuitBreaker
-from repro.serve.concurrent import ConcurrentPenguin
+from repro.serve.concurrent import ConcurrentPenguin, ServedRead
+from repro.serve.http import MicroBatcher, PenguinServer, ServerHandle
+from repro.serve.load import LoadReport, run_load
 from repro.serve.locks import ReadWriteLock
 
 __all__ = [
@@ -19,4 +21,10 @@ __all__ = [
     "CircuitBreaker",
     "HEALTHY",
     "DEGRADED",
+    "LoadReport",
+    "MicroBatcher",
+    "PenguinServer",
+    "ServedRead",
+    "ServerHandle",
+    "run_load",
 ]

@@ -33,7 +33,50 @@ from repro.serve.locks import ReadWriteLock
 from repro.structural.integrity import Violation
 from repro.structural.schema_graph import StructuralSchema
 
-__all__ = ["ConcurrentPenguin"]
+__all__ = ["ConcurrentPenguin", "ServedRead"]
+
+
+class ServedRead:
+    """A read result plus the serving metadata the caller can't infer.
+
+    Before this type existed, a DEGRADED-mode stale read was
+    indistinguishable from a fresh one at the API surface; ``stale``
+    makes the difference explicit, ``staleness`` counts how many
+    changelog records the answering cache is behind, and ``shard``
+    identifies the answering shard when served by a
+    :class:`~repro.shard.sharded.ShardedPenguin` (None otherwise).
+    """
+
+    __slots__ = ("value", "stale", "shard", "staleness", "object_name")
+
+    def __init__(
+        self,
+        value: Any,
+        stale: bool,
+        shard: Optional[int] = None,
+        staleness: Optional[int] = None,
+        object_name: str = "",
+    ) -> None:
+        self.value = value
+        self.stale = stale
+        self.shard = shard
+        self.staleness = staleness
+        self.object_name = object_name
+
+    def meta(self) -> Dict[str, Any]:
+        """The metadata alone, JSON-safe (threaded into HTTP responses)."""
+        return {
+            "object": self.object_name,
+            "stale": self.stale,
+            "shard": self.shard,
+            "staleness": self.staleness,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServedRead({self.object_name!r}, stale={self.stale}, "
+            f"shard={self.shard})"
+        )
 
 
 def _is_engine_fault(exc: BaseException) -> bool:
@@ -81,6 +124,11 @@ class ConcurrentPenguin:
             self.penguin = Penguin(session, **penguin_kwargs)
         self.lock = ReadWriteLock()
         self.breaker = breaker or CircuitBreaker()
+        #: Extra labels stamped on every serving metric this facade
+        #: emits; a ShardedPenguin sets ``{"shard": "<id>"}`` here so
+        #: per-shard series stay distinguishable (and bounded by the
+        #: shard count).
+        self.metric_labels: Dict[str, str] = {}
 
     # -- health-routed execution --------------------------------------------
 
@@ -89,10 +137,20 @@ class ConcurrentPenguin:
         engine_read: Callable[[], Any],
         stale_read: Callable[[], Any],
     ) -> Any:
+        return self._read_traced(engine_read, stale_read)[0]
+
+    def _read_traced(
+        self,
+        engine_read: Callable[[], Any],
+        stale_read: Callable[[], Any],
+    ) -> Tuple[Any, bool]:
         """Serve a read: engine when healthy (or probing), stale otherwise.
 
-        ``stale_read`` raises :class:`DegradedServiceError` itself when
-        it cannot answer (no materialized cache, filtered query).
+        Returns ``(value, stale)`` so callers can surface the serving
+        mode instead of silently passing off a possibly-outdated answer
+        as fresh. ``stale_read`` raises :class:`DegradedServiceError`
+        itself when it cannot answer (no materialized cache, filtered
+        query).
         """
         if self.breaker.allow():
             try:
@@ -103,14 +161,20 @@ class ConcurrentPenguin:
                     raise
                 self.breaker.record_failure()
                 if self.breaker.degraded:
-                    obs.metrics().counter("serve_reads_total", mode="stale").inc()
-                    return stale_read()
+                    obs.metrics().counter(
+                        "serve_reads_total", mode="stale", **self.metric_labels
+                    ).inc()
+                    return stale_read(), True
                 raise
             self.breaker.record_success()
-            obs.metrics().counter("serve_reads_total", mode="engine").inc()
-            return result
-        obs.metrics().counter("serve_reads_total", mode="stale").inc()
-        return stale_read()
+            obs.metrics().counter(
+                "serve_reads_total", mode="engine", **self.metric_labels
+            ).inc()
+            return result, False
+        obs.metrics().counter(
+            "serve_reads_total", mode="stale", **self.metric_labels
+        ).inc()
+        return stale_read(), True
 
     def _write(
         self,
@@ -128,7 +192,9 @@ class ConcurrentPenguin:
         not just the ones that did.
         """
         if not self.breaker.allow():
-            obs.metrics().counter("serve_writes_total", mode="refused").inc()
+            obs.metrics().counter(
+                "serve_writes_total", mode="refused", **self.metric_labels
+            ).inc()
             self._audit_refusal(op, object_name)
             raise DegradedServiceError(
                 "service is degraded: writes are refused while the "
@@ -140,10 +206,14 @@ class ConcurrentPenguin:
             except Exception as exc:
                 if _is_engine_fault(exc):
                     self.breaker.record_failure()
-                obs.metrics().counter("serve_writes_total", mode="failed").inc()
+                obs.metrics().counter(
+                    "serve_writes_total", mode="failed", **self.metric_labels
+                ).inc()
                 raise
         self.breaker.record_success()
-        obs.metrics().counter("serve_writes_total", mode="applied").inc()
+        obs.metrics().counter(
+            "serve_writes_total", mode="applied", **self.metric_labels
+        ).inc()
         return result
 
     def _refuse_stale(self, reason: str) -> Any:
@@ -183,6 +253,34 @@ class ConcurrentPenguin:
         return self._read(
             lambda: self.penguin.get(name, key),
             lambda: self._stale_get(name, key),
+        )
+
+    def query_served(
+        self, name: str, text: Optional[str] = None
+    ) -> ServedRead:
+        """Like :meth:`query`, with the serving metadata attached."""
+        value, stale = self._read_traced(
+            lambda: self.penguin.query(name, text),
+            lambda: self._stale_query(name, text),
+        )
+        return self._served(name, value, stale)
+
+    def get_served(self, name: str, key: Sequence[Any]) -> ServedRead:
+        """Like :meth:`get`, with the serving metadata attached."""
+        value, stale = self._read_traced(
+            lambda: self.penguin.get(name, key),
+            lambda: self._stale_get(name, key),
+        )
+        return self._served(name, value, stale)
+
+    def _served(self, name: str, value: Any, stale: bool) -> ServedRead:
+        staleness = None
+        if stale:
+            view = self.penguin.materialized(name)
+            if view is not None:
+                staleness = view.staleness()
+        return ServedRead(
+            value=value, stale=stale, staleness=staleness, object_name=name
         )
 
     def _stale_query(self, name: str, text: Optional[str]) -> List[Instance]:
@@ -288,6 +386,23 @@ class ConcurrentPenguin:
         return self._write(
             lambda: self.penguin.apply_plan_batch(name, requests),
             op="batch", object_name=name,
+        )
+
+    def apply_plan(
+        self, name: str, plan: UpdatePlan, op: str = "update", items: int = 1
+    ) -> UpdatePlan:
+        """Apply an already-translated coalesced plan, journaled and audited.
+
+        The sharded write path translates on the owning shard via the
+        side-effect-free explain pipeline and then lands the plan here,
+        under this facade's breaker and write lock — the plan is not
+        re-translated.
+        """
+        return self._write(
+            lambda: self.penguin.apply_translated_plan(
+                name, plan, op=op, items=items
+            ),
+            op=op, object_name=name,
         )
 
     def delete_where(self, name: str, query: str) -> UpdatePlan:

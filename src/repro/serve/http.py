@@ -1,0 +1,598 @@
+"""An asyncio HTTP/JSON front end over a (sharded) Penguin session.
+
+:class:`PenguinServer` binds ``asyncio.start_server`` to a small
+HTTP/1.1 surface — health, metrics, object queries and gets, and the
+three view-object write verbs — and serves them from a
+:class:`~repro.shard.sharded.ShardedPenguin` or a single
+:class:`~repro.serve.concurrent.ConcurrentPenguin`. The session's
+translation pipeline is synchronous by design (the paper's algorithms
+are CPU-bound tree walks), so the event loop never runs it inline:
+every session call is pushed to the default executor and the loop
+stays free to accept and parse connections.
+
+Writes additionally pass through a :class:`MicroBatcher`: concurrent
+requests arriving within one ``batch_window`` for the same view object
+are folded into a single ``apply_plan_batch`` call — one translation,
+one coalesced plan, one journal entry per owner shard — which is where
+the serving layer earns back the per-request overhead under zipfian
+contention on a hot object. A failed batch falls back to applying its
+requests individually so one bad request rejects alone instead of
+poisoning its whole window.
+
+Read responses carry the :class:`~repro.serve.concurrent.ServedRead`
+metadata (``stale``, ``shard``, ``staleness``), so a DEGRADED-mode
+answer is visibly marked at the HTTP surface rather than passed off
+as fresh. Error mapping: unknown objects are 404, validation and
+translation rejections 400, DEGRADED refusals 503 with a
+``Retry-After`` hint, everything else 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.core.updates.operations import (
+    CompleteDeletion,
+    CompleteInsertion,
+    Replacement,
+    UpdateRequest,
+)
+from repro.errors import (
+    DegradedServiceError,
+    QueryError,
+    RelationalError,
+    ReproError,
+    TransactionError,
+    TransientEngineError,
+    UpdateError,
+    ViewObjectError,
+)
+from repro.serve.concurrent import ServedRead
+
+__all__ = ["MicroBatcher", "PenguinServer", "ServerHandle", "parse_key"]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+MAX_BODY_BYTES = 1 << 20
+
+
+def parse_key(text: str) -> Tuple[Any, ...]:
+    """An object key from its URL form: comma-separated, ints coerced.
+
+    ``/objects/patient_chart/4711`` addresses key ``(4711,)`` — each
+    segment is tried as an int, then a float, and kept as a string
+    otherwise, matching how the workloads type their key attributes.
+    """
+    parts = []
+    for raw in text.split(","):
+        value: Any = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+        parts.append(value)
+    return tuple(parts)
+
+
+class _HttpError(Exception):
+    """An error with a status code, raised by handlers, rendered as JSON."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _classify(exc: BaseException) -> _HttpError:
+    if isinstance(exc, _HttpError):
+        return exc
+    if isinstance(exc, DegradedServiceError):
+        return _HttpError(503, str(exc))
+    if isinstance(exc, ViewObjectError) and not isinstance(exc, QueryError):
+        # Unknown object names raise ViewObjectError from the registry.
+        return _HttpError(404, str(exc))
+    if isinstance(exc, QueryError):
+        return _HttpError(400, str(exc))
+    if isinstance(exc, UpdateError):
+        return _HttpError(400, str(exc))
+    if isinstance(exc, (TransientEngineError, TransactionError)):
+        return _HttpError(503, str(exc))
+    if isinstance(exc, (RelationalError, ReproError, KeyError, ValueError,
+                        TypeError)):
+        return _HttpError(400, str(exc))
+    return _HttpError(500, f"{type(exc).__name__}: {exc}")
+
+
+class MicroBatcher:
+    """Fold concurrent writes per view object into one coalesced batch.
+
+    Callers :meth:`submit` an :class:`UpdateRequest` and await the
+    returned future. The first request for an object opens a window
+    (``loop.call_later``); everything arriving before the timer fires —
+    or before the queue reaches ``max_batch`` — flushes together
+    through ``session.apply_plan_batch``, off-loop in the executor.
+
+    Batch-level failure falls back to per-request application: each
+    request is retried alone and only the genuinely bad ones get their
+    future rejected. The common failure (one invalid chart among ten
+    inserts) therefore costs one extra round instead of ten rejections.
+    """
+
+    def __init__(
+        self,
+        session: Any,
+        loop: asyncio.AbstractEventLoop,
+        window: float = 0.005,
+        max_batch: int = 32,
+    ) -> None:
+        self.session = session
+        self.loop = loop
+        self.window = window
+        self.max_batch = max_batch
+        self._queues: Dict[str, List[Tuple[UpdateRequest, asyncio.Future]]] = {}
+        self._timers: Dict[str, asyncio.TimerHandle] = {}
+        self.batches_flushed = 0
+        self.requests_batched = 0
+
+    def submit(self, name: str, request: UpdateRequest) -> "asyncio.Future":
+        future: asyncio.Future = self.loop.create_future()
+        queue = self._queues.setdefault(name, [])
+        queue.append((request, future))
+        if len(queue) >= self.max_batch:
+            self._flush(name)
+        elif name not in self._timers:
+            self._timers[name] = self.loop.call_later(
+                self.window, self._flush, name
+            )
+        return future
+
+    def _flush(self, name: str) -> None:
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+        queue = self._queues.pop(name, [])
+        if not queue:
+            return
+        self.batches_flushed += 1
+        self.requests_batched += len(queue)
+        obs.metrics().histogram("serve_batch_size").observe(len(queue))
+        asyncio.ensure_future(self._apply(name, queue), loop=self.loop)
+
+    async def _apply(
+        self, name: str, queue: List[Tuple[UpdateRequest, asyncio.Future]]
+    ) -> None:
+        requests = [request for request, _ in queue]
+        try:
+            plan = await self.loop.run_in_executor(
+                None, lambda: self.session.apply_plan_batch(name, requests)
+            )
+        except Exception as exc:
+            if len(queue) == 1:
+                future = queue[0][1]
+                if not future.done():
+                    future.set_exception(exc)
+                return
+            # One bad request rejected the whole window: retry each
+            # alone so the good ones still land.
+            for request, future in queue:
+                await self._apply(name, [(request, future)])
+            return
+        for _, future in queue:
+            if not future.done():
+                future.set_result((plan, len(queue)))
+
+    async def drain(self) -> None:
+        """Flush every open window and wait for the flushes to land."""
+        for name in list(self._queues):
+            self._flush(name)
+        pending = [
+            future
+            for queue in self._queues.values()
+            for _, future in queue
+        ]
+        if pending:  # pragma: no cover - _flush empties the queues
+            await asyncio.gather(*pending, return_exceptions=True)
+        # Give already-scheduled _apply tasks a chance to complete.
+        await asyncio.sleep(0)
+
+
+class ServerHandle:
+    """A running server on its own thread: ``.port``, ``.stop()``.
+
+    Tests and the CLI smoke mode use this to serve a session in the
+    background of a synchronous process; ``stop()`` is idempotent and
+    joins the loop thread.
+    """
+
+    def __init__(self, server: "PenguinServer") -> None:
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stopped = False
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def start(self, timeout: float = 10.0) -> "ServerHandle":
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.start())
+                self._started.set()
+                loop.run_forever()
+                loop.run_until_complete(self.server.stop())
+            finally:
+                self._started.set()  # unblock start() on startup failure
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="penguin-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):  # pragma: no cover
+            raise RuntimeError("server failed to start in time")
+        if not self.server.running:
+            raise RuntimeError("server failed to start; see logs")
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._stopped or self._loop is None:
+            return
+        self._stopped = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+class PenguinServer:
+    """The HTTP surface. Routes:
+
+    ========  ==============================  =================================
+    method    path                            meaning
+    ========  ==============================  =================================
+    GET       /health                         session + breaker health JSON
+    GET       /metrics                        Prometheus text exposition
+    GET       /objects                        registered view objects
+    GET       /objects/<name>                 query (``?q=`` object query)
+    GET       /objects/<name>/<key>           one instance by object key
+    POST      /objects/<name>                 insert ``{"instance": {...}}``
+    PUT       /objects/<name>/<key>           replace with ``{"instance": ...}``
+    DELETE    /objects/<name>/<key>           delete by object key
+    ========  ==============================  =================================
+
+    ``session`` is anything with the shared read/write surface —
+    a :class:`~repro.shard.sharded.ShardedPenguin` or a single
+    :class:`~repro.serve.concurrent.ConcurrentPenguin`.
+    """
+
+    def __init__(
+        self,
+        session: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window: float = 0.005,
+        max_batch: int = 32,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "PenguinServer":
+        loop = asyncio.get_running_loop()
+        self.batcher = MicroBatcher(
+            self.session, loop,
+            window=self.batch_window, max_batch=self.max_batch,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        if self.batcher is not None:
+            await self.batcher.drain()
+        self._server = None
+
+    def in_background(self) -> ServerHandle:
+        """Serve on a dedicated thread; returns the started handle."""
+        return ServerHandle(self).start()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                request_line, headers = self._parse_head(head)
+                if request_line is None:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request"},
+                        close=True,
+                    )
+                    break
+                method, target = request_line
+                length = int(headers.get("content-length", "0") or "0")
+                if length > MAX_BODY_BYTES:
+                    await self._respond(
+                        writer, 400, {"error": "body too large"}, close=True
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload, content_type = await self._dispatch(
+                    method, target, body
+                )
+                self.requests_served += 1
+                obs.metrics().counter(
+                    "serve_http_requests_total",
+                    method=method,
+                    status=str(status),
+                ).inc()
+                await self._respond(
+                    writer, status, payload,
+                    content_type=content_type, close=not keep_alive,
+                )
+                if not keep_alive:
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _parse_head(
+        head: bytes,
+    ) -> Tuple[Optional[Tuple[str, str]], Dict[str, str]]:
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            return None, {}
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None, {}
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line or ":" not in line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        return (method.upper(), target), headers
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        content_type: str = "application/json",
+        close: bool = False,
+    ) -> None:
+        if content_type == "application/json":
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+        else:
+            body = str(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}; charset=utf-8",
+            f"Content-Length: {len(body)}",
+            "Connection: " + ("close" if close else "keep-alive"),
+        ]
+        if status == 503:
+            headers.append("Retry-After: 1")
+        writer.write(
+            ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Any, str]:
+        path, _, query_string = target.partition("?")
+        segments = [s for s in path.split("/") if s]
+        try:
+            if path == "/health" and method == "GET":
+                return 200, await self._run(self.session.health), "application/json"
+            if path == "/metrics" and method == "GET":
+                text = await self._run(self.session.metrics_text)
+                return 200, text, "text/plain; version=0.0.4"
+            if path == "/objects" and method == "GET":
+                return 200, await self._objects_index(), "application/json"
+            if segments[:1] == ["objects"] and len(segments) == 2:
+                name = segments[1]
+                if method == "GET":
+                    return (
+                        200,
+                        await self._query(name, query_string),
+                        "application/json",
+                    )
+                if method == "POST":
+                    return (
+                        201,
+                        await self._insert(name, body),
+                        "application/json",
+                    )
+                raise _HttpError(405, f"{method} not allowed here")
+            if segments[:1] == ["objects"] and len(segments) == 3:
+                name, key = segments[1], parse_key(segments[2])
+                if method == "GET":
+                    return 200, await self._get(name, key), "application/json"
+                if method == "PUT":
+                    return (
+                        200,
+                        await self._replace(name, key, body),
+                        "application/json",
+                    )
+                if method == "DELETE":
+                    return (
+                        200,
+                        await self._delete(name, key),
+                        "application/json",
+                    )
+                raise _HttpError(405, f"{method} not allowed here")
+            raise _HttpError(404, f"no route for {method} {path}")
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            error = _classify(exc)
+            return error.status, {"error": str(error)}, "application/json"
+
+    async def _run(self, fn: Callable[[], Any]) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn)
+
+    async def _objects_index(self) -> Dict[str, Any]:
+        names = list(self.session.object_names)
+        payload: Dict[str, Any] = {"objects": names}
+        describe = getattr(self.session, "describe", None)
+        if describe is not None:
+            payload["topology"] = describe()
+        return payload
+
+    # -- reads ---------------------------------------------------------------
+
+    async def _query(self, name: str, query_string: str) -> Dict[str, Any]:
+        text = self._query_text(query_string)
+        served: ServedRead = await self._run(
+            lambda: self.session.query_served(name, text)
+        )
+        return {
+            "instances": [instance.to_dict() for instance in served.value],
+            "count": len(served.value),
+            "meta": served.meta(),
+        }
+
+    async def _get(self, name: str, key: Tuple[Any, ...]) -> Dict[str, Any]:
+        served: ServedRead = await self._run(
+            lambda: self.session.get_served(name, key)
+        )
+        if served.value is None:
+            raise _HttpError(404, f"no instance {key!r} of {name!r}")
+        return {"instance": served.value.to_dict(), "meta": served.meta()}
+
+    @staticmethod
+    def _query_text(query_string: str) -> Optional[str]:
+        if not query_string:
+            return None
+        for pair in query_string.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "q":
+                return _url_unquote(value) or None
+        return None
+
+    # -- writes (batched) ----------------------------------------------------
+
+    def _instance_body(self, body: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError):
+            raise _HttpError(400, "body is not valid JSON")
+        if not isinstance(payload, dict) or "instance" not in payload:
+            raise _HttpError(400, 'body must be {"instance": {...}}')
+        instance = payload["instance"]
+        if not isinstance(instance, dict):
+            raise _HttpError(400, '"instance" must be an object')
+        return instance
+
+    def _coerce(self, name: str, mapping: Dict[str, Any]):
+        coerce = getattr(self.session, "_coerce", None)
+        if coerce is not None:  # ShardedPenguin
+            return coerce(name, mapping)
+        from repro.core.instance import build_instance
+
+        return build_instance(self.session.object(name), mapping)
+
+    async def _submit(
+        self, name: str, request: UpdateRequest
+    ) -> Dict[str, Any]:
+        assert self.batcher is not None, "server not started"
+        plan, batched = await self.batcher.submit(name, request)
+        return {
+            "applied": True,
+            "operations": len(plan.operations),
+            "batched_with": batched - 1,
+        }
+
+    async def _insert(self, name: str, body: bytes) -> Dict[str, Any]:
+        mapping = self._instance_body(body)
+        instance = await self._run(lambda: self._coerce(name, mapping))
+        return await self._submit(name, CompleteInsertion(instance))
+
+    async def _replace(
+        self, name: str, key: Tuple[Any, ...], body: bytes
+    ) -> Dict[str, Any]:
+        mapping = self._instance_body(body)
+        new = await self._run(lambda: self._coerce(name, mapping))
+        return await self._submit(name, Replacement(key, new))
+
+    async def _delete(
+        self, name: str, key: Tuple[Any, ...]
+    ) -> Dict[str, Any]:
+        return await self._submit(name, CompleteDeletion(key))
+
+
+def _url_unquote(text: str) -> str:
+    """Minimal %XX + '+' decoding (the query grammar is ASCII)."""
+    text = text.replace("+", " ")
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "%" and i + 2 < len(text) + 1:
+            try:
+                out.append(chr(int(text[i + 1:i + 3], 16)))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.append(ch)
+        i += 1
+    return "".join(out)

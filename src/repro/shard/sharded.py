@@ -1,0 +1,721 @@
+"""The sharded facade: one logical Penguin over N partitioned engines.
+
+:class:`ShardedPenguin` presents the same view-object surface as
+:class:`~repro.penguin.Penguin`, backed by ``num_shards`` independent
+engine instances. Each shard is a full serving stack of its own — a
+:class:`~repro.serve.concurrent.ConcurrentPenguin` with its own plan
+journal, circuit breaker, audit log, and materialized caches — so a
+shard can fail, degrade, and recover independently.
+
+Placement follows the paper's structure (see
+:mod:`repro.shard.router`): island relations carry the pivot key in
+their primary keys and are partitioned by it; referenced lookups are
+replicated to every shard. A view-object update therefore translates
+entirely on the shard that owns its pivot key — translation runs
+side-effect-free there (:meth:`Translator.explain`), the coalesced
+plan is partitioned, and:
+
+* a plan confined to one shard takes the **fast path**: journaled,
+  audited, breaker-guarded apply on that shard alone;
+* a plan spanning shards (a peninsula fix touching a replicated
+  relation, a replacement re-homing the pivot key) goes through the
+  **two-phase coordinator** (:mod:`repro.shard.twophase`), which holds
+  the write locks of every participant and leaves each shard's journal
+  able to finish the transaction after a crash.
+
+Coordination between the two paths uses a second readers-writer lock:
+fast-path writes on *different* shards share it and run concurrently;
+a cross-shard transaction takes it exclusively, so it can never
+interleave with a fast-path write on one of its participants.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import repro.obs as obs
+from repro.core.instance import Instance, build_instance
+from repro.core.updates.operations import (
+    CompleteDeletion,
+    CompleteInsertion,
+    Replacement,
+    UpdateRequest,
+)
+from repro.errors import DegradedServiceError
+from repro.obs.audit import COMMITTED as AUDIT_COMMITTED
+from repro.obs.audit import ROLLED_BACK as AUDIT_ROLLED_BACK
+from repro.obs.audit import AuditLog, MemoryAuditLog
+from repro.obs.explain import TranslationExplanation
+from repro.penguin import Penguin
+from repro.relational.engine import Engine
+from repro.relational.journal import MemoryJournal, PlanJournal, plan_images
+from repro.relational.operations import UpdatePlan
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.concurrent import ConcurrentPenguin, ServedRead
+from repro.serve.locks import ReadWriteLock
+from repro.shard.router import HashRouter, Placement, Router, partition_plan
+from repro.shard.twophase import recover_two_phase, two_phase_apply
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = ["Shard", "ShardedPenguin", "ShardedRecovery", "sharded_loader"]
+
+
+class Shard:
+    """One shard: a serving facade plus its id, as seen by the router."""
+
+    def __init__(self, shard_id: int, serving: ConcurrentPenguin) -> None:
+        self.shard_id = shard_id
+        self.serving = serving
+
+    @property
+    def penguin(self) -> Penguin:
+        return self.serving.penguin
+
+    @property
+    def engine(self) -> Engine:
+        return self.serving.penguin.engine
+
+    @property
+    def journal(self) -> PlanJournal:
+        return self.serving.penguin.journal
+
+    @property
+    def lock(self) -> ReadWriteLock:
+        return self.serving.lock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shard({self.shard_id}, {self.serving!r})"
+
+
+class ShardedRecovery:
+    """Combined startup-recovery outcome: 2PC pass + per-shard passes."""
+
+    def __init__(self, two_phase, shards: Dict[int, Any]) -> None:
+        self.two_phase = two_phase
+        self.shards = shards
+
+    @property
+    def clean(self) -> bool:
+        return self.two_phase.clean
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "two_phase": self.two_phase.as_dict(),
+            "shards": {
+                shard_id: getattr(report, "as_dict", lambda: report)()
+                for shard_id, report in self.shards.items()
+            },
+        }
+
+
+class ShardedPenguin:
+    """Horizontal partitioning of one structural schema across N shards.
+
+    Parameters
+    ----------
+    graph:
+        The structural schema, installed identically on every shard.
+    partition_by:
+        The relation whose primary key partitions the data — normally
+        the pivot of the workload's main view object. Relations whose
+        keys contain all of its key attributes are partitioned;
+        everything else is replicated.
+    num_shards / router:
+        Either a shard count (hash partitioning) or an explicit
+        :class:`~repro.shard.router.Router`; the router's shard count
+        wins when both are given.
+    engines / journals / audits / breakers:
+        Optional per-shard components, mainly for restart-after-crash
+        scenarios where existing engines and journals are re-attached.
+        Defaults: fresh memory engines, :class:`MemoryJournal` and
+        :class:`MemoryAuditLog` per shard. Pass ``install=False`` when
+        re-attaching engines that already have the schema.
+
+    Startup always runs recovery — the cross-shard two-phase pass
+    first, then each shard's standard journal recovery — and keeps the
+    report as :attr:`recovery`.
+    """
+
+    def __init__(
+        self,
+        graph: StructuralSchema,
+        partition_by: str,
+        num_shards: int = 4,
+        router: Optional[Router] = None,
+        backend: str = "memory",
+        metric=None,
+        verify_integrity: bool = False,
+        engines: Optional[Sequence[Engine]] = None,
+        journals: Optional[Sequence[PlanJournal]] = None,
+        audits: Optional[Sequence[AuditLog]] = None,
+        breakers: Optional[Sequence[CircuitBreaker]] = None,
+        install: Optional[bool] = None,
+    ) -> None:
+        self.graph = graph
+        self.placement = Placement(graph, partition_by)
+        self.router = router or HashRouter(num_shards)
+        self.num_shards = self.router.num_shards
+        if install is None:
+            install = engines is None
+        for name, given in (
+            ("engines", engines), ("journals", journals),
+            ("audits", audits), ("breakers", breakers),
+        ):
+            if given is not None and len(given) != self.num_shards:
+                raise ValueError(
+                    f"{name} must have one entry per shard "
+                    f"({len(given)} != {self.num_shards})"
+                )
+        self._shards: Dict[int, Shard] = {}
+        for shard_id in range(self.num_shards):
+            penguin = Penguin(
+                graph,
+                engine=engines[shard_id] if engines else None,
+                backend=backend,
+                metric=metric,
+                install=install,
+                verify_integrity=verify_integrity,
+                audit=audits[shard_id] if audits else MemoryAuditLog(),
+            )
+            # Attached after construction so recovery is NOT run per
+            # shard in isolation here — per-shard recovery would tear a
+            # half-applied cross-shard transaction; recover() below
+            # settles the 2PC entries globally first.
+            penguin.journal = (
+                journals[shard_id] if journals else MemoryJournal()
+            )
+            serving = ConcurrentPenguin(
+                penguin,
+                breaker=breakers[shard_id] if breakers else CircuitBreaker(),
+            )
+            serving.metric_labels = {"shard": str(shard_id)}
+            self._shards[shard_id] = Shard(shard_id, serving)
+        # Fast-path writes (one shard) share this lock; a cross-shard
+        # transaction takes it exclusively. Reads never touch it.
+        self._coordinator = ReadWriteLock()
+        self._txn_counter = itertools.count(1)
+        self._txn_lock = threading.Lock()
+        #: Optional (stage, shard_id) hook for crash-point tests;
+        #: forwarded to :func:`two_phase_apply`.
+        self.failpoint = None
+        self.recovery = self.recover()
+
+    # -- shard access --------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[Shard, ...]:
+        return tuple(self._shards[i] for i in range(self.num_shards))
+
+    def shard(self, shard_id: int) -> Shard:
+        return self._shards[shard_id]
+
+    def owner_of(self, name: str, key: Sequence[Any]) -> int:
+        """The shard owning the instance with object key ``key``."""
+        self._object_of(name)  # validates the object exists
+        return self.router.shard_of(tuple(key))
+
+    def describe(self) -> str:
+        return f"{self.router.describe()} over {self.placement.describe()}"
+
+    def _object_of(self, name: str):
+        return self._shards[0].penguin.object(name)
+
+    # -- definition-time fan-out --------------------------------------------
+
+    def define_object(self, *args: Any, **kwargs: Any):
+        """Define the object on every shard; returns shard 0's definition."""
+        results = [
+            shard.serving.define_object(*args, **kwargs)
+            for shard in self.shards
+        ]
+        return results[0]
+
+    def register_object(self, view_object) -> None:
+        for shard in self.shards:
+            shard.serving.register_object(view_object)
+
+    def choose_translator(self, name: str, answers=None):
+        """Run the dialog once per shard with identical answers, so every
+        shard binds the same translator; returns shard 0's result."""
+        results = [
+            shard.serving.choose_translator(name, answers)
+            for shard in self.shards
+        ]
+        return results[0]
+
+    def set_policy(self, name: str, policy):
+        results = [
+            shard.serving.set_policy(name, policy) for shard in self.shards
+        ]
+        return results[0]
+
+    def materialize(self, name: str, policy: Optional[str] = None):
+        return [
+            shard.serving.materialize(name, policy) for shard in self.shards
+        ]
+
+    def dematerialize(self, name: str) -> None:
+        for shard in self.shards:
+            shard.serving.dematerialize(name)
+
+    @property
+    def object_names(self) -> Tuple[str, ...]:
+        return self._shards[0].penguin.object_names
+
+    # -- base-data loading ---------------------------------------------------
+
+    def seed_insert(
+        self, relation: str, values: Union[Mapping[str, Any], Sequence[Any]]
+    ) -> None:
+        """Route one base-relation insert during initial data loading.
+
+        Partitioned rows land on their owning shard; replicated rows
+        land on every shard. This is the loading path only — steady
+        state writes go through the view-object operations.
+        """
+        if self.placement.is_partitioned(relation):
+            if isinstance(values, Mapping):
+                routing = tuple(
+                    values[attr] for attr in self.placement.partition_attrs
+                )
+            else:
+                routing = self.placement.routing_key_of_values(
+                    relation, values
+                )
+            self._shards[self.router.shard_of(routing)].engine.insert(
+                relation, values
+            )
+        else:
+            for shard in self.shards:
+                shard.engine.insert(relation, values)
+
+    def all_rows(self, relation: str) -> List[Tuple[Any, ...]]:
+        """The logical contents of one relation, sorted.
+
+        Partitioned relations are the disjoint union of the shards;
+        replicated relations are read from shard 0 (the replicas are
+        kept in lockstep — tests assert this invariant separately).
+        """
+        if self.placement.is_partitioned(relation):
+            rows: List[Tuple[Any, ...]] = []
+            for shard in self.shards:
+                rows.extend(shard.engine.scan(relation))
+            return sorted(rows, key=repr)
+        return sorted(self._shards[0].engine.scan(relation), key=repr)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            name: len(self.all_rows(name))
+            for name in self.graph.relation_names
+        }
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, name: str, key: Sequence[Any]) -> Optional[Instance]:
+        return self.get_served(name, key).value
+
+    def get_served(self, name: str, key: Sequence[Any]) -> ServedRead:
+        """One instance by object key, with serving metadata attached."""
+        owner = self.owner_of(name, key)
+        served = self._shards[owner].serving.get_served(name, key)
+        served.shard = owner
+        return served
+
+    def query(self, name: str, text: Optional[str] = None) -> List[Instance]:
+        return self.query_served(name, text).value
+
+    def query_served(
+        self, name: str, text: Optional[str] = None
+    ) -> ServedRead:
+        """Scatter the query to every shard and merge, deterministically.
+
+        Instances are rooted at pivot tuples, which are partitioned, so
+        per-shard results are disjoint; the merge sorts by object key.
+        The merged read is marked stale if *any* shard answered stale.
+        """
+        merged: List[Instance] = []
+        stale = False
+        staleness = None
+        for shard in self.shards:
+            served = shard.serving.query_served(name, text)
+            merged.extend(served.value)
+            if served.stale:
+                stale = True
+                if served.staleness is not None:
+                    staleness = max(staleness or 0.0, served.staleness)
+        merged.sort(key=lambda instance: repr(instance.key))
+        return ServedRead(
+            value=merged,
+            stale=stale,
+            shard=None,
+            staleness=staleness,
+            object_name=name,
+        )
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(
+        self, name: str, instance: Union[Instance, Mapping]
+    ) -> UpdatePlan:
+        coerced = self._coerce(name, instance)
+        return self._update(name, "insert", CompleteInsertion(coerced))
+
+    def delete(
+        self,
+        name: str,
+        key_or_instance: Union[Instance, Mapping, Sequence[Any]],
+    ) -> UpdatePlan:
+        return self._update(
+            name, "delete", CompleteDeletion(key_or_instance)
+        )
+
+    def replace(
+        self,
+        name: str,
+        old: Union[Instance, Mapping, Sequence[Any]],
+        new: Union[Instance, Mapping],
+    ) -> UpdatePlan:
+        return self._update(
+            name, "replace", Replacement(old, self._coerce(name, new))
+        )
+
+    def insert_many(
+        self, name: str, instances: Iterable[Union[Instance, Mapping]]
+    ) -> UpdatePlan:
+        requests = [
+            CompleteInsertion(self._coerce(name, instance))
+            for instance in instances
+        ]
+        return self.apply_plan_batch(name, requests, op="insert")
+
+    def delete_many(
+        self,
+        name: str,
+        keys_or_instances: Iterable[Union[Instance, Mapping, Sequence[Any]]],
+    ) -> UpdatePlan:
+        requests = [
+            CompleteDeletion(item) for item in keys_or_instances
+        ]
+        return self.apply_plan_batch(name, requests, op="delete")
+
+    def apply_plan_batch(
+        self,
+        name: str,
+        requests: Iterable[UpdateRequest],
+        op: str = "batch",
+    ) -> UpdatePlan:
+        """Apply a mixed batch, grouped by owning shard.
+
+        Each owner group is translated and applied as one atomic
+        coalesced plan on its shard (the PR-2 bulk path); groups for
+        different shards are independent units. A request whose plan
+        itself crosses shards still escalates to the coordinator.
+        """
+        groups: Dict[int, List[UpdateRequest]] = {}
+        for request in requests:
+            groups.setdefault(self._route_request(name, request), []).append(
+                request
+            )
+        combined = UpdatePlan()
+        for owner_id in sorted(groups):
+            combined.extend(
+                self._update(name, op, groups[owner_id], owner_id=owner_id)
+            )
+        return combined
+
+    def delete_where(self, name: str, query: str) -> UpdatePlan:
+        """Delete every matching instance; each owner shard's matches are
+        one atomic batch (no cross-shard atomicity between groups)."""
+        matches = self.query(name, query)
+        return self.delete_many(name, matches) if matches else UpdatePlan()
+
+    def update_where(self, name: str, query: str, transform) -> UpdatePlan:
+        combined = UpdatePlan()
+        for instance in self.query(name, query):
+            combined.extend(
+                self.replace(name, instance, transform(instance.to_dict()))
+            )
+        return combined
+
+    # -- the write pipeline --------------------------------------------------
+
+    def _coerce(
+        self, name: str, instance: Union[Instance, Mapping]
+    ) -> Instance:
+        if isinstance(instance, Instance):
+            return instance
+        return build_instance(self._object_of(name), instance)
+
+    def _route_request(self, name: str, request: UpdateRequest) -> int:
+        """The shard that must translate this request (its pivot owner)."""
+        if isinstance(request, Replacement):
+            anchor = request.old
+        else:
+            anchor = request.instance
+        if isinstance(anchor, Instance):
+            key = anchor.key
+        elif isinstance(anchor, Mapping):
+            key = self._coerce(name, anchor).key
+        else:  # a raw object key
+            key = tuple(anchor)
+        return self.router.shard_of(key)
+
+    def _update(
+        self,
+        name: str,
+        op: str,
+        request_or_batch: Union[UpdateRequest, List[UpdateRequest]],
+        owner_id: Optional[int] = None,
+    ) -> UpdatePlan:
+        requests = (
+            request_or_batch
+            if isinstance(request_or_batch, list)
+            else [request_or_batch]
+        )
+        if owner_id is None:
+            owner_id = self._route_request(name, requests[0])
+        owner = self._shards[owner_id]
+
+        # Fast path: translate on the owner and, if the plan stays on a
+        # single shard, apply it there under the shared coordinator
+        # mode — concurrent fast-path writes on other shards proceed.
+        with self._coordinator.read_locked():
+            explanation = self._explain_on(owner, name, op, requests)
+            split = partition_plan(
+                explanation.coalesced, self.placement, self.router
+            )
+            if len(split) <= 1:
+                return self._apply_local(
+                    owner_id if not split else next(iter(split)),
+                    name,
+                    op,
+                    split,
+                    explanation,
+                    len(requests),
+                )
+
+        # Cross-shard: retranslate under the exclusive coordinator mode
+        # (the first explanation may be stale by the time we get here)
+        # and hand the split to the two-phase protocol.
+        with self._coordinator.write_locked():
+            explanation = self._explain_on(owner, name, op, requests)
+            split = partition_plan(
+                explanation.coalesced, self.placement, self.router
+            )
+            if len(split) <= 1:
+                return self._apply_local(
+                    owner_id if not split else next(iter(split)),
+                    name,
+                    op,
+                    split,
+                    explanation,
+                    len(requests),
+                )
+            return self._apply_cross_shard(
+                owner_id, name, op, explanation, split, len(requests)
+            )
+
+    def _explain_on(
+        self, owner: Shard, name: str, op: str, requests: List[UpdateRequest]
+    ) -> TranslationExplanation:
+        """Side-effect-free translation on the owner shard.
+
+        Runs the full pipeline (validation, policy checks, propagation)
+        over a buffer; a rejection raises here and is audited on the
+        owner exactly as a single-engine session would audit it.
+        """
+        translator = owner.penguin.translator(name)
+        try:
+            with owner.lock.read_locked():
+                return translator.explain_batch(owner.engine, requests)
+        except Exception as exc:
+            obs.metrics().counter(
+                "shard_updates_total",
+                outcome="rejected",
+                shard=str(owner.shard_id),
+            ).inc()
+            audit = owner.penguin.audit
+            if audit is not None:
+                translator._audit(
+                    audit, op, AUDIT_ROLLED_BACK,
+                    items=len(requests), error=exc,
+                )
+            raise
+
+    def _apply_local(
+        self,
+        shard_id: int,
+        name: str,
+        op: str,
+        split: Dict[int, UpdatePlan],
+        explanation: TranslationExplanation,
+        items: int,
+    ) -> UpdatePlan:
+        plan = split.get(shard_id, explanation.coalesced)
+        result = self._shards[shard_id].serving.apply_plan(
+            name, plan, op=op, items=items
+        )
+        obs.metrics().counter(
+            "shard_updates_total", outcome="local", shard=str(shard_id)
+        ).inc()
+        return result
+
+    def _apply_cross_shard(
+        self,
+        owner_id: int,
+        name: str,
+        op: str,
+        explanation: TranslationExplanation,
+        split: Dict[int, UpdatePlan],
+        items: int,
+    ) -> UpdatePlan:
+        owner = self._shards[owner_id]
+        for shard_id in sorted(split):
+            if not self._shards[shard_id].serving.breaker.allow():
+                owner.serving._audit_refusal(op, name)
+                raise DegradedServiceError(
+                    f"shard {shard_id} is degraded: cross-shard update "
+                    f"refused"
+                )
+        with self._txn_lock:
+            txn_id = f"txn{next(self._txn_counter)}"
+        # Before-images for the audit record, read before anything is
+        # applied (replicated cells appear once per shard with
+        # identical images, so the union is well defined).
+        images: Dict[Tuple[str, Tuple[Any, ...]], Any] = {}
+        for shard_id in sorted(split):
+            images.update(
+                plan_images(self._shards[shard_id].engine, split[shard_id])
+            )
+        translator = owner.penguin.translator(name)
+        audit = owner.penguin.audit
+        try:
+            two_phase_apply(
+                self._shards, split, txn_id, failpoint=self.failpoint
+            )
+        except Exception as exc:
+            if audit is not None:
+                translator._audit(
+                    audit, op, AUDIT_ROLLED_BACK,
+                    plan=explanation.coalesced, items=items, error=exc,
+                )
+            obs.metrics().counter(
+                "shard_updates_total", outcome="aborted", shard=str(owner_id)
+            ).inc()
+            raise
+        if audit is not None:
+            translator._audit(
+                audit, op, AUDIT_COMMITTED,
+                plan=explanation.coalesced, images=images, items=items,
+            )
+        obs.metrics().counter(
+            "shard_updates_total", outcome="cross_shard", shard=str(owner_id)
+        ).inc()
+        return explanation.coalesced
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> ShardedRecovery:
+        """Two-phase recovery first, then each shard's standard recovery.
+
+        Idempotent; safe to call after a simulated crash left journals
+        pending. The ordering is load-bearing — see
+        :func:`repro.shard.twophase.recover_two_phase`.
+        """
+        two_phase = recover_two_phase(self._shards)
+        shard_reports = {
+            shard_id: shard.penguin.recover()
+            for shard_id, shard in self._shards.items()
+        }
+        return ShardedRecovery(two_phase, shard_reports)
+
+    # -- health & observability ---------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        per_shard = {
+            str(shard_id): shard.serving.health()
+            for shard_id, shard in self._shards.items()
+        }
+        return {
+            "shards": per_shard,
+            "num_shards": self.num_shards,
+            "router": self.router.describe(),
+            "degraded": [
+                shard_id
+                for shard_id, shard in self._shards.items()
+                if shard.serving.breaker.degraded
+            ],
+        }
+
+    def audit_outcomes(self) -> List[Tuple[str, str]]:
+        """Every shard's audited (op, outcome) pairs, sorted.
+
+        The equivalence oracle: on identical workloads this multiset
+        matches a single-engine session's, regardless of which shard
+        audited each update.
+        """
+        outcomes: List[Tuple[str, str]] = []
+        for shard in self.shards:
+            audit = shard.penguin.audit
+            if audit is None:
+                continue
+            outcomes.extend(
+                (record.op, record.outcome) for record in audit.records()
+            )
+        return sorted(outcomes)
+
+    def metrics_text(self) -> str:
+        return obs.metrics().render_text()
+
+    def cache_stats(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        return {
+            str(shard_id): shard.serving.cache_stats()
+            for shard_id, shard in self._shards.items()
+        }
+
+    def check_integrity(self) -> List[Any]:
+        violations: List[Any] = []
+        for shard in self.shards:
+            violations.extend(shard.serving.check_integrity())
+        return violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedPenguin(shards={self.num_shards}, "
+            f"partition_by={self.placement.partition_by!r})"
+        )
+
+
+class _ShardedLoaderAdapter:
+    """Engine-shaped routing adapter for the ``populate_*`` generators.
+
+    Exposes exactly the surface those generators use (``insert``,
+    ``count``, ``has_relation``, ``relation_names``), routing each
+    insert through :meth:`ShardedPenguin.seed_insert` — the same
+    deterministic generator then fills a sharded deployment and a
+    single engine with identical logical contents.
+    """
+
+    def __init__(self, sharded: ShardedPenguin) -> None:
+        self._sharded = sharded
+
+    def insert(
+        self, relation: str, values: Union[Mapping[str, Any], Sequence[Any]]
+    ) -> None:
+        self._sharded.seed_insert(relation, values)
+
+    def count(self, relation: str) -> int:
+        return len(self._sharded.all_rows(relation))
+
+    def has_relation(self, relation: str) -> bool:
+        return self._sharded.shard(0).engine.has_relation(relation)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return self._sharded.shard(0).engine.relation_names()
+
+
+def sharded_loader(sharded: ShardedPenguin) -> _ShardedLoaderAdapter:
+    """An engine-shaped adapter: ``populate_hospital(sharded_loader(sp))``."""
+    return _ShardedLoaderAdapter(sharded)

@@ -1,0 +1,314 @@
+"""Cross-shard atomicity: the plan journal as a two-phase intent log.
+
+Most view-object updates are island-local and run entirely on one
+shard. The rare exceptions — a peninsula fix that inserts a missing
+referenced tuple (replicated, so every shard must apply it), or a
+replacement that re-homes the pivot key to a different shard — span
+shard boundaries and need the stronger protocol this module provides.
+
+The coordinator reuses the PR-3 write-ahead
+:class:`~repro.relational.journal.PlanJournal` of *each participating
+shard* as its intent log, presumed-abort style:
+
+1. **prepare** — every participant's sub-plan and before/after images
+   are journaled ``PENDING`` under the label
+   ``2pc:<txn>:<participants>:<shard>`` (nothing applied yet);
+2. **apply** — each sub-plan is applied through the shard engine's
+   batched transaction path;
+3. **commit** — each entry is marked ``COMMITTED``.
+
+Crash recovery (:func:`recover_two_phase`) groups the surviving
+``PENDING`` 2PC entries by transaction and decides from the labels
+alone: a transaction whose *every* participant journaled an intent had
+finished its prepare phase — roll all participants **forward** to
+their after-images; any transaction missing a participant's intent
+never finished preparing — roll every survivor **back** to its
+before-images. Either way the multi-shard update ends all-applied or
+all-reverted, never torn, and re-running recovery is a no-op.
+
+An ordinary *failure* mid-apply (duplicate key on the target shard,
+say) aborts the transaction inline: already-applied participants are
+reverted via their journaled images and every entry is marked
+``ABORTED`` before the error is re-raised.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import repro.obs as obs
+from repro.errors import JournalError
+from repro.relational.journal import (
+    ABORTED,
+    COMMITTED,
+    PENDING,
+    Images,
+    JournalEntry,
+    plan_images,
+)
+from repro.relational.operations import UpdatePlan
+
+__all__ = [
+    "TWO_PHASE_PREFIX",
+    "two_phase_apply",
+    "recover_two_phase",
+    "TwoPhaseRecoveryReport",
+    "twophase_label",
+    "parse_twophase_label",
+]
+
+TWO_PHASE_PREFIX = "2pc:"
+
+#: Failpoint hook: called with (stage, shard_id) immediately *before*
+#: each prepare/apply/commit step; raising from it models a coordinator
+#: crash at that point (the crash-point sweep drives this).
+Failpoint = Callable[[str, int], None]
+
+
+def twophase_label(txn_id: str, participants: int, shard_id: int) -> str:
+    if ":" in txn_id:
+        raise ValueError(f"transaction id must not contain ':': {txn_id!r}")
+    return f"{TWO_PHASE_PREFIX}{txn_id}:{participants}:{shard_id}"
+
+
+def parse_twophase_label(label: str) -> Optional[Tuple[str, int, int]]:
+    """(txn_id, participants, shard_id), or None for a non-2PC label."""
+    if not label.startswith(TWO_PHASE_PREFIX):
+        return None
+    parts = label[len(TWO_PHASE_PREFIX):].split(":")
+    if len(parts) != 3:
+        raise JournalError(f"malformed two-phase label {label!r}")
+    txn_id, participants, shard_id = parts
+    return txn_id, int(participants), int(shard_id)
+
+
+def _force_images(
+    engine, images: Images, to_after: bool
+) -> List[Tuple[str, Tuple[Any, ...]]]:
+    """Drive every journaled cell to its before- or after-image.
+
+    A 2PC sub-plan is coalesced, so each cell is touched by at most one
+    operation and legitimately holds either its before- or after-image;
+    a cell matching neither was overwritten by someone else after the
+    crash — it is left alone and reported as a conflict rather than
+    clobbered (mirroring single-shard recovery).
+    """
+    conflicts: List[Tuple[str, Tuple[Any, ...]]] = []
+    engine.begin()
+    try:
+        for (relation, key), (before, after) in images.items():
+            target = after if to_after else before
+            current = engine.get(relation, key)
+            if current == target:
+                continue
+            if current not in (before, after):
+                conflicts.append((relation, key))
+                continue
+            if target is None:
+                engine.delete(relation, key)
+            elif current is None:
+                engine.insert(relation, target)
+            else:
+                engine.replace(relation, key, target)
+    except Exception:
+        engine.rollback()
+        raise
+    engine.commit()
+    return conflicts
+
+
+def two_phase_apply(
+    participants: Mapping[int, Any],
+    split: Mapping[int, UpdatePlan],
+    txn_id: str,
+    failpoint: Optional[Failpoint] = None,
+) -> Dict[int, int]:
+    """Apply a partitioned plan atomically across its shards.
+
+    ``participants`` maps shard id to an object exposing ``engine``,
+    ``journal``, and a ``lock`` with ``write_locked()`` (the
+    :class:`~repro.shard.sharded.Shard` wrapper); ``split`` maps the
+    same ids to their sub-plans. Returns the journal entry id per
+    shard. Shard locks are taken in id order (a global order, so two
+    coordinators can never deadlock) and held across all three phases.
+    """
+    order = sorted(split)
+    registry = obs.metrics()
+
+    def checkpoint(stage: str, shard_id: int) -> None:
+        if failpoint is not None:
+            failpoint(stage, shard_id)
+
+    with obs.tracer().span(
+        "shard.two_phase", txn=txn_id, shards=len(order)
+    ) as span:
+        with ExitStack() as stack:
+            for shard_id in order:
+                stack.enter_context(participants[shard_id].lock.write_locked())
+
+            # Phase 1: journal every participant's intent (nothing applied).
+            entry_ids: Dict[int, int] = {}
+            images_by_shard: Dict[int, Images] = {}
+            for shard_id in order:
+                checkpoint("prepare", shard_id)
+                shard = participants[shard_id]
+                images = plan_images(shard.engine, split[shard_id])
+                images_by_shard[shard_id] = images
+                entry_ids[shard_id] = shard.journal.begin(
+                    split[shard_id],
+                    images,
+                    label=twophase_label(txn_id, len(order), shard_id),
+                )
+
+            # Phase 2: apply. An ordinary failure aborts the whole
+            # transaction — applied participants are reverted via their
+            # journaled images; a BaseException (crash) leaves every
+            # entry PENDING for recover_two_phase.
+            applied: List[int] = []
+            try:
+                for shard_id in order:
+                    checkpoint("apply", shard_id)
+                    shard = participants[shard_id]
+                    shard.engine.apply_batch(split[shard_id].operations)
+                    applied.append(shard_id)
+            except Exception:
+                for shard_id in applied:
+                    _force_images(
+                        participants[shard_id].engine,
+                        images_by_shard[shard_id],
+                        to_after=False,
+                    )
+                for shard_id in order:
+                    participants[shard_id].journal.mark_aborted(
+                        entry_ids[shard_id]
+                    )
+                registry.counter("shard_txns_total", outcome="aborted").inc()
+                raise
+
+            # Phase 3: commit markers.
+            for shard_id in order:
+                checkpoint("commit", shard_id)
+                participants[shard_id].journal.mark_committed(
+                    entry_ids[shard_id]
+                )
+        span.set(shards=len(order))
+    registry.counter("shard_txns_total", outcome="committed").inc()
+    return entry_ids
+
+
+class TwoPhaseRecoveryReport:
+    """What :func:`recover_two_phase` decided for each interrupted txn."""
+
+    def __init__(self) -> None:
+        self.rolled_forward: List[str] = []
+        self.rolled_back: List[str] = []
+        self.conflicts: List[Tuple[str, int, str, Tuple[Any, ...]]] = []
+
+    @property
+    def resolved(self) -> int:
+        return len(self.rolled_forward) + len(self.rolled_back)
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rolled_forward": list(self.rolled_forward),
+            "rolled_back": list(self.rolled_back),
+            "conflicts": list(self.conflicts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TwoPhaseRecoveryReport(forward={len(self.rolled_forward)}, "
+            f"back={len(self.rolled_back)}, "
+            f"conflicts={len(self.conflicts)})"
+        )
+
+
+def recover_two_phase(
+    participants: Mapping[int, Any]
+) -> TwoPhaseRecoveryReport:
+    """Resolve every interrupted cross-shard transaction, idempotently.
+
+    Must run *before* per-shard :func:`~repro.relational.journal.recover`
+    — single-shard recovery resolves each entry in isolation and would
+    tear a half-applied multi-shard transaction (committing the shard
+    that applied, reverting the one that did not). This pass settles
+    the ``2pc:``-labelled entries globally first; whatever is still
+    pending afterwards is genuinely shard-local.
+    """
+    report = TwoPhaseRecoveryReport()
+
+    for shard in participants.values():
+        while getattr(shard.engine, "in_transaction", False):
+            shard.engine.rollback()
+
+    # Group every 2PC entry — resolved siblings included: a COMMITTED
+    # entry on one shard proves the transaction passed its commit point
+    # before the crash, so a sibling still PENDING elsewhere must roll
+    # forward even though its own journal alone could not tell.
+    # txn_id -> (declared participant count, {shard_id: entry})
+    groups: Dict[str, Tuple[int, Dict[int, JournalEntry]]] = {}
+    for shard_id, shard in participants.items():
+        for entry in shard.journal.entries():
+            parsed = parse_twophase_label(entry.label)
+            if parsed is None:
+                continue
+            txn_id, declared, entry_shard = parsed
+            if entry_shard != shard_id:
+                raise JournalError(
+                    f"two-phase entry for shard {entry_shard} found in "
+                    f"shard {shard_id}'s journal"
+                )
+            count, members = groups.setdefault(txn_id, (declared, {}))
+            if declared != count:
+                raise JournalError(
+                    f"transaction {txn_id!r}: inconsistent participant "
+                    f"counts {count} vs {declared}"
+                )
+            members[shard_id] = entry
+
+    for txn_id in sorted(groups):
+        declared, members = groups[txn_id]
+        statuses = {entry.status for entry in members.values()}
+        if PENDING not in statuses:
+            continue  # fully settled in a previous pass
+        if COMMITTED in statuses:
+            commit = True  # a commit marker survived: past the commit point
+        elif ABORTED in statuses:
+            commit = False  # an inline abort was interrupted mid-markdown
+        else:
+            # All intents still pending: commit iff every declared
+            # participant got its intent journaled (prepare finished).
+            commit = len(members) == declared
+        for shard_id in sorted(members):
+            entry = members[shard_id]
+            if entry.status != PENDING:
+                continue
+            shard = participants[shard_id]
+            conflicts = _force_images(
+                shard.engine, entry.images(), to_after=commit
+            )
+            for relation, key in conflicts:
+                report.conflicts.append((txn_id, shard_id, relation, key))
+            if commit:
+                shard.journal.mark_committed(entry.entry_id)
+            else:
+                shard.journal.mark_aborted(entry.entry_id)
+        if commit:
+            report.rolled_forward.append(txn_id)
+        else:
+            report.rolled_back.append(txn_id)
+
+    registry = obs.metrics()
+    registry.counter("shard_recoveries_total").inc()
+    registry.counter("shard_txns_rolled_forward_total").inc(
+        len(report.rolled_forward)
+    )
+    registry.counter("shard_txns_rolled_back_total").inc(
+        len(report.rolled_back)
+    )
+    return report

@@ -1,0 +1,395 @@
+"""The asyncio HTTP front end: routes, batching, degraded metadata."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.obs as obs
+from repro.serve.http import MicroBatcher, PenguinServer, parse_key
+from repro.shard import ShardedPenguin, sharded_loader
+from repro.workloads.hospital import (
+    HospitalConfig,
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+
+OBJECT = "patient_chart"
+
+
+def fresh_chart(pid):
+    return {
+        "patient_id": pid,
+        "name": f"HTTP Patient {pid}",
+        "birth_year": 1970,
+        "ward_name": None,
+        "VISIT": [
+            {
+                "patient_id": pid,
+                "visit_no": 1,
+                "visit_date": "1991-05-29",
+                "physician_id": 9000,
+                "reason": "http",
+                "DIAGNOSIS": [],
+                "PRESCRIPTION": [],
+                "LAB_RESULT": [],
+                "PHYSICIAN": [],
+            }
+        ],
+    }
+
+
+def request(url, method="GET", payload=None):
+    """(status, parsed JSON body) via urllib; never raises on 4xx/5xx."""
+    body = None
+    headers = {}
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(
+        url, data=body, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as response:
+            raw = response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+    content = raw.decode("utf-8")
+    try:
+        return status, json.loads(content)
+    except ValueError:
+        return status, content
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One 4-shard deployment served for the whole module, metrics live."""
+    with obs.use():
+        graph = hospital_schema()
+        sharded = ShardedPenguin(graph, "PATIENT", num_shards=4)
+        populate_hospital(
+            sharded_loader(sharded), HospitalConfig(patients=10)
+        )
+        sharded.register_object(patient_chart_object(graph))
+        sharded.materialize(OBJECT, "lazy")
+        server = PenguinServer(sharded, port=0, batch_window=0.002)
+        handle = server.in_background()
+        yield sharded, handle.url
+        handle.stop()
+
+
+class TestKeyParsing:
+    def test_ints_floats_strings(self):
+        assert parse_key("4711") == (4711,)
+        assert parse_key("4711,2") == (4711, 2)
+        assert parse_key("CS345") == ("CS345",)
+        assert parse_key("1.5") == (1.5,)
+
+
+class TestRoutes:
+    def test_health(self, served):
+        _, url = served
+        status, body = request(f"{url}/health")
+        assert status == 200
+        assert body["num_shards"] == 4
+        assert body["degraded"] == []
+        assert set(body["shards"]) == {"0", "1", "2", "3"}
+
+    def test_metrics_exposition(self, served):
+        _, url = served
+        request(f"{url}/objects/{OBJECT}/100")  # generate a sample
+        status, text = request(f"{url}/metrics")
+        assert status == 200
+        assert "serve_http_requests_total" in text
+
+    def test_objects_index(self, served):
+        _, url = served
+        status, body = request(f"{url}/objects")
+        assert status == 200
+        assert body["objects"] == [OBJECT]
+        assert "hash(4)" in body["topology"]
+
+    def test_get_carries_serving_metadata(self, served):
+        sharded, url = served
+        status, body = request(f"{url}/objects/{OBJECT}/100")
+        assert status == 200
+        assert body["instance"]["patient_id"] == 100
+        meta = body["meta"]
+        assert meta["object"] == OBJECT
+        assert meta["stale"] is False
+        assert meta["shard"] == sharded.router.shard_of((100,))
+
+    def test_get_missing_is_404(self, served):
+        _, url = served
+        status, body = request(f"{url}/objects/{OBJECT}/99999")
+        assert status == 404
+        assert "error" in body
+
+    def test_unknown_object_is_404(self, served):
+        _, url = served
+        status, _ = request(f"{url}/objects/nonesuch/1")
+        assert status == 404
+
+    def test_query_merges_shards(self, served):
+        sharded, url = served
+        status, body = request(f"{url}/objects/{OBJECT}")
+        assert status == 200
+        assert body["count"] == len(sharded.query(OBJECT))
+        keys = [inst["patient_id"] for inst in body["instances"]]
+        assert keys == sorted(keys)
+        assert body["meta"]["stale"] is False
+
+    def test_filtered_query(self, served):
+        _, url = served
+        status, body = request(
+            f"{url}/objects/{OBJECT}?q=birth_year+%3E+0"
+        )
+        assert status == 200
+        assert body["count"] >= 1
+
+    def test_insert_get_delete_round_trip(self, served):
+        sharded, url = served
+        status, body = request(
+            f"{url}/objects/{OBJECT}",
+            method="POST",
+            payload={"instance": fresh_chart(71_001)},
+        )
+        assert status == 201
+        assert body["applied"] is True
+        assert body["operations"] >= 2  # PATIENT + VISIT
+
+        status, body = request(f"{url}/objects/{OBJECT}/71001")
+        assert status == 200
+        assert body["instance"]["name"] == "HTTP Patient 71001"
+
+        status, body = request(
+            f"{url}/objects/{OBJECT}/71001", method="DELETE"
+        )
+        assert status == 200
+        status, _ = request(f"{url}/objects/{OBJECT}/71001")
+        assert status == 404
+        assert sharded.get(OBJECT, (71_001,)) is None
+
+    def test_replace_via_put(self, served):
+        sharded, url = served
+        _, body = request(f"{url}/objects/{OBJECT}/101")
+        chart = body["instance"]
+        chart["name"] = "Renamed Over HTTP"
+        status, body = request(
+            f"{url}/objects/{OBJECT}/101",
+            method="PUT",
+            payload={"instance": chart},
+        )
+        assert status == 200
+        assert sharded.get(OBJECT, (101,)).to_dict()["name"] == (
+            "Renamed Over HTTP"
+        )
+
+    def test_bad_json_is_400(self, served):
+        _, url = served
+        req = urllib.request.Request(
+            f"{url}/objects/{OBJECT}",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_duplicate_insert_is_400(self, served):
+        _, url = served
+        status, body = request(
+            f"{url}/objects/{OBJECT}",
+            method="POST",
+            payload={"instance": fresh_chart(100)},  # resident pid
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_wrong_method_is_405(self, served):
+        _, url = served
+        status, _ = request(
+            f"{url}/objects/{OBJECT}", method="DELETE"
+        )
+        assert status == 405
+
+    def test_unknown_route_is_404(self, served):
+        _, url = served
+        status, _ = request(f"{url}/nonesuch")
+        assert status == 404
+
+
+class TestDegradedServing:
+    def test_stale_reads_carry_shard_and_staleness(self):
+        """A degraded shard serves cached instances marked stale; the
+        HTTP surface exposes stale/staleness/shard uniformly."""
+        graph = hospital_schema()
+        sharded = ShardedPenguin(graph, "PATIENT", num_shards=2)
+        populate_hospital(
+            sharded_loader(sharded), HospitalConfig(patients=6)
+        )
+        sharded.register_object(patient_chart_object(graph))
+        sharded.materialize(OBJECT, "lazy")
+        sharded.query(OBJECT)  # warm every shard's cache
+
+        pid = 100
+        owner = sharded.router.shard_of((pid,))
+        breaker = sharded.shard(owner).serving.breaker
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        assert breaker.degraded
+
+        server = PenguinServer(sharded, port=0)
+        handle = server.in_background()
+        try:
+            status, body = request(
+                f"{handle.url}/objects/{OBJECT}/{pid}"
+            )
+            assert status == 200
+            assert body["meta"]["stale"] is True
+            assert body["meta"]["shard"] == owner
+            assert body["meta"]["staleness"] is not None
+
+            # Writes to the degraded shard are refused with 503.
+            status, body = request(
+                f"{handle.url}/objects/{OBJECT}/{pid}",
+                method="DELETE",
+            )
+            assert status == 503
+
+            # The health endpoint names the degraded shard.
+            _, health = request(f"{handle.url}/health")
+            assert health["degraded"] == [owner]
+        finally:
+            handle.stop()
+
+
+class TestMicroBatcher:
+    class FakeSession:
+        def __init__(self, fail_on=None):
+            self.calls = []
+            self.fail_on = fail_on or set()
+
+        def apply_plan_batch(self, name, requests):
+            self.calls.append(list(requests))
+            failing = [r for r in requests if r in self.fail_on]
+            if failing:
+                raise ValueError(f"bad request {failing[0]}")
+
+            class Plan:
+                operations = list(requests)
+
+            return Plan()
+
+    def run(self, coro):
+        loop = asyncio.new_event_loop()
+        try:
+            return loop.run_until_complete(coro)
+        finally:
+            loop.close()
+
+    def test_concurrent_submissions_fold_into_one_batch(self):
+        session = self.FakeSession()
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            batcher = MicroBatcher(session, loop, window=0.01)
+            futures = [
+                batcher.submit(OBJECT, f"req{i}") for i in range(5)
+            ]
+            results = await asyncio.gather(*futures)
+            return batcher, results
+
+        batcher, results = self.run(scenario())
+        assert len(session.calls) == 1  # one flush for the window
+        assert len(session.calls[0]) == 5
+        assert all(batched == 5 for _, batched in results)
+        assert batcher.batches_flushed == 1
+        assert batcher.requests_batched == 5
+
+    def test_max_batch_flushes_early(self):
+        session = self.FakeSession()
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            batcher = MicroBatcher(
+                session, loop, window=5.0, max_batch=3
+            )
+            futures = [
+                batcher.submit(OBJECT, f"req{i}") for i in range(3)
+            ]
+            await asyncio.gather(*futures)
+
+        self.run(scenario())  # window never fires; max_batch does
+        assert len(session.calls) == 1
+
+    def test_objects_batch_independently(self):
+        session = self.FakeSession()
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            batcher = MicroBatcher(session, loop, window=0.01)
+            await asyncio.gather(
+                batcher.submit("alpha", "a1"),
+                batcher.submit("beta", "b1"),
+            )
+
+        self.run(scenario())
+        assert sorted(map(len, session.calls)) == [1, 1]
+
+    def test_one_bad_request_fails_alone(self):
+        session = self.FakeSession(fail_on={"bad"})
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            batcher = MicroBatcher(session, loop, window=0.01)
+            futures = [
+                batcher.submit(OBJECT, req)
+                for req in ("good1", "bad", "good2")
+            ]
+            return await asyncio.gather(*futures, return_exceptions=True)
+
+        results = self.run(scenario())
+        assert isinstance(results[1], ValueError)
+        assert not isinstance(results[0], Exception)
+        assert not isinstance(results[2], Exception)
+        # One failed batch attempt + three individual retries.
+        assert len(session.calls) == 4
+
+
+class TestKeepAlive:
+    def test_many_requests_on_one_connection(self, served):
+        """The load generator's access pattern: sequential keep-alive
+        requests on a single socket."""
+        sharded, url = served
+        host, port = url.rsplit("//", 1)[1].split(":")
+
+        async def scenario():
+            from repro.serve.load import http_request
+
+            reader, writer = await asyncio.open_connection(
+                host, int(port)
+            )
+            try:
+                statuses = []
+                for _ in range(5):
+                    status, _ = await http_request(
+                        reader, writer, "GET", f"/objects/{OBJECT}/100"
+                    )
+                    statuses.append(status)
+                return statuses
+            finally:
+                writer.close()
+
+        loop = asyncio.new_event_loop()
+        try:
+            statuses = loop.run_until_complete(scenario())
+        finally:
+            loop.close()
+        assert statuses == [200] * 5

@@ -1,0 +1,100 @@
+"""The seeded zipfian multi-tenant operation stream."""
+
+import pytest
+
+from repro.workloads.synthetic import WorkloadOp, ZipfianWorkload
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = ZipfianWorkload(population=50, seed=11)
+        b = ZipfianWorkload(population=50, seed=11)
+        for op_a, op_b in zip(a.ops(200), b.ops(200)):
+            assert (op_a.kind, op_a.tenant, op_a.rank, op_a.sequence) == (
+                op_b.kind, op_b.tenant, op_b.rank, op_b.sequence
+            )
+
+    def test_different_seeds_diverge(self):
+        a = [op.rank for op in ZipfianWorkload(50, seed=1).ops(50)]
+        b = [op.rank for op in ZipfianWorkload(50, seed=2).ops(50)]
+        assert a != b
+
+    def test_sequence_numbers_are_consecutive(self):
+        stream = list(ZipfianWorkload(10, seed=3).ops(20))
+        assert [op.sequence for op in stream] == list(range(20))
+
+
+class TestSkew:
+    def counts(self, skew, samples=3000):
+        workload = ZipfianWorkload(population=100, skew=skew, seed=5)
+        counts = [0] * 100
+        for _ in range(samples):
+            counts[workload.sample_rank()] += 1
+        return counts
+
+    def test_head_dominates_at_high_skew(self):
+        counts = self.counts(skew=1.4)
+        head = sum(counts[:10])
+        tail = sum(counts[50:])
+        assert head > 5 * max(tail, 1)
+
+    def test_zero_skew_is_roughly_uniform(self):
+        counts = self.counts(skew=0.0)
+        assert max(counts) < 3 * (sum(counts) / len(counts))
+
+    def test_higher_skew_concentrates_harder(self):
+        mild = sum(self.counts(skew=0.5)[:5])
+        hot = sum(self.counts(skew=1.5)[:5])
+        assert hot > mild
+
+    def test_ranks_stay_in_population(self):
+        workload = ZipfianWorkload(population=7, skew=1.1, seed=9)
+        assert all(0 <= op.rank < 7 for op in workload.ops(500))
+
+    def test_hot_ranks_are_the_head(self):
+        workload = ZipfianWorkload(population=30, seed=1)
+        assert workload.hot_ranks(5) == [0, 1, 2, 3, 4]
+        assert ZipfianWorkload(3, seed=1).hot_ranks(10) == [0, 1, 2]
+
+
+class TestMix:
+    def test_fractions_hold_over_a_long_stream(self):
+        workload = ZipfianWorkload(
+            population=50, seed=13,
+            read_fraction=0.6, insert_fraction=0.2, delete_fraction=0.1,
+        )
+        kinds = {"read": 0, "insert": 0, "delete": 0, "update": 0}
+        total = 4000
+        for op in workload.ops(total):
+            kinds[op.kind] += 1
+        assert abs(kinds["read"] / total - 0.6) < 0.05
+        assert abs(kinds["insert"] / total - 0.2) < 0.05
+        assert abs(kinds["delete"] / total - 0.1) < 0.05
+        assert kinds["update"] > 0
+
+    def test_tenants_all_appear(self):
+        workload = ZipfianWorkload(population=10, seed=2, tenants=4)
+        tenants = {op.tenant for op in workload.ops(200)}
+        assert tenants == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianWorkload(population=0)
+        with pytest.raises(ValueError):
+            ZipfianWorkload(population=5, skew=-1)
+        with pytest.raises(ValueError):
+            ZipfianWorkload(population=5, read_fraction=1.5)
+        with pytest.raises(ValueError):
+            # Writes overcommitted: 0.8 reads leaves 0.2 for mutations.
+            ZipfianWorkload(
+                population=5,
+                read_fraction=0.8,
+                insert_fraction=0.15,
+                delete_fraction=0.15,
+            )
+
+    def test_describe_and_repr(self):
+        workload = ZipfianWorkload(population=25, skew=1.1, seed=7)
+        assert "population=25" in workload.describe()
+        op = WorkloadOp("read", tenant=1, rank=3, sequence=9)
+        assert "read" in repr(op)
