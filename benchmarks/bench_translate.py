@@ -1,0 +1,270 @@
+"""Compiled translator vs. the interpreted tree walk.
+
+Two families of measurements, one acceptance bar.
+
+**Pure translation** (memory engine, deep chain): ``translate()`` turns
+one view-object update into an ``UpdatePlan`` without applying it. The
+interpreted walk re-derives everything per call — ``tuples_at`` root
+walks per node, per-tuple connection-rule rebuilding, name-keyed
+attribute lookups, and ``find_by`` dependency probes that rescan the
+growing overlay (quadratic in the instance size for insertions). The
+compiled program uses the definition-time level map, positional
+attribute plans, pre-resolved rules, memoized by-key existence probes,
+and overlay fast paths whose preconditions were proven by its own loop.
+
+**The fixed stragglers** (file-backed sqlite): ``delete_where`` /
+``update_where`` formerly hand-rolled a per-instance loop — one
+transaction, one journaled intent, one audit record *per instance*.
+They now ride the same batch pipeline as ``delete_many``: translate
+over one overlay, coalesce, flush once through ``executemany``. The
+baseline reproduces the old loop with the interpreted translator; the
+measurement reproduces the new call. Per-update cost is total time over
+matched instances, on a file-backed database where every per-instance
+commit pays real journal I/O. Like ``bench_bulk``'s flat courses, the
+charts carry no visits so the measurement isolates the per-transaction
+overhead the batch path removes; translation cost on deep instances is
+what the pure-translation entries above measure.
+
+The acceptance bar: the **median speedup across the optimized
+per-update paths** (chain insertion translate, ``delete_where``,
+``update_where``) must be >= 5x. Replace/delete pure-translation
+speedups are reported as detail entries — they share most of their
+cost with the engine overlay and gain less.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_translate.py -q``.
+"""
+
+import copy
+import statistics
+import time
+
+from benchmarks.bench_json import write_bench_json
+from repro.core.query import execute_query
+from repro.core.updates.operations import (
+    CompleteDeletion,
+    CompleteInsertion,
+    Replacement,
+)
+from repro.core.updates.translator import Translator
+from repro.relational.memory_engine import MemoryEngine
+from repro.relational.sqlite_engine import SqliteEngine
+from repro.workloads.hospital import (
+    HospitalConfig,
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+from repro.workloads.synthetic import chain_object, chain_schema, populate_chain
+
+SPEEDUP_FLOOR = 5.0
+CHAIN_DEPTH = 7
+CHAIN_FANOUT = 2
+TRANSLATE_REPS = 12
+WHERE_PATIENTS = 400
+
+
+def rekey(node, new_root):
+    if "k0" in node:
+        node["k0"] = new_root
+    for value in node.values():
+        if isinstance(value, list):
+            for child in value:
+                if isinstance(child, dict):
+                    rekey(child, new_root)
+    return node
+
+
+def chain_translator(compiled):
+    engine = MemoryEngine()
+    graph = chain_schema(CHAIN_DEPTH, True, True)
+    graph.install(engine)
+    populate_chain(
+        engine, depth=CHAIN_DEPTH, roots=2, fanout=CHAIN_FANOUT,
+        peninsula_refs=2,
+    )
+    translator = Translator(
+        chain_object(graph, CHAIN_DEPTH, True, True),
+        compile_plans=compiled,
+    )
+    return engine, translator
+
+
+def time_translate(engine, translator, request):
+    translator.translate(engine, request)  # warm caches, prove it runs
+    started = time.perf_counter()
+    for _ in range(TRANSLATE_REPS):
+        translator.translate(engine, request)
+    return (time.perf_counter() - started) / TRANSLATE_REPS
+
+
+def translate_entries():
+    """Pure-translation per-op timings for both translators."""
+    entries = {}
+    timings = {}
+    for label, compiled in (("interpreted", False), ("compiled", True)):
+        engine, translator = chain_translator(compiled)
+        old = translator.instantiate(engine, (0,))
+        fresh = translator._coerce_instance(
+            rekey(copy.deepcopy(old.to_dict()), 999)
+        )
+        changed = dict(old.to_dict())
+        changed["payload"] = "touched"
+        requests = {
+            "insert": CompleteInsertion(fresh),
+            "replace": Replacement(
+                old, translator._coerce_instance(changed)
+            ),
+            "delete": CompleteDeletion(old),
+        }
+        for op, request in requests.items():
+            timings[(op, label)] = time_translate(engine, translator, request)
+    for op in ("insert", "replace", "delete"):
+        interpreted = timings[(op, "interpreted")]
+        compiled = timings[(op, "compiled")]
+        entries[f"translate_{op}"] = {
+            "interpreted_s": interpreted,
+            "compiled_s": compiled,
+            "speedup": interpreted / compiled,
+        }
+    return entries
+
+
+def hospital_sqlite(path):
+    engine = SqliteEngine(str(path))
+    graph = hospital_schema()
+    graph.install(engine)
+    populate_hospital(
+        engine,
+        HospitalConfig(patients=WHERE_PATIENTS, visits_per_patient=0),
+    )
+    return engine, graph
+
+
+def where_entries(tmp_path):
+    """The fixed stragglers: old per-instance loop vs the batch path."""
+    entries = {}
+
+    # delete_where: the old code translated and applied one instance at
+    # a time, each with its own transaction; reproduce it verbatim.
+    engine_old, graph_old = hospital_sqlite(tmp_path / "delete_old.db")
+    loop_translator = Translator(
+        patient_chart_object(graph_old), compile_plans=False
+    )
+    started = time.perf_counter()
+    matched = 0
+    for instance in execute_query(
+        loop_translator.view_object, engine_old, "birth_year > 0"
+    ):
+        loop_translator.delete(engine_old, instance)
+        matched += 1
+    loop_total = time.perf_counter() - started
+
+    engine_new, graph_new = hospital_sqlite(tmp_path / "delete_new.db")
+    batch_translator = Translator(patient_chart_object(graph_new))
+    started = time.perf_counter()
+    plan = batch_translator.delete_where(engine_new, "birth_year > 0")
+    batch_total = time.perf_counter() - started
+
+    assert matched == WHERE_PATIENTS
+    assert plan.count("delete") >= matched
+    assert engine_new.count("PATIENT") == engine_old.count("PATIENT") == 0
+    entries["delete_where"] = {
+        "instances": matched,
+        "loop_total_s": loop_total,
+        "batch_total_s": batch_total,
+        "loop_per_update_s": loop_total / matched,
+        "batch_per_update_s": batch_total / matched,
+        "speedup": loop_total / batch_total,
+    }
+
+    # update_where: same shape, replacement instead of deletion.
+    def rename(chart):
+        chart["name"] = f"Renamed #{chart['patient_id']}"
+        return chart
+
+    engine_old, graph_old = hospital_sqlite(tmp_path / "update_old.db")
+    loop_translator = Translator(
+        patient_chart_object(graph_old), compile_plans=False
+    )
+    started = time.perf_counter()
+    matched = 0
+    for instance in execute_query(
+        loop_translator.view_object, engine_old, "birth_year > 0"
+    ):
+        loop_translator.replace(
+            engine_old, instance, rename(instance.to_dict())
+        )
+        matched += 1
+    loop_total = time.perf_counter() - started
+
+    engine_new, graph_new = hospital_sqlite(tmp_path / "update_new.db")
+    batch_translator = Translator(patient_chart_object(graph_new))
+    started = time.perf_counter()
+    plan = batch_translator.update_where(engine_new, "birth_year > 0", rename)
+    batch_total = time.perf_counter() - started
+
+    assert matched == WHERE_PATIENTS
+    assert plan.count("replace") >= matched
+    for name in engine_old.relation_names():
+        assert set(engine_old.scan(name)) == set(engine_new.scan(name))
+    entries["update_where"] = {
+        "instances": matched,
+        "loop_total_s": loop_total,
+        "batch_total_s": batch_total,
+        "loop_per_update_s": loop_total / matched,
+        "batch_per_update_s": batch_total / matched,
+        "speedup": loop_total / batch_total,
+    }
+    return entries
+
+
+def test_translate_speedup(tmp_path):
+    """The acceptance bar: >= 5x median over the optimized paths."""
+    entries = translate_entries()
+    entries.update(where_entries(tmp_path))
+
+    headline = [
+        entries["translate_insert"]["speedup"],
+        entries["delete_where"]["speedup"],
+        entries["update_where"]["speedup"],
+    ]
+    median = statistics.median(headline)
+    entries["headline"] = {
+        "paths": ["translate_insert", "delete_where", "update_where"],
+        "speedups": headline,
+        "median_speedup": median,
+        "floor": SPEEDUP_FLOOR,
+    }
+    write_bench_json("translate", entries)
+    print(
+        "\n[translate] insert {0:.1f}x, replace {1:.1f}x, delete {2:.1f}x; "
+        "delete_where {3:.1f}x, update_where {4:.1f}x -> median {5:.1f}x".format(
+            entries["translate_insert"]["speedup"],
+            entries["translate_replace"]["speedup"],
+            entries["translate_delete"]["speedup"],
+            entries["delete_where"]["speedup"],
+            entries["update_where"]["speedup"],
+            median,
+        )
+    )
+    assert median >= SPEEDUP_FLOOR, (
+        f"median per-update speedup {median:.1f}x is below the "
+        f"{SPEEDUP_FLOOR}x acceptance bar"
+    )
+
+
+def test_compiled_plans_equal_interpreted_plans():
+    """The ground rule the speedup rides on: identical plans."""
+    engine_i, interp = chain_translator(False)
+    engine_c, comp = chain_translator(True)
+    old_i = interp.instantiate(engine_i, (0,))
+    old_c = comp.instantiate(engine_c, (0,))
+    fresh_i = rekey(copy.deepcopy(old_i.to_dict()), 999)
+    plan_i = interp.insert(engine_i, copy.deepcopy(fresh_i))
+    plan_c = comp.insert(engine_c, copy.deepcopy(fresh_i))
+    assert plan_i.operations == plan_c.operations
+    assert plan_i.reasons == plan_c.reasons
+    plan_i = interp.delete(engine_i, old_i)
+    plan_c = comp.delete(engine_c, old_c)
+    assert plan_i.operations == plan_c.operations
+    assert plan_i.reasons == plan_c.reasons

@@ -193,6 +193,32 @@ class BufferedEngine(Engine):
                     result.append(row)
         return result
 
+    # -- compiled fast paths -----------------------------------------------
+    #
+    # The compiled translator proves preconditions in its own loop (the
+    # key was just probed absent / the row just read present, the row is
+    # already validated and date-normalized, the key contains no DATE
+    # attribute needing narrowing) and then skips the re-checks the
+    # generic mutators would repeat. Overlay and tombstone bookkeeping
+    # are bit-for-bit the same as insert()/delete().
+
+    def insert_validated(
+        self, name: str, row: Tuple[Any, ...], key: Tuple[Any, ...]
+    ) -> None:
+        self._overlay.setdefault(name, {})[key] = row
+        tombstones = self._tombstones.get(name)
+        if tombstones is not None:
+            tombstones.discard(key)
+
+    def delete_validated(self, name: str, key: Tuple[Any, ...]) -> None:
+        overlay = self._overlay.setdefault(name, {})
+        if key in overlay:
+            del overlay[key]
+            if self._base_get(name, key) is not None:
+                self._tombstones.setdefault(name, set()).add(key)
+            return
+        self._tombstones.setdefault(name, set()).add(key)
+
     # -- indexes -----------------------------------------------------------
 
     def create_index(self, name: str, attribute_names: Sequence[str]) -> None:

@@ -1,0 +1,1154 @@
+"""Definition-time compilation of the update translator (§6).
+
+"Once the DBA has chosen the translator, users can specify updates
+through the view object" — the translator is *fixed* when the object is
+defined, yet the interpreted algorithms re-derive everything per call:
+each update re-walks the projection tree through ``tree.bfs()``, re-asks
+the island analysis for membership, re-flattens ``instance.tuples_at``
+from the root for every node (O(depth) per node), rebuilds the
+``connections_from`` / ``connections_to`` lists for every inserted or
+deleted tuple, and re-resolves attribute positions through per-name
+dictionary lookups.
+
+A :class:`CompiledProgram` hoists all of that to definition time:
+
+* the projection tree is flattened into a BFS-ordered tuple of
+  :class:`CompiledNode` records carrying the relation schema, key
+  attribute names, projection ``(name, position)`` pairs, island
+  membership, precomputed CASE reason strings, and child links;
+* component tuples are flattened level-by-level in one O(tree) pass
+  (:meth:`CompiledProgram._levels`) instead of per-node root walks;
+* the global-integrity rules — cascade targets, incoming reference
+  repairs (with the AUTO → NULLIFY/DELETE resolution precomputed from
+  the schema), inverse ownership/subset parents, forward references,
+  and key-change retarget/propagation — are pre-resolved into
+  per-relation adjacency lists with attribute positions baked in;
+* the ``null_completer`` + ``row_from_mapping`` tuple-building pair is
+  fused into a single positional pass (domain validation is deferred to
+  the engine boundary, where every backend re-validates through
+  ``_coerce_values`` before mutating — same errors, same messages).
+
+The compiled twins are **byte-identical** to the interpreted tree walk:
+identical operations and reason strings in identical order, identical
+tracer span structure, identical rejection messages. Policy questions
+are still answered through ``policy.for_relation`` at the interpreted
+call sites (the lazy insertion into ``policy.relations`` feeds the audit
+log's policy answers and must not diverge).
+
+The one thing deliberately *not* frozen is the policy object itself:
+callers may flip relation switches after construction, and both paths
+observe the change. What is frozen is the structure — tree, island,
+schemas, connections — exactly the part the paper fixes at definition
+time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.errors import UnknownAttributeError, UpdateRejectedError
+from repro.core.dependency_island import IslandAnalysis
+from repro.core.instance import ComponentTuple, Instance
+from repro.core.updates.context import TranslationContext
+from repro.core.updates.local_validation import (
+    validate_deletion,
+    validate_insertion,
+    validate_replacement,
+)
+from repro.core.updates.policy import ReferenceRepair, null_completer
+from repro.core.updates.propagation import propagate_within_object
+from repro.core.view_object import ViewObjectDefinition
+from repro.relational.domains import DATE
+from repro.relational.engine import _normalize_row_dates
+from repro.relational.operations import Delete, Insert
+from repro.structural.connections import ConnectionKind
+
+__all__ = [
+    "CompiledCache",
+    "CompiledNode",
+    "CompiledProgram",
+    "CompiledTranslator",
+]
+
+# CASE R-3 merge reasons carry no node placeholder in the interpreted
+# source; they are shared constants.
+_R3_MERGE_DELETE = "CASE R-3 merge: old island tuple removed (VO-R)"
+_R3_MERGE_REPLACE = "CASE R-3 merge: existing tuple overwritten (VO-R)"
+
+
+class CompiledNode:
+    """One projection-tree node, flattened for the translation hot path."""
+
+    __slots__ = (
+        "node_id",
+        "relation",
+        "schema",
+        "key_names",
+        "is_pivot",
+        "in_island",
+        "attr_plan",
+        "known_names",
+        "positions",
+        "proj_pairs",
+        "has_dates",
+        "key_has_dates",
+        "children",
+        "reason_ci_insert",
+        "reason_ci_replace",
+        "reason_cd_delete",
+        "reason_r2",
+        "reason_r3_key",
+        "reason_i1",
+        "reason_i2",
+        "reason_i4",
+        "reason_removed",
+    )
+
+    def __init__(self, view_object: ViewObjectDefinition, node, in_island: bool) -> None:
+        node_id = node.node_id
+        schema = view_object.graph.relation(node.relation)
+        self.node_id = node_id
+        self.relation = node.relation
+        self.schema = schema
+        self.key_names = tuple(schema.key)
+        self.is_pivot = node_id == view_object.pivot_node_id
+        self.in_island = in_island
+        self.attr_plan = tuple((a.name, a.nullable) for a in schema.attributes)
+        self.known_names = frozenset(a.name for a in schema.attributes)
+        self.positions = {a.name: i for i, a in enumerate(schema.attributes)}
+        projection = view_object.projection(node_id)
+        self.proj_pairs = tuple(
+            (name, self.positions[name]) for name in projection.attributes
+        )
+        # DATE attributes need datetime->date narrowing before storage
+        # (the engines do it inside _coerce_values); the fast mutation
+        # paths are gated on these flags.
+        self.has_dates = any(a.domain == DATE for a in schema.attributes)
+        self.key_has_dates = any(
+            schema.attribute(name).domain == DATE for name in schema.key
+        )
+        self.children: Tuple["CompiledNode", ...] = ()
+        self.reason_ci_insert = f"CASE 2 insertion at node {node_id!r} (VO-CI)"
+        self.reason_ci_replace = f"CASE 3 replacement at node {node_id!r} (VO-CI)"
+        self.reason_cd_delete = f"island deletion at node {node_id!r} (VO-CD)"
+        self.reason_r2 = f"CASE R-2 replacement at node {node_id!r} (VO-R)"
+        self.reason_r3_key = (
+            f"CASE R-3 key-changing replacement at {node_id!r} (VO-R)"
+        )
+        self.reason_i1 = f"CASE I-1 nonkey replacement at node {node_id!r} (VO-R)"
+        self.reason_i2 = f"CASE I-2 insertion at node {node_id!r} (VO-R)"
+        self.reason_i4 = f"CASE I-4 replacement at node {node_id!r} (VO-R)"
+        self.reason_removed = (
+            f"island component removed by replacement at node "
+            f"{node_id!r} (VO-R)"
+        )
+
+    # -- fused per-component helpers ---------------------------------------
+
+    def key_from(self, values: Dict[str, Any]) -> Tuple[Any, ...]:
+        try:
+            return tuple(values[k] for k in self.key_names)
+        except KeyError as error:
+            raise UpdateRejectedError(
+                f"component tuple for {self.node_id!r} lacks key attribute "
+                f"{error.args[0]!r}",
+                relation=self.relation,
+            ) from None
+
+    def projected_match(
+        self, values: Dict[str, Any], existing: Tuple[Any, ...]
+    ) -> bool:
+        get = values.get
+        for name, position in self.proj_pairs:
+            if existing[position] != get(name):
+                return False
+        return True
+
+    def complete_row(
+        self, ctx: TranslationContext, values: Dict[str, Any]
+    ) -> Tuple[Any, ...]:
+        """Fused ``ctx.complete``: completer fill + row build in one pass.
+
+        Mirrors the interpreted error order exactly: a projected-out
+        non-nullable attribute without a completer, then an unknown
+        attribute name, then domain validation (``row_from_mapping``
+        validates before the engine gets the row, so validating here
+        keeps the raise point identical — and lets the fast insertion
+        path skip the engine's redundant re-validation). Custom
+        completers fall back to the generic path.
+        """
+        if ctx.policy.completer is not null_completer:
+            return ctx.complete(self.node_id, values)
+        row = []
+        hits = 0
+        for name, nullable in self.attr_plan:
+            if name in values:
+                row.append(values[name])
+                hits += 1
+            elif nullable:
+                row.append(None)
+            else:
+                raise UpdateRejectedError(
+                    f"cannot extend view-object tuple for {self.relation!r}: "
+                    f"attribute {name!r} was projected out and is "
+                    f"not nullable (supply a completer)",
+                    relation=self.relation,
+                )
+        if hits != len(values):
+            for given in values:
+                if given not in self.known_names:
+                    raise UnknownAttributeError(self.schema.name, given)
+        return self.schema.validate_row(row)
+
+    def merge_row(
+        self, values: Dict[str, Any], existing: Tuple[Any, ...]
+    ) -> Tuple[Any, ...]:
+        """Fused ``ctx.merge_with_existing``: positional overlay."""
+        row = list(existing)
+        positions = self.positions
+        for given, value in values.items():
+            position = positions.get(given)
+            if position is None:
+                raise UnknownAttributeError(self.schema.name, given)
+            row[position] = value
+        return tuple(row)
+
+
+class _Skeleton:
+    """Precomputed skeleton-insertion plan for one relation."""
+
+    __slots__ = ("relation", "schema", "attr_plan", "prohibit_msg")
+
+    def __init__(self, relation: str, schema) -> None:
+        self.relation = relation
+        self.schema = schema
+        self.attr_plan = tuple((a.name, a.nullable) for a in schema.attributes)
+        self.prohibit_msg = (
+            f"global integrity requires inserting into {relation!r} but the "
+            f"translator does not allow insertions there"
+        )
+
+
+class _RelationRules:
+    """Pre-resolved global-integrity adjacency of one relation."""
+
+    __slots__ = (
+        "cascade",
+        "incoming_refs",
+        "parents",
+        "forward_refs",
+        "ref_change_positions",
+        "retarget",
+        "propagate",
+    )
+
+    def __init__(self, graph, relation: str, skeletons: Dict[str, _Skeleton]) -> None:
+        schema = graph.relation(relation)
+
+        def skeleton(name: str) -> _Skeleton:
+            record = skeletons.get(name)
+            if record is None:
+                record = skeletons[name] = _Skeleton(name, graph.relation(name))
+            return record
+
+        # Outgoing ownership/subset: delete cascades (kind order matters).
+        cascade = []
+        for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+            for connection in graph.connections_from(relation, kind):
+                cascade.append(
+                    (
+                        connection.target,
+                        connection.target_attributes,
+                        schema.positions(connection.source_attributes),
+                        graph.relation(connection.target).key_of,
+                        f"cascade {kind.value} via {connection.name}",
+                    )
+                )
+        self.cascade = tuple(cascade)
+
+        # Incoming references: deletion repair per the policy, with the
+        # AUTO resolution (nullable nonkey connecting attributes?)
+        # precomputed from the referencing schema.
+        incoming = []
+        for connection in graph.connections_to(relation, ConnectionKind.REFERENCE):
+            source_schema = graph.relation(connection.source)
+            incoming.append(
+                (
+                    connection.source,
+                    connection.source_attributes,
+                    schema.positions(connection.target_attributes),
+                    source_schema.key_of,
+                    source_schema.positions(connection.source_attributes),
+                    all(
+                        source_schema.attribute(name).nullable
+                        and not source_schema.is_key_attribute(name)
+                        for name in connection.source_attributes
+                    ),
+                    f"referencing tuple repair via {connection.name}",
+                    f"nullify foreign key via {connection.name}",
+                    (
+                        f"deletion of {relation!r} tuple is referenced by "
+                        f"{connection.source!r} and the translator prohibits "
+                        f"repairing that reference (connection "
+                        f"{connection.name!r})"
+                    ),
+                )
+            )
+        self.incoming_refs = tuple(incoming)
+
+        # Inverse ownership/subset: every inserted tuple needs its owner
+        # or general tuple.
+        # A probe whose attribute list IS the probed relation's primary
+        # key (in key order) degenerates from find_by to an existence
+        # get: same truth value, but memoized O(1) instead of an overlay
+        # scan. Ownership parents always qualify; references usually do.
+        def probes_by_key(name: str, attrs) -> bool:
+            return tuple(attrs) == tuple(graph.relation(name).key)
+
+        parents = []
+        for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+            for connection in graph.connections_to(relation, kind):
+                parents.append(
+                    (
+                        connection.source,
+                        connection.source_attributes,
+                        schema.positions(connection.target_attributes),
+                        skeleton(connection.source),
+                        f"missing {kind.value} parent via {connection.name}",
+                        probes_by_key(
+                            connection.source, connection.source_attributes
+                        ),
+                    )
+                )
+        self.parents = tuple(parents)
+
+        # Forward references: the referenced tuple must exist.
+        forward = []
+        ref_change = []
+        for connection in graph.connections_from(relation, ConnectionKind.REFERENCE):
+            positions = schema.positions(connection.source_attributes)
+            forward.append(
+                (
+                    connection.target,
+                    connection.target_attributes,
+                    positions,
+                    skeleton(connection.target),
+                    f"missing referenced tuple via {connection.name}",
+                    probes_by_key(
+                        connection.target, connection.target_attributes
+                    ),
+                )
+            )
+            ref_change.append(positions)
+        self.forward_refs = tuple(forward)
+        self.ref_change_positions = tuple(ref_change)
+
+        # Key changes: retarget incoming references, propagate inherited
+        # keys to owned/subset dependents. Entries are built straight
+        # from the old/new key tuples via key-index positions.
+        key_index = {name: i for i, name in enumerate(schema.key)}
+        retarget = []
+        for connection in graph.connections_to(relation, ConnectionKind.REFERENCE):
+            source_schema = graph.relation(connection.source)
+            retarget.append(
+                (
+                    connection.source,
+                    connection.source_attributes,
+                    tuple(key_index[a] for a in connection.target_attributes),
+                    source_schema.key_of,
+                    source_schema.positions(connection.source_attributes),
+                    (
+                        f"key replacement in {relation!r} requires modifying "
+                        f"referencing relation {connection.source!r}, which "
+                        f"the translator prohibits"
+                    ),
+                    (
+                        f"retarget via {connection.name} collided with an "
+                        f"existing tuple; old reference dropped"
+                    ),
+                    f"retarget foreign key via {connection.name}",
+                )
+            )
+        self.retarget = tuple(retarget)
+
+        propagate = []
+        for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+            for connection in graph.connections_from(relation, kind):
+                child_schema = graph.relation(connection.target)
+                propagate.append(
+                    (
+                        connection.target,
+                        connection.target_attributes,
+                        tuple(key_index[a] for a in connection.source_attributes),
+                        child_schema.key_of,
+                        child_schema.positions(connection.target_attributes),
+                        (
+                            f"inherited-key propagation via "
+                            f"{connection.name} collided; stale tuple dropped"
+                        ),
+                        f"propagate inherited key via {connection.name}",
+                    )
+                )
+        self.propagate = tuple(propagate)
+
+
+class CompiledProgram:
+    """The fixed translator of one view object, specialized per node.
+
+    Everything derivable from the view object, the island analysis, and
+    the structural schema is computed once here; the ``run_*`` twins
+    then execute the paper's algorithms over the precomputed records,
+    producing plans byte-identical to the interpreted walk.
+    """
+
+    def __init__(
+        self, view_object: ViewObjectDefinition, analysis: IslandAnalysis
+    ) -> None:
+        self.view_object = view_object
+        self.analysis = analysis
+        graph = view_object.graph
+        order = list(view_object.tree.bfs())
+        nodes: Dict[str, CompiledNode] = {}
+        for node in order:
+            nodes[node.node_id] = CompiledNode(
+                view_object, node, analysis.is_island(node.node_id)
+            )
+        for node in order:
+            nodes[node.node_id].children = tuple(
+                nodes[child_id] for child_id in node.children
+            )
+        self.nodes = nodes
+        self.nodes_bfs: Tuple[CompiledNode, ...] = tuple(
+            nodes[node.node_id] for node in order
+        )
+        self.root = nodes[view_object.tree.root.node_id]
+        # (node, parent_id) pairs driving the one-pass level flattening.
+        self._level_steps = tuple(
+            (nodes[node.node_id], node.parent_id)
+            for node in order
+            if node.parent_id is not None
+        )
+        self.island_bfs: Tuple[CompiledNode, ...] = tuple(
+            nodes[node_id] for node_id in analysis.island_nodes
+        )
+        island_ids = {cn.node_id for cn in self.island_bfs}
+        self._island_level_steps = tuple(
+            (cn, parent_id)
+            for cn, parent_id in self._level_steps
+            if cn.node_id in island_ids
+        )
+        skeletons: Dict[str, _Skeleton] = {}
+        self.rules: Dict[str, _RelationRules] = {
+            name: _RelationRules(graph, name, skeletons)
+            for name in graph.relation_names
+        }
+
+    # -- instance flattening -----------------------------------------------
+
+    def _levels(self, instance: Instance) -> Dict[str, List[ComponentTuple]]:
+        """Components per node, flattened top-down in one O(tree) pass.
+
+        Produces exactly ``instance.tuples_at(node_id)`` for every node,
+        without re-walking the root path per node.
+        """
+        levels: Dict[str, List[ComponentTuple]] = {
+            self.root.node_id: [instance.root]
+        }
+        for cn, parent_id in self._level_steps:
+            flat: List[ComponentTuple] = []
+            node_id = cn.node_id
+            for component in levels[parent_id]:
+                children = component.children.get(node_id)
+                if children:
+                    flat.extend(children)
+            levels[node_id] = flat
+        return levels
+
+    def _island_levels(self, instance: Instance) -> Dict[str, List[ComponentTuple]]:
+        """Like :meth:`_levels`, restricted to the dependency island
+        (island parents are always island nodes, so the prefix is closed)."""
+        levels: Dict[str, List[ComponentTuple]] = {
+            self.root.node_id: [instance.root]
+        }
+        for cn, parent_id in self._island_level_steps:
+            flat: List[ComponentTuple] = []
+            node_id = cn.node_id
+            for component in levels[parent_id]:
+                children = component.children.get(node_id)
+                if children:
+                    flat.extend(children)
+            levels[node_id] = flat
+        return levels
+
+    # -- VO-CI --------------------------------------------------------------
+
+    def run_insertion(self, ctx: TranslationContext, instance: Instance) -> None:
+        """Compiled twin of ``translate_complete_insertion``."""
+        with obs.tracer().span("validate", algorithm="VO-CI"):
+            validate_insertion(ctx, instance)
+        with obs.tracer().span("propagate", algorithm="VO-CI") as span:
+            self._propagate_insertion(ctx, instance)
+            span.set(ops=len(ctx.plan))
+
+    def _propagate_insertion(
+        self, ctx: TranslationContext, instance: Instance
+    ) -> None:
+        engine = ctx.engine
+        policy = ctx.policy
+        levels = self._levels(instance)
+        # Fast CASE-2 inserts: the probe above the branch just proved the
+        # key absent and complete_row validated the row, so the overlay
+        # can be written directly. Only sound with the null completer (a
+        # custom completer may rewrite key attributes) and with keys
+        # needing no datetime narrowing.
+        fast_insert = (
+            getattr(engine, "insert_validated", None)
+            if policy.completer is null_completer
+            else None
+        )
+        plan = ctx.plan
+        inserted = ctx.inserted
+        for cn in self.nodes_bfs:
+            relation = cn.relation
+            in_island = cn.in_island
+            relation_policy = policy.for_relation(relation)
+            for component in levels[cn.node_id]:
+                values = component.values
+                key = cn.key_from(values)
+                existing = engine.get(relation, key)
+                if existing is None:
+                    # CASE 2: the new tuple matches no existing key.
+                    if not in_island and not (
+                        relation_policy.can_modify and relation_policy.can_insert
+                    ):
+                        raise UpdateRejectedError(
+                            f"insertion needs a new tuple in {relation!r} "
+                            f"but the translator does not allow insertions "
+                            f"there",
+                            relation=relation,
+                        )
+                    row = cn.complete_row(ctx, values)
+                    if fast_insert is not None and not cn.key_has_dates:
+                        fast_insert(
+                            relation,
+                            _normalize_row_dates(cn.schema, row)
+                            if cn.has_dates
+                            else row,
+                            key,
+                        )
+                        plan.add(Insert(relation, row), cn.reason_ci_insert)
+                        inserted.append((relation, row))
+                    else:
+                        ctx.insert(relation, row, cn.reason_ci_insert)
+                elif cn.projected_match(values, existing):
+                    # CASE 1: an identical tuple already exists.
+                    if in_island:
+                        raise UpdateRejectedError(
+                            f"complete insertion rejected: identical tuple "
+                            f"{key!r} already exists in island relation "
+                            f"{relation!r} (CASE 1)",
+                            relation=relation,
+                        )
+                else:
+                    # CASE 3: key matches, nonkey values conflict.
+                    if in_island:
+                        raise UpdateRejectedError(
+                            f"complete insertion rejected: tuple {key!r} "
+                            f"exists in island relation {relation!r} with "
+                            f"different values (CASE 3)",
+                            relation=relation,
+                        )
+                    if not (
+                        relation_policy.can_modify
+                        and relation_policy.can_replace_existing
+                    ):
+                        raise UpdateRejectedError(
+                            f"insertion needs to modify an existing tuple of "
+                            f"{relation!r} but the translator prohibits it",
+                            relation=relation,
+                        )
+                    ctx.replace(
+                        relation,
+                        key,
+                        cn.merge_row(values, existing),
+                        cn.reason_ci_replace,
+                    )
+        self._maintain_after_insertions(ctx)
+
+    # -- VO-CD --------------------------------------------------------------
+
+    def run_deletion(self, ctx: TranslationContext, instance: Instance) -> None:
+        """Compiled twin of ``translate_complete_deletion``."""
+        with obs.tracer().span("validate", algorithm="VO-CD"):
+            validate_deletion(ctx, instance)
+        with obs.tracer().span("propagate", algorithm="VO-CD") as span:
+            self._propagate_deletion(ctx, instance)
+            span.set(ops=len(ctx.plan))
+
+    def _propagate_deletion(
+        self, ctx: TranslationContext, instance: Instance
+    ) -> None:
+        engine = ctx.engine
+        levels = self._island_levels(instance)
+        # Fast deletes: the existence probe just returned the row, so the
+        # re-read inside ctx.delete is redundant; gated on keys that need
+        # no datetime narrowing (the probe coerces, the overlay must see
+        # the same key).
+        fast_delete = getattr(engine, "delete_validated", None)
+        plan = ctx.plan
+        deleted = ctx.deleted
+        for cn in self.island_bfs:
+            relation = cn.relation
+            use_fast = fast_delete is not None and not cn.key_has_dates
+            for component in levels[cn.node_id]:
+                key = cn.key_from(component.values)
+                old = engine.get(relation, key)
+                if old is None:
+                    if cn.is_pivot:
+                        raise UpdateRejectedError(
+                            f"complete deletion: pivot tuple {key!r} of "
+                            f"{relation!r} does not exist",
+                            relation=relation,
+                        )
+                    # A non-pivot island tuple may already be gone (stale
+                    # instance); the cascade would have removed it anyway.
+                    continue
+                if use_fast:
+                    fast_delete(relation, key)
+                    plan.add(Delete(relation, key), cn.reason_cd_delete)
+                    deleted.append((relation, old))
+                else:
+                    ctx.delete(relation, key, cn.reason_cd_delete)
+        self._maintain_after_deletions(ctx)
+
+    # -- VO-R ---------------------------------------------------------------
+
+    def run_replacement(
+        self, ctx: TranslationContext, old: Instance, new: Instance
+    ) -> None:
+        """Compiled twin of ``translate_replacement``."""
+        with obs.tracer().span("validate", algorithm="VO-R"):
+            validate_replacement(ctx, old, new)
+        with obs.tracer().span("propagate", algorithm="VO-R") as span:
+            new = propagate_within_object(ctx.view_object, new)
+            self._walk(ctx, self.root, [old.root], [new.root], True)
+            self._maintain_all(ctx)
+            span.set(ops=len(ctx.plan))
+
+    def _walk(
+        self,
+        ctx: TranslationContext,
+        cn: CompiledNode,
+        old_components: List[ComponentTuple],
+        new_components: List[ComponentTuple],
+        in_island: bool,
+    ) -> None:
+        pairs = self._align(cn, old_components, new_components)
+        for old_component, new_component in pairs:
+            if old_component is not None and new_component is not None:
+                if in_island:
+                    self._replace_case(ctx, cn, old_component, new_component)
+                else:
+                    self._insert_case(ctx, cn, old_component, new_component)
+            elif new_component is None:
+                self._removed_component(ctx, cn, old_component, in_island)
+            else:
+                self._added_component(ctx, cn, new_component, in_island)
+            for child in cn.children:
+                old_children = (
+                    old_component.children.get(child.node_id, [])
+                    if old_component is not None
+                    else []
+                )
+                new_children = (
+                    new_component.children.get(child.node_id, [])
+                    if new_component is not None
+                    else []
+                )
+                self._walk(ctx, child, old_children, new_children, child.in_island)
+
+    @staticmethod
+    def _align(
+        cn: CompiledNode,
+        old_components: List[ComponentTuple],
+        new_components: List[ComponentTuple],
+    ) -> List[Tuple[Optional[ComponentTuple], Optional[ComponentTuple]]]:
+        old_by_key: Dict[Tuple[Any, ...], ComponentTuple] = {}
+        for component in old_components:
+            old_by_key[cn.key_from(component.values)] = component
+        pairs: List[Tuple[Optional[ComponentTuple], Optional[ComponentTuple]]] = []
+        unmatched_new: List[ComponentTuple] = []
+        for component in new_components:
+            key = cn.key_from(component.values)
+            match = old_by_key.pop(key, None)
+            if match is not None:
+                pairs.append((match, component))
+            else:
+                unmatched_new.append(component)
+        leftovers_old = [
+            c for c in old_components if cn.key_from(c.values) in old_by_key
+        ]
+        for index in range(max(len(leftovers_old), len(unmatched_new))):
+            pairs.append(
+                (
+                    leftovers_old[index] if index < len(leftovers_old) else None,
+                    unmatched_new[index] if index < len(unmatched_new) else None,
+                )
+            )
+        return pairs
+
+    def _replace_case(
+        self,
+        ctx: TranslationContext,
+        cn: CompiledNode,
+        old_component: ComponentTuple,
+        new_component: ComponentTuple,
+    ) -> None:
+        if old_component.values == new_component.values:
+            return  # CASE R-1: the projections match exactly.
+        relation = cn.relation
+        old_key = cn.key_from(old_component.values)
+        new_key = cn.key_from(new_component.values)
+        existing = ctx.engine.get(relation, old_key)
+        if existing is None:
+            raise UpdateRejectedError(
+                f"replacement: island tuple {old_key!r} of {relation!r} "
+                f"no longer exists",
+                relation=relation,
+            )
+        if old_key == new_key:
+            # CASE R-2: the projections differ but the keys match.
+            ctx.replace(
+                relation,
+                old_key,
+                cn.merge_row(new_component.values, existing),
+                cn.reason_r2,
+            )
+            return
+        # CASE R-3: the projections differ and the keys differ.
+        relation_policy = ctx.policy.for_relation(relation)
+        if not relation_policy.allow_db_key_replacement:
+            raise UpdateRejectedError(
+                f"replacement changes the database key of {relation!r} "
+                f"({old_key!r} -> {new_key!r}) but the translator prohibits "
+                f"replacing database keys",
+                relation=relation,
+            )
+        conflicting = ctx.engine.get(relation, new_key)
+        if conflicting is not None:
+            if not relation_policy.allow_merge_on_key_conflict:
+                raise UpdateRejectedError(
+                    f"replacement would delete {relation!r} tuple "
+                    f"{old_key!r} and overwrite existing tuple {new_key!r}; "
+                    f"the translator prohibits this merge",
+                    relation=relation,
+                )
+            ctx.delete(relation, old_key, _R3_MERGE_DELETE)
+            ctx.replace(
+                relation,
+                new_key,
+                cn.merge_row(new_component.values, conflicting),
+                _R3_MERGE_REPLACE,
+            )
+            return
+        ctx.replace(
+            relation,
+            old_key,
+            cn.merge_row(new_component.values, existing),
+            cn.reason_r3_key,
+        )
+
+    def _insert_case(
+        self,
+        ctx: TranslationContext,
+        cn: CompiledNode,
+        old_component: ComponentTuple,
+        new_component: ComponentTuple,
+    ) -> None:
+        relation = cn.relation
+        old_key = cn.key_from(old_component.values)
+        new_key = cn.key_from(new_component.values)
+        relation_policy = ctx.policy.for_relation(relation)
+        if old_key == new_key:
+            # CASE I-1: the keys match — treat with the R rules.
+            if old_component.values == new_component.values:
+                return
+            existing = ctx.engine.get(relation, old_key)
+            if existing is None:
+                self._added_component(ctx, cn, new_component, in_island=False)
+                return
+            if cn.projected_match(new_component.values, existing):
+                return
+            self._require_modify_and_replace(cn, relation_policy)
+            ctx.replace(
+                relation,
+                old_key,
+                cn.merge_row(new_component.values, existing),
+                cn.reason_i1,
+            )
+            return
+        self._added_component(ctx, cn, new_component, in_island=False)
+
+    def _removed_component(
+        self,
+        ctx: TranslationContext,
+        cn: CompiledNode,
+        old_component: ComponentTuple,
+        in_island: bool,
+    ) -> None:
+        if not in_island:
+            return  # outside tuples survive; only the linkage changed
+        key = cn.key_from(old_component.values)
+        if ctx.engine.get(cn.relation, key) is not None:
+            ctx.delete(cn.relation, key, cn.reason_removed)
+
+    def _added_component(
+        self,
+        ctx: TranslationContext,
+        cn: CompiledNode,
+        new_component: ComponentTuple,
+        in_island: bool,
+    ) -> None:
+        relation = cn.relation
+        key = cn.key_from(new_component.values)
+        existing = ctx.engine.get(relation, key)
+        relation_policy = ctx.policy.for_relation(relation)
+        if existing is None:
+            # CASE I-2 (or an island component addition): insert.
+            if not in_island and not (
+                relation_policy.can_modify and relation_policy.can_insert
+            ):
+                raise UpdateRejectedError(
+                    f"replacement needs a new tuple in {relation!r} but "
+                    f"the translator does not allow insertions there",
+                    relation=relation,
+                )
+            ctx.insert(
+                relation,
+                cn.complete_row(ctx, new_component.values),
+                cn.reason_i2,
+            )
+        elif cn.projected_match(new_component.values, existing):
+            return  # CASE I-3: identical tuple already present.
+        else:
+            # CASE I-4: present with conflicting values — replacement.
+            if not in_island:
+                self._require_modify_and_replace(cn, relation_policy)
+            ctx.replace(
+                relation,
+                key,
+                cn.merge_row(new_component.values, existing),
+                cn.reason_i4,
+            )
+
+    @staticmethod
+    def _require_modify_and_replace(cn: CompiledNode, relation_policy) -> None:
+        if not (relation_policy.can_modify and relation_policy.can_replace_existing):
+            raise UpdateRejectedError(
+                f"replacement needs to modify an existing tuple of "
+                f"{cn.relation!r} but the translator prohibits it",
+                relation=cn.relation,
+            )
+
+    # -- global integrity (pre-resolved rules) -------------------------------
+
+    def _maintain_after_deletions(self, ctx: TranslationContext) -> None:
+        engine = ctx.engine
+        deleted = ctx.deleted
+        while ctx.deletion_cursor < len(deleted):
+            relation, old_values = deleted[ctx.deletion_cursor]
+            ctx.deletion_cursor += 1
+            rules = self.rules[relation]
+            for target, names, positions, key_of, reason in rules.cascade:
+                entry = tuple(old_values[p] for p in positions)
+                for values in engine.find_by(target, names, entry):
+                    ctx.delete(target, key_of(values), reason)
+            for (
+                source,
+                names,
+                positions,
+                key_of,
+                source_positions,
+                auto_nullify,
+                reason_delete,
+                reason_nullify,
+                prohibit_msg,
+            ) in rules.incoming_refs:
+                entry = tuple(old_values[p] for p in positions)
+                if any(v is None for v in entry):
+                    continue
+                referencing = engine.find_by(source, names, entry)
+                if not referencing:
+                    continue
+                action = ctx.policy.for_relation(source).on_reference_delete
+                if action is ReferenceRepair.AUTO:
+                    action = (
+                        ReferenceRepair.NULLIFY
+                        if auto_nullify
+                        else ReferenceRepair.DELETE
+                    )
+                for values in referencing:
+                    key = key_of(values)
+                    if action is ReferenceRepair.DELETE:
+                        ctx.delete(source, key, reason_delete)
+                    elif action is ReferenceRepair.NULLIFY:
+                        row = list(values)
+                        for p in source_positions:
+                            row[p] = None
+                        ctx.replace(source, key, tuple(row), reason_nullify)
+                    else:  # PROHIBIT
+                        raise UpdateRejectedError(prohibit_msg, relation=source)
+
+    def _maintain_after_insertions(self, ctx: TranslationContext) -> None:
+        inserted = ctx.inserted
+        while ctx.insertion_cursor < len(inserted):
+            relation, values = inserted[ctx.insertion_cursor]
+            ctx.insertion_cursor += 1
+            self._ensure_dependencies(ctx, self.rules[relation], values)
+        for relation, old_values, new_values in ctx.replaced:
+            rules = self.rules[relation]
+            for positions in rules.ref_change_positions:
+                changed = False
+                for p in positions:
+                    if old_values[p] != new_values[p]:
+                        changed = True
+                        break
+                if changed:
+                    self._ensure_dependencies(ctx, rules, new_values)
+                    break
+
+    def _ensure_dependencies(
+        self,
+        ctx: TranslationContext,
+        rules: _RelationRules,
+        values: Tuple[Any, ...],
+    ) -> None:
+        engine = ctx.engine
+        for source, names, positions, skel, reason, by_key in rules.parents:
+            entry = tuple(values[p] for p in positions)
+            if any(v is None for v in entry):
+                continue
+            if by_key:
+                if engine.get(source, entry) is None:
+                    self._insert_skeleton(ctx, skel, names, entry, reason)
+            elif not engine.find_by(source, names, entry):
+                self._insert_skeleton(ctx, skel, names, entry, reason)
+        for target, names, positions, skel, reason, by_key in rules.forward_refs:
+            entry = tuple(values[p] for p in positions)
+            if any(v is None for v in entry):
+                continue
+            if by_key:
+                if engine.get(target, entry) is None:
+                    self._insert_skeleton(ctx, skel, names, entry, reason)
+            elif not engine.find_by(target, names, entry):
+                self._insert_skeleton(ctx, skel, names, entry, reason)
+
+    @staticmethod
+    def _insert_skeleton(
+        ctx: TranslationContext,
+        skel: _Skeleton,
+        attribute_names,
+        entry: Tuple[Any, ...],
+        reason: str,
+    ) -> None:
+        relation = skel.relation
+        relation_policy = ctx.policy.for_relation(relation)
+        if not (relation_policy.can_modify and relation_policy.can_insert):
+            raise UpdateRejectedError(skel.prohibit_msg, relation=relation)
+        completer = ctx.policy.completer
+        if completer is not null_completer:
+            partial = dict(zip(attribute_names, entry))
+            completed = completer(relation, skel.schema, partial)
+            ctx.insert(relation, skel.schema.row_from_mapping(completed), reason)
+            return
+        given = dict(zip(attribute_names, entry))
+        row = []
+        for name, nullable in skel.attr_plan:
+            if name in given:
+                row.append(given[name])
+            elif nullable:
+                row.append(None)
+            else:
+                raise UpdateRejectedError(
+                    f"cannot extend view-object tuple for {relation!r}: "
+                    f"attribute {name!r} was projected out and is "
+                    f"not nullable (supply a completer)",
+                    relation=relation,
+                )
+        ctx.insert(relation, tuple(row), reason)
+
+    def _maintain_after_key_changes(self, ctx: TranslationContext) -> None:
+        engine = ctx.engine
+        key_changes = ctx.key_changes
+        while ctx.key_change_cursor < len(key_changes):
+            relation, old_key, new_key = key_changes[ctx.key_change_cursor]
+            ctx.key_change_cursor += 1
+            rules = self.rules[relation]
+            for (
+                source,
+                names,
+                key_positions,
+                key_of,
+                source_positions,
+                prohibit_msg,
+                reason_collide,
+                reason_replace,
+            ) in rules.retarget:
+                old_entry = tuple(old_key[i] for i in key_positions)
+                new_entry = tuple(new_key[i] for i in key_positions)
+                referencing = engine.find_by(source, names, old_entry)
+                if not referencing:
+                    continue
+                if not ctx.policy.for_relation(source).can_modify:
+                    raise UpdateRejectedError(prohibit_msg, relation=source)
+                for values in referencing:
+                    key = key_of(values)
+                    row = list(values)
+                    for p, v in zip(source_positions, new_entry):
+                        row[p] = v
+                    new_values = tuple(row)
+                    target_key = key_of(new_values)
+                    if target_key != key and engine.contains(source, target_key):
+                        ctx.delete(source, key, reason_collide)
+                    else:
+                        ctx.replace(source, key, new_values, reason_replace)
+            for (
+                target,
+                names,
+                key_positions,
+                key_of,
+                target_positions,
+                reason_collide,
+                reason_replace,
+            ) in rules.propagate:
+                old_entry = tuple(old_key[i] for i in key_positions)
+                new_entry = tuple(new_key[i] for i in key_positions)
+                if old_entry == new_entry:
+                    continue
+                for values in engine.find_by(target, names, old_entry):
+                    key = key_of(values)
+                    row = list(values)
+                    for p, v in zip(target_positions, new_entry):
+                        row[p] = v
+                    new_values = tuple(row)
+                    target_key = key_of(new_values)
+                    if target_key != key and engine.contains(target, target_key):
+                        ctx.delete(target, key, reason_collide)
+                    else:
+                        ctx.replace(target, key, new_values, reason_replace)
+
+    def _maintain_all(self, ctx: TranslationContext) -> None:
+        while True:
+            self._maintain_after_deletions(ctx)
+            self._maintain_after_key_changes(ctx)
+            self._maintain_after_insertions(ctx)
+            if (
+                ctx.deletion_cursor >= len(ctx.deleted)
+                and ctx.key_change_cursor >= len(ctx.key_changes)
+                and ctx.insertion_cursor >= len(ctx.inserted)
+            ):
+                break
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> str:
+        """A readable summary of what was precomputed."""
+        rule_count = sum(
+            len(rules.cascade)
+            + len(rules.incoming_refs)
+            + len(rules.parents)
+            + len(rules.forward_refs)
+            + len(rules.retarget)
+            + len(rules.propagate)
+            for rules in self.rules.values()
+        )
+        lines = [
+            f"compiled translator for {self.view_object.name!r}:",
+            f"  nodes: {len(self.nodes_bfs)} "
+            f"(island: {len(self.island_bfs)})",
+            f"  visit order: "
+            + " -> ".join(cn.node_id for cn in self.nodes_bfs),
+            f"  pre-resolved integrity rules: {rule_count} "
+            f"across {len(self.rules)} relations",
+        ]
+        return "\n".join(lines)
+
+
+class CompiledCache:
+    """Lazily built, shared holder of one translator's compiled program.
+
+    One cache instance is shared by reference across every
+    ``Translator.for_user`` copy, so the program is compiled at most
+    once per view object regardless of how many bound copies serve
+    concurrent requests. Safe under concurrent readers: the build is
+    guarded by a lock and published via a single attribute store.
+    """
+
+    __slots__ = ("enabled", "program", "_lock")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.program: Optional[CompiledProgram] = None
+        self._lock = threading.Lock()
+
+    def program_for(
+        self, view_object: ViewObjectDefinition, analysis: IslandAnalysis
+    ) -> Optional[CompiledProgram]:
+        """The compiled program, or None when compilation is disabled."""
+        if not self.enabled:
+            return None
+        return self.ensure(view_object, analysis)
+
+    def ensure(
+        self, view_object: ViewObjectDefinition, analysis: IslandAnalysis
+    ) -> CompiledProgram:
+        """Build (once) and return the program, even when dispatch is off."""
+        program = self.program
+        if program is None:
+            with self._lock:
+                program = self.program
+                if program is None:
+                    program = CompiledProgram(view_object, analysis)
+                    self.program = program
+        return program
+
+
+class CompiledTranslator:
+    """Front door onto a translator's compiled program.
+
+    Obtained via :meth:`Translator.compiled`. Exposes the program for
+    inspection and :meth:`prepare_engine`, which warms a *specific
+    engine* for this view object: prepared statement templates on the
+    sqlite backend and secondary hash indexes on the assembly-join
+    attributes. Engine preparation is deliberately explicit — creating
+    an index changes the row order ``find_by`` returns on the in-memory
+    backend, so plans translated against a prepared engine are only
+    comparable with plans translated against the same prepared engine.
+    """
+
+    def __init__(self, translator) -> None:
+        self.translator = translator
+        self.program = translator._compiled.ensure(
+            translator.view_object, translator.analysis
+        )
+
+    def prepare_engine(self, engine) -> None:
+        """Warm ``engine`` for this view object's update workload."""
+        graph = self.translator.view_object.graph
+        prepare_relation = getattr(engine, "prepare_relation", None)
+        if prepare_relation is not None:
+            for name in graph.relation_names:
+                prepare_relation(name)
+        # Hash indexes on the attributes the assembly joins and the
+        # integrity rules probe through find_by.
+        for connection in graph.connections:
+            engine.create_index(connection.source, connection.source_attributes)
+            engine.create_index(connection.target, connection.target_attributes)
+
+    def describe(self) -> str:
+        return self.program.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTranslator({self.translator.view_object.name!r})"

@@ -24,6 +24,7 @@ from repro.core.dependency_island import analyze_island
 from repro.core.instance import Instance, build_instance
 from repro.core.instantiation import Instantiator
 from repro.core.updates.bulk import BufferedEngine
+from repro.core.updates.compiled import CompiledCache, CompiledTranslator
 from repro.core.updates.context import TranslationContext
 from repro.core.updates.deletion import translate_complete_deletion
 from repro.core.updates.insertion import translate_complete_insertion
@@ -48,6 +49,13 @@ from repro.structural.integrity import IntegrityChecker
 __all__ = ["Translator"]
 
 InstanceLike = Union[Instance, Mapping[str, Any]]
+
+# The process-wide default for Translator(compile_plans=None): True runs
+# complete operations through the compiled plan builders, False forces
+# the interpreted tree walk everywhere. An explicit argument always
+# wins; the flag is the operational kill switch, and lets the test
+# suite sweep every semantic test across both implementations.
+COMPILE_PLANS_DEFAULT = True
 
 
 class Translator:
@@ -79,6 +87,16 @@ class Translator:
         outcome (committed / rolled back / crashed) — the provenance
         trail behind :class:`~repro.obs.lineage.LineageIndex` and
         :func:`~repro.obs.history.replay`.
+    compile_plans:
+        When True, the complete operations run through a
+        :class:`~repro.core.updates.compiled.CompiledProgram` built
+        lazily once per view object — the translator is fixed at
+        definition time (§6), so the tree walk, island membership, and
+        integrity rules are precomputed instead of re-derived per call.
+        The compiled path produces byte-identical plans; set False to
+        force the interpreted tree walk (the equivalence oracle). The
+        default ``None`` defers to the module-level
+        :data:`COMPILE_PLANS_DEFAULT` (True).
     """
 
     def __init__(
@@ -89,6 +107,7 @@ class Translator:
         user: Optional[str] = None,
         journal: Optional[PlanJournal] = None,
         audit: Optional[AuditLog] = None,
+        compile_plans: Optional[bool] = None,
     ) -> None:
         self.view_object = view_object
         self.policy = policy or TranslatorPolicy.permissive()
@@ -100,6 +119,9 @@ class Translator:
         self._policy_dict: Optional[Dict[str, Any]] = None
         self._instantiator = Instantiator(view_object)
         self._checker = IntegrityChecker(view_object.graph)
+        if compile_plans is None:
+            compile_plans = COMPILE_PLANS_DEFAULT
+        self._compiled = CompiledCache(enabled=compile_plans)
 
     def for_user(self, user: Optional[str]) -> "Translator":
         """This translator bound to a specific user.
@@ -119,7 +141,63 @@ class Translator:
         bound._policy_dict = self._policy_dict
         bound._instantiator = self._instantiator
         bound._checker = self._checker
+        # Shared *by reference*: every bound copy dispatches through the
+        # same lazily built program instead of recompiling per user.
+        bound._compiled = self._compiled
         return bound
+
+    # -- compiled dispatch ---------------------------------------------------
+
+    def compiled(self) -> CompiledTranslator:
+        """The compiled front door: program introspection and explicit
+        engine preparation (prepared sqlite statements, assembly-join
+        hash indexes). Forces compilation even when dispatch is off."""
+        return CompiledTranslator(self)
+
+    def _translate_insertion(
+        self, ctx: TranslationContext, instance: Instance
+    ) -> None:
+        program = self._compiled.program_for(self.view_object, self.analysis)
+        if program is None:
+            translate_complete_insertion(ctx, instance)
+        else:
+            program.run_insertion(ctx, instance)
+
+    def _translate_deletion(
+        self, ctx: TranslationContext, instance: Instance
+    ) -> None:
+        program = self._compiled.program_for(self.view_object, self.analysis)
+        if program is None:
+            translate_complete_deletion(ctx, instance)
+        else:
+            program.run_deletion(ctx, instance)
+
+    def _translate_replacement(
+        self, ctx: TranslationContext, old: Instance, new: Instance
+    ) -> None:
+        program = self._compiled.program_for(self.view_object, self.analysis)
+        if program is None:
+            translate_replacement(ctx, old, new)
+        else:
+            program.run_replacement(ctx, old, new)
+
+    def translate(
+        self, engine: Engine, request: "UpdateRequest"
+    ) -> UpdatePlan:
+        """Translate one request into its plan without applying it.
+
+        The request runs over a :class:`BufferedEngine` overlay — the
+        base engine is never touched, no transaction is opened, nothing
+        is journaled or audited. This is the bare per-update translate
+        path (and what :file:`benchmarks/bench_translate.py` measures);
+        :meth:`apply_plan` is the matching flush half.
+        """
+        buffered = BufferedEngine(engine)
+        ctx = TranslationContext(
+            self.view_object, buffered, self.policy, self.analysis
+        )
+        self._translate_request(ctx, request)
+        return ctx.plan
 
     # -- public operations ---------------------------------------------------
 
@@ -128,7 +206,7 @@ class Translator:
         instance = self._coerce_instance(instance)
         return self._run(
             engine,
-            lambda ctx: translate_complete_insertion(ctx, instance),
+            lambda ctx: self._translate_insertion(ctx, instance),
             op="insert",
         )
 
@@ -146,7 +224,7 @@ class Translator:
         instance = self._coerce_instance(instance)
         return self._run(
             engine,
-            lambda ctx: translate_complete_deletion(ctx, instance),
+            lambda ctx: self._translate_deletion(ctx, instance),
             op="delete",
         )
 
@@ -163,7 +241,7 @@ class Translator:
         new = self._coerce_instance(new)
         return self._run(
             engine,
-            lambda ctx: translate_replacement(ctx, old, new),
+            lambda ctx: self._translate_replacement(ctx, old, new),
             op="replace",
         )
 
@@ -186,7 +264,7 @@ class Translator:
         return self._run_batch(
             engine,
             items,
-            lambda ctx, instance: translate_complete_insertion(ctx, instance),
+            lambda ctx, instance: self._translate_insertion(ctx, instance),
             op="insert",
         )
 
@@ -207,7 +285,7 @@ class Translator:
         return self._run_batch(
             engine,
             items,
-            lambda ctx, instance: translate_complete_deletion(ctx, instance),
+            lambda ctx, instance: self._translate_deletion(ctx, instance),
             op="delete",
         )
 
@@ -319,11 +397,11 @@ class Translator:
             return self.instantiate(ctx.engine, instance)
 
         if isinstance(request, CompleteInsertion):
-            translate_complete_insertion(ctx, resolve(request.instance))
+            self._translate_insertion(ctx, resolve(request.instance))
         elif isinstance(request, CompleteDeletion):
-            translate_complete_deletion(ctx, resolve(request.instance))
+            self._translate_deletion(ctx, resolve(request.instance))
         elif isinstance(request, Replacement):
-            translate_replacement(
+            self._translate_replacement(
                 ctx, resolve(request.old), self._coerce_instance(request.new)
             )
         elif isinstance(request, PartialInsertion):
@@ -780,7 +858,7 @@ class Translator:
         instance = self._coerce_instance(instance)
         return self._run(
             engine,
-            lambda ctx: translate_complete_insertion(ctx, instance),
+            lambda ctx: self._translate_insertion(ctx, instance),
             preview=True,
             op="insert",
         )
@@ -799,7 +877,7 @@ class Translator:
         instance = self._coerce_instance(instance)
         return self._run(
             engine,
-            lambda ctx: translate_complete_deletion(ctx, instance),
+            lambda ctx: self._translate_deletion(ctx, instance),
             preview=True,
             op="delete",
         )
@@ -817,7 +895,7 @@ class Translator:
         new = self._coerce_instance(new)
         return self._run(
             engine,
-            lambda ctx: translate_replacement(ctx, old, new),
+            lambda ctx: self._translate_replacement(ctx, old, new),
             preview=True,
             op="replace",
         )
@@ -910,42 +988,24 @@ class Translator:
         """Complete deletion of every instance matching an object query.
 
         "The query representation can also be used to formulate update
-        requests" — this is that formulation for deletions. All matched
-        instances are deleted in one transaction; any rejection rolls
-        the whole batch back.
+        requests" — this is that formulation for deletions. The matched
+        instances go through the same batch pipeline as
+        :meth:`delete_many`: each is translated over a
+        :class:`BufferedEngine` overlay, the per-instance plans are
+        coalesced per relation, and the flush is a single journaled
+        write-ahead intent with one audit record for the whole
+        view-level request — all-or-nothing, with the base engine
+        untouched until the plan is complete.
         """
         from repro.core.query import execute_query
 
         instances = execute_query(self.view_object, engine, query)
-        journal = self._active_journal(engine)
-        audit = self._active_audit(engine)
-        use_changelog = journal is not None or (
-            audit is not None and engine.changelog is not None
+        return self._run_batch(
+            engine,
+            instances,
+            lambda ctx, instance: self._translate_deletion(ctx, instance),
+            op="delete_where",
         )
-        mark = engine.changelog.mark() if use_changelog else None
-        combined = UpdatePlan()
-        engine.begin()
-        try:
-            for instance in instances:
-                combined.extend(self.delete(engine, instance))
-        except Exception as exc:
-            engine.rollback()
-            if audit is not None:
-                self._audit(
-                    audit, "delete_where", AUDIT_ROLLED_BACK, plan=combined,
-                    items=len(instances), error=exc,
-                )
-            raise
-        images = (
-            images_from_records(engine, engine.changelog.since(mark))
-            if use_changelog
-            else None
-        )
-        self._finalize(
-            engine, journal, audit, images, combined, "delete_where",
-            items=len(instances),
-        )
-        return combined
 
     def update_where(
         self,
@@ -956,41 +1016,23 @@ class Translator:
         """Replace every matching instance by ``transform(instance_dict)``.
 
         The transform receives each matched instance's nested-dictionary
-        form and returns the replacement's; the batch is atomic.
+        form and returns the replacement's. Like :meth:`delete_where`,
+        the batch runs through :meth:`_run_batch`: coalesced plan, one
+        journal intent, one audit record, atomic flush.
         """
         from repro.core.query import execute_query
 
         instances = execute_query(self.view_object, engine, query)
-        journal = self._active_journal(engine)
-        audit = self._active_audit(engine)
-        use_changelog = journal is not None or (
-            audit is not None and engine.changelog is not None
+
+        def translate_one(ctx: TranslationContext, instance: Instance) -> None:
+            new_data = transform(instance.to_dict())
+            self._translate_replacement(
+                ctx, instance, self._coerce_instance(new_data)
+            )
+
+        return self._run_batch(
+            engine, instances, translate_one, op="update_where"
         )
-        mark = engine.changelog.mark() if use_changelog else None
-        combined = UpdatePlan()
-        engine.begin()
-        try:
-            for instance in instances:
-                new_data = transform(instance.to_dict())
-                combined.extend(self.replace(engine, instance, new_data))
-        except Exception as exc:
-            engine.rollback()
-            if audit is not None:
-                self._audit(
-                    audit, "update_where", AUDIT_ROLLED_BACK, plan=combined,
-                    items=len(instances), error=exc,
-                )
-            raise
-        images = (
-            images_from_records(engine, engine.changelog.since(mark))
-            if use_changelog
-            else None
-        )
-        self._finalize(
-            engine, journal, audit, images, combined, "update_where",
-            items=len(instances),
-        )
-        return combined
 
     # -- request-object dispatch ------------------------------------------------
 

@@ -67,6 +67,12 @@ class SqliteEngine(Engine):
         # align sqlite with it for cross-backend parity.
         self._execute("PRAGMA case_sensitive_like = ON")
         self._schemas: Dict[str, RelationSchema] = {}
+        # Per-relation prepared statement templates (insert / delete /
+        # replace / get), built lazily on first use or eagerly through
+        # prepare_relation(). sqlite3 keeps a compiled-statement cache
+        # keyed by SQL text, so handing it byte-identical strings lets
+        # every point operation skip re-deriving the SQL from the schema.
+        self._sql_cache: Dict[str, Dict[str, str]] = {}
         self._savepoint_depth = 0
         self._savepoint_marks: List[int] = []
         self._log = ChangeLog()
@@ -167,6 +173,8 @@ class SqliteEngine(Engine):
         self._schema_for(name)
         self._execute(f"DROP TABLE {_quote(name)}")
         del self._schemas[name]
+        # A later relation of the same name may have a different shape.
+        self._sql_cache.pop(name, None)
 
     def relation_names(self) -> Tuple[str, ...]:
         return tuple(self._schemas)
@@ -185,9 +193,45 @@ class SqliteEngine(Engine):
 
     # -- mutation ----------------------------------------------------------------
 
+    def _statements(self, name: str, schema: RelationSchema) -> Dict[str, str]:
+        """The relation's prepared statement templates, built once."""
+        statements = self._sql_cache.get(name)
+        if statements is None:
+            placeholders = ", ".join("?" for _ in schema.attributes)
+            key_clause = " AND ".join(
+                f"{_quote(k)} = ?" for k in schema.key
+            )
+            assignments = ", ".join(
+                f"{_quote(a.name)} = ?" for a in schema.attributes
+            )
+            statements = self._sql_cache[name] = {
+                "insert": (
+                    f"INSERT INTO {_quote(name)} VALUES ({placeholders})"
+                ),
+                "delete": (
+                    f"DELETE FROM {_quote(name)} WHERE {key_clause}"
+                ),
+                "replace": (
+                    f"UPDATE {_quote(name)} SET {assignments} "
+                    f"WHERE {key_clause}"
+                ),
+                "get": (
+                    f"SELECT * FROM {_quote(name)} WHERE {key_clause}"
+                ),
+            }
+        return statements
+
+    def prepare_relation(self, name: str) -> None:
+        """Eagerly build the relation's statement templates.
+
+        Called by the compiled translator's ``prepare_engine`` so the
+        first update after definition time pays no SQL-building cost;
+        statements are otherwise built lazily on first use.
+        """
+        self._statements(name, self._schema_for(name))
+
     def _insert_sql(self, name: str, schema: RelationSchema) -> str:
-        placeholders = ", ".join("?" for _ in schema.attributes)
-        return f"INSERT INTO {_quote(name)} VALUES ({placeholders})"
+        return self._statements(name, schema)["insert"]
 
     @staticmethod
     def _map_integrity_error(
@@ -315,16 +359,13 @@ class SqliteEngine(Engine):
         self._record_batch("engine_apply_ops_total", count)
         return count
 
-    def _key_clause(self, schema: RelationSchema) -> str:
-        return " AND ".join(f"{_quote(k)} = ?" for k in schema.key)
-
     def delete(self, name: str, key: Sequence[Any]) -> None:
         schema = self._schema_for(name)
         key = self._coerce_key(name, key)
         old = self.get(name, key)
         if old is None:
             raise NoSuchRowError(name, tuple(key))
-        sql = f"DELETE FROM {_quote(name)} WHERE {self._key_clause(schema)}"
+        sql = self._statements(name, schema)["delete"]
         cursor = self._execute(sql, self._encode_key(schema, key))
         if cursor.rowcount == 0:
             raise NoSuchRowError(name, tuple(key))
@@ -342,11 +383,7 @@ class SqliteEngine(Engine):
         new_key = schema.key_of(row)
         if tuple(key) != new_key and self.contains(name, new_key):
             raise DuplicateKeyError(name, new_key)
-        assignments = ", ".join(f"{_quote(a.name)} = ?" for a in schema.attributes)
-        sql = (
-            f"UPDATE {_quote(name)} SET {assignments} "
-            f"WHERE {self._key_clause(schema)}"
-        )
+        sql = self._statements(name, schema)["replace"]
         params = self._encode(schema, row) + self._encode_key(schema, key)
         cursor = self._execute(sql, params)
         if cursor.rowcount == 0:
@@ -364,7 +401,7 @@ class SqliteEngine(Engine):
 
     def get(self, name: str, key: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
         schema = self._schema_for(name)
-        sql = f"SELECT * FROM {_quote(name)} WHERE {self._key_clause(schema)}"
+        sql = self._statements(name, schema)["get"]
         cursor = self._execute(sql, self._encode_key(schema, key))
         row = cursor.fetchone()
         if row is None:

@@ -579,20 +579,44 @@ class PenguinServer:
         return await self._submit(name, CompleteDeletion(key))
 
 
+_HEX = set("0123456789abcdefABCDEF")
+
+
 def _url_unquote(text: str) -> str:
-    """Minimal %XX + '+' decoding (the query grammar is ASCII)."""
-    text = text.replace("+", " ")
-    out: List[str] = []
+    """Strict %XX + '+'-as-space decoding.
+
+    A ``%`` must be followed by exactly two hex digits — a truncated
+    escape (``%``, ``%4``) or non-hex digits (``%zz``, ``%+1``; note
+    ``int(_, 16)`` would happily accept signs and whitespace) is a
+    malformed request and surfaces as a 400, never a silent
+    mis-decode or a 500. Escaped bytes are accumulated and decoded as
+    UTF-8 at the end, so multibyte sequences (``%C3%A9`` → ``é``)
+    come out as the character, not two mojibake code points.
+    """
+    out = bytearray()
     i = 0
-    while i < len(text):
+    length = len(text)
+    while i < length:
         ch = text[i]
-        if ch == "%" and i + 2 < len(text) + 1:
-            try:
-                out.append(chr(int(text[i + 1:i + 3], 16)))
-                i += 3
-                continue
-            except ValueError:
-                pass
-        out.append(ch)
-        i += 1
-    return "".join(out)
+        if ch == "%":
+            digits = text[i + 1:i + 3]
+            if len(digits) != 2 or not (
+                digits[0] in _HEX and digits[1] in _HEX
+            ):
+                raise _HttpError(
+                    400, f"malformed percent escape {text[i:i + 3]!r}"
+                )
+            out.append(int(digits, 16))
+            i += 3
+        elif ch == "+":
+            out.append(0x20)
+            i += 1
+        else:
+            out.extend(ch.encode("utf-8"))
+            i += 1
+    try:
+        return out.decode("utf-8")
+    except UnicodeDecodeError:
+        raise _HttpError(
+            400, "percent-encoded bytes are not valid UTF-8"
+        ) from None

@@ -25,6 +25,7 @@ from repro.workloads.synthetic import (
     chain_schema,
     chain_selections,
     populate_chain,
+    random_chain_case,
 )
 from repro.workloads.university import (
     UniversityConfig,
@@ -51,4 +52,5 @@ __all__ = [
     "populate_chain",
     "chain_object",
     "chain_selections",
+    "random_chain_case",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "populate_chain",
     "chain_object",
     "chain_selections",
+    "random_chain_case",
     "WorkloadOp",
     "ZipfianWorkload",
 ]
@@ -145,6 +146,46 @@ def chain_selections(
     if with_lookup:
         selections["LOOKUP"] = ["lookup_id", "info"]
     return selections
+
+
+def random_chain_case(
+    engine: Engine, seed: int
+) -> Tuple[StructuralSchema, ViewObjectDefinition, Dict[str, int]]:
+    """Install and populate a seeded random member of the chain family.
+
+    Everything varies with ``seed`` — island depth, fan-out, root count,
+    whether the peninsula and the lookup relation exist, and the data
+    itself — so a property quantified over seeds ranges over many
+    *schemas*, not just many databases. Returns the graph, the spanning
+    view object, and the drawn parameters.
+    """
+    rng = random.Random(seed)
+    depth = rng.randint(1, 3)
+    fanout = rng.randint(1, 3)
+    roots = rng.randint(1, 3)
+    with_peninsula = rng.random() < 0.8
+    with_lookup = rng.random() < 0.8
+    peninsula_refs = rng.randint(0, 2) if with_peninsula else 0
+    graph = chain_schema(depth, with_peninsula, with_lookup)
+    graph.install(engine)
+    populate_chain(
+        engine,
+        depth=depth,
+        roots=roots,
+        fanout=fanout,
+        peninsula_refs=peninsula_refs,
+        seed=seed,
+    )
+    view_object = chain_object(graph, depth, with_peninsula, with_lookup)
+    params = {
+        "depth": depth,
+        "fanout": fanout,
+        "roots": roots,
+        "with_peninsula": int(with_peninsula),
+        "with_lookup": int(with_lookup),
+        "peninsula_refs": peninsula_refs,
+    }
+    return graph, view_object, params
 
 
 class WorkloadOp:

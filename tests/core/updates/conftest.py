@@ -1,0 +1,24 @@
+"""Run every update-translation test under BOTH translator builds.
+
+The compiled plan builders are the default; the interpreted tree walk
+is the reference semantics. Sweeping the whole directory across the
+module default turns each semantic test into its own small equivalence
+check — anything the compiled path gets wrong fails the same test that
+pins the interpreted behaviour. Tests that pass ``compile_plans``
+explicitly (the equivalence properties in ``test_compiled.py``) are
+unaffected: the explicit argument wins over the default.
+"""
+
+import pytest
+
+import repro.core.updates.translator as translator_mod
+
+
+@pytest.fixture(autouse=True, params=["compiled", "interpreted"])
+def translation_mode(request, monkeypatch):
+    monkeypatch.setattr(
+        translator_mod,
+        "COMPILE_PLANS_DEFAULT",
+        request.param == "compiled",
+    )
+    return request.param

@@ -37,12 +37,18 @@ CONTRACT_SCHEMA = (
 )
 
 
-@pytest.fixture(params=["memory", "sqlite", "buffered", "fault"])
+@pytest.fixture(
+    params=["memory", "sqlite", "sqlite-prepared", "buffered", "fault"]
+)
 def engine(request):
     kind = request.param
-    if kind in ("memory", "sqlite"):
-        engine = make_engine(kind)
+    if kind in ("memory", "sqlite", "sqlite-prepared"):
+        engine = make_engine(kind.split("-")[0])
         engine.create_relation(CONTRACT_SCHEMA)
+        if kind == "sqlite-prepared":
+            # The compiled translator's prepare_engine path: statement
+            # templates built eagerly, behaviour identical.
+            engine.prepare_relation("T")
         return engine
     base = MemoryEngine()
     base.create_relation(CONTRACT_SCHEMA)

@@ -393,3 +393,106 @@ class TestKeepAlive:
         finally:
             loop.close()
         assert statuses == [200] * 5
+
+
+class TestUrlUnquote:
+    """The strict percent decoder: RFC-conformant input round-trips,
+    malformed escapes surface as 400, never 500."""
+
+    @pytest.mark.parametrize(
+        ("encoded", "decoded"),
+        [
+            ("plain", "plain"),
+            ("a+b", "a b"),
+            ("birth_year+%3E+0", "birth_year > 0"),
+            ("%41%42c", "ABc"),
+            ("100%25", "100%"),
+            ("caf%C3%A9", "café"),          # two-byte UTF-8
+            ("%E2%82%AC1", "€1"),           # three-byte UTF-8
+            ("%F0%9F%90%A7", "\U0001f427"),      # four-byte (a penguin)
+            ("", ""),
+        ],
+    )
+    def test_valid_input_decodes(self, encoded, decoded):
+        from repro.serve.http import _url_unquote
+
+        assert _url_unquote(encoded) == decoded
+
+    @pytest.mark.parametrize(
+        "encoded",
+        [
+            "%",        # truncated: no digits
+            "%4",       # truncated: one digit
+            "abc%",     # truncated at end of string
+            "%zz",      # not hex
+            "%4g",      # second digit not hex
+            "%+1",      # int(x, 16) would accept "+1"; we must not
+            "% 1",      # likewise " 1"
+            "%-1",
+            "%E9",      # lone latin-1 byte: not valid UTF-8
+            "%C3%28",   # malformed two-byte sequence
+            "%F0%9F",   # truncated four-byte sequence
+        ],
+    )
+    def test_malformed_input_raises_400(self, encoded):
+        from repro.serve.http import _HttpError, _url_unquote
+
+        with pytest.raises(_HttpError) as excinfo:
+            _url_unquote(encoded)
+        assert excinfo.value.status == 400
+
+    def test_malformed_query_is_a_400_response(self, served):
+        _, url = served
+        status, body = request(f"{url}/objects/{OBJECT}?q=%4")
+        assert status == 400
+        assert "error" in body
+
+    def test_invalid_utf8_query_is_a_400_response(self, served):
+        _, url = served
+        status, _ = request(f"{url}/objects/{OBJECT}?q=%E9")
+        assert status == 400
+
+    def test_plus_and_escapes_still_filter(self, served):
+        _, url = served
+        status, body = request(
+            f"{url}/objects/{OBJECT}?q=birth_year+%3E+0"
+        )
+        assert status == 200
+        assert len(body) > 0
+
+
+class TestLoadGenerator:
+    """`run_load` drives the served stack and reports honestly."""
+
+    def test_zipfian_run_reports_clean(self, served):
+        from repro.serve.load import LoadReport, run_load
+
+        _, url = served
+        host, port = url.rsplit("/", 1)[-1].split(":")
+        report = asyncio.run(
+            run_load(
+                host,
+                int(port),
+                ops=80,
+                workers=4,
+                population=10,
+                base_key=100,
+                insert_base=80_000,
+                seed=11,
+            )
+        )
+        assert report.ops == 80
+        assert report.errors == 0
+        assert report.throughput > 0
+        # The seeded mix contains every op kind at this size.
+        kinds = report.kinds()
+        assert kinds.get("read", 0) > 0
+        summary = report.as_dict()
+        assert summary["ops"] == 80
+        assert summary["errors_5xx"] == 0
+        assert summary["latency_ms"]["iterations"] == 80
+        assert "p95" in summary["latency_ms_write"]
+        assert "ops/s" in report.describe()
+        # Aggregate edge cases priced in the same report object.
+        assert LoadReport.percentile([], 0.95) == 0.0
+        assert report.summary("no-such-kind") == {"iterations": 0}
