@@ -22,6 +22,11 @@ Commands:
   over the hospital workload (crash sweep with journal recovery,
   transient-fault bulk run, degraded-mode serving) and report whether
   every resilience invariant held;
+* ``chaos-failover --seed S`` — run the seeded replication chaos
+  campaign: primaries are killed at every shipping and promotion
+  checkpoint (and mid-way through a concurrent load), and the report
+  asserts zero committed-write loss, zero torn states, byte-identical
+  promoted replicas, and a clean audit-replay oracle;
 * ``trace`` — run the canonical Figure-4 workload (query, EXPLAIN,
   insert, get, delete) with tracing on and print the span trees, the
   update EXPLAIN, and any slow-log entries; ``--jsonl FILE`` exports
@@ -311,6 +316,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     report = run_campaign(
         seed=args.seed, ops=args.ops, patients=args.patients
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_chaos_failover(args: argparse.Namespace) -> int:
+    from repro.replicate.campaign import run_failover_campaign
+
+    report = run_failover_campaign(
+        seed=args.seed, patients=args.patients, writes=args.writes
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -736,6 +751,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="hospital workload size (each chart adds crash points)",
     )
 
+    chaos_failover = commands.add_parser(
+        "chaos-failover",
+        help="kill primaries at every replication checkpoint; "
+        "assert zero committed-write loss",
+    )
+    chaos_failover.add_argument("--seed", type=int, default=0)
+    chaos_failover.add_argument(
+        "--writes",
+        type=int,
+        default=8,
+        metavar="N",
+        help="write-stream length per kill point in the sweep leg",
+    )
+    chaos_failover.add_argument(
+        "--patients",
+        type=int,
+        default=4,
+        help="hospital workload size per replicated deployment",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="trace the Figure-4 workload and print span trees + EXPLAIN",
@@ -862,6 +897,7 @@ def main(argv=None) -> int:
         "materialize": cmd_materialize,
         "bench-bulk": cmd_bench_bulk,
         "chaos": cmd_chaos,
+        "chaos-failover": cmd_chaos_failover,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "audit": cmd_audit,

@@ -104,6 +104,43 @@ class DegradedServiceError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(ReproError):
+    """Base class for errors raised by the per-shard replication layer."""
+
+
+class ReplicationQuorumError(DegradedServiceError):
+    """A write could not reach its replication quorum and was aborted.
+
+    Derives from :class:`DegradedServiceError` so the HTTP layer maps it
+    to 503 + ``Retry-After``: the condition is expected to clear once
+    the shipping links heal or a failover completes.
+    """
+
+
+class PrimaryDownError(DegradedServiceError):
+    """The shard's primary is unreachable and no failover has completed
+    yet (the failure detector has not crossed its miss threshold)."""
+
+
+class FailoverInProgressError(DegradedServiceError):
+    """A failover is promoting a replica right now; retry shortly."""
+
+
+class FencedWriteError(ReplicationError):
+    """A ship carried a stale epoch number — a fenced (zombie) primary
+    tried to stream after a failover already promoted its successor."""
+
+
+class ReplicaDivergenceError(ReplicationError):
+    """A replica's state stopped matching the shipped after-images
+    byte-for-byte; the replica is excluded from promotion."""
+
+
+# ---------------------------------------------------------------------------
 # Structural model
 # ---------------------------------------------------------------------------
 

@@ -62,6 +62,7 @@ __all__ = [
     "AuditLog",
     "MemoryAuditLog",
     "FileAuditLog",
+    "ShippingCursor",
 ]
 
 COMMITTED = "committed"
@@ -205,14 +206,24 @@ class AuditLog:
         items: int = 1,
         error: Optional[str] = None,
         journal_entry: Optional[int] = None,
+        plan_records: Optional[List[Dict[str, Any]]] = None,
+        image_records: Optional[List[List[Any]]] = None,
     ) -> int:
-        """Record one view-level update; returns its ASN."""
+        """Record one view-level update; returns its ASN.
+
+        ``plan_records``/``image_records`` accept payloads already in
+        the journal's encoded form (log shipping hands replicas the
+        primary's encodings verbatim); when given, ``plan``/``images``
+        are ignored and no re-encoding happens on the write path.
+        """
         if outcome not in OUTCOMES:
             raise AuditError(
                 f"unknown audit outcome {outcome!r}; choose from {OUTCOMES}"
             )
-        plan_records = encode_plan(plan) if plan is not None else []
-        image_records = encode_images(images) if images is not None else []
+        if plan_records is None:
+            plan_records = encode_plan(plan) if plan is not None else []
+        if image_records is None:
+            image_records = encode_images(images) if images is not None else []
         with self._lock:
             asn = self._next_asn
             self._next_asn += 1
@@ -307,6 +318,18 @@ class AuditLog:
         """The records whose effects are in the database, in ASN order."""
         return [r for r in self.records() if r.outcome == COMMITTED]
 
+    def committed_since(self, asn: int) -> List[AuditRecord]:
+        """Committed records with an ASN strictly greater than ``asn``.
+
+        The log-shipping read: a :class:`ShippingCursor` calls this to
+        find what a replica has not been sent yet. Records resolved to a
+        non-committed outcome (or not yet committed) are skipped — and a
+        ``crashed`` record that recovery later resolves to committed
+        shows up on the first call after the resolution, which is
+        exactly when its effects become shippable.
+        """
+        return [r for r in self.committed() if r.asn > asn]
+
     def tail(self, n: int = 10) -> List[AuditRecord]:
         return self.records()[-n:]
 
@@ -333,6 +356,55 @@ class AuditLog:
 
     def close(self) -> None:
         pass
+
+
+class ShippingCursor:
+    """Tracks how far a log-shipping consumer has read an audit log.
+
+    The replication layer keeps one cursor per shard primary: each
+    committed record the primary's :class:`AuditLog` gains is *taken*
+    exactly once (:meth:`take`) and turned into a shipped record for the
+    replicas. :meth:`lag` is the number of committed records not yet
+    taken — the primary-side half of lag accounting (the replica-side
+    half, received-but-unapplied, lives in the replica's inbox).
+
+    The cursor starts at the log's current head by default: replicas
+    attached to a primary with prior history receive their baseline via
+    seeding, not via replay from ASN 0.
+    """
+
+    def __init__(self, log: AuditLog, start_asn: Optional[int] = None) -> None:
+        self.log = log
+        self.asn = log.head_asn() if start_asn is None else start_asn
+
+    def pending(self) -> List[AuditRecord]:
+        """Committed records not yet taken, in ASN order."""
+        return self.log.committed_since(self.asn)
+
+    def take(self) -> List[AuditRecord]:
+        """Return the pending records and advance past them."""
+        fresh = self.pending()
+        if fresh:
+            self.asn = fresh[-1].asn
+        return fresh
+
+    def skip(self, asn: int) -> None:
+        """Advance past ``asn`` without shipping it.
+
+        Used for records whose effects were already replicated by
+        another channel — a cross-shard transaction ships each
+        participant's sub-plan during the two-phase commit, then audits
+        the full coalesced plan on the owner; shipping that owner record
+        too would apply foreign sub-plans to the owner's replicas.
+        """
+        self.asn = max(self.asn, asn)
+
+    def lag(self) -> int:
+        """How many committed records the consumer has not taken."""
+        return len(self.pending())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShippingCursor(asn={self.asn}, lag={self.lag()})"
 
 
 class MemoryAuditLog(AuditLog):

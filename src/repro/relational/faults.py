@@ -50,6 +50,7 @@ __all__ = [
     "SimulatedCrash",
     "FaultRule",
     "FaultPlan",
+    "FaultHook",
     "FaultInjectingEngine",
     "TransientEngineError",
 ]
@@ -57,11 +58,13 @@ __all__ = [
 MUTATION_OPS = ("insert", "delete", "replace", "clear")
 READ_OPS = ("get", "get_many", "scan", "find_by", "select", "count", "contains")
 TXN_OPS = ("begin", "commit", "rollback")
+SHIP_OPS = ("ship", "probe")
 
 _GROUPS: Dict[str, Tuple[str, ...]] = {
     "mutation": MUTATION_OPS,
     "read": READ_OPS,
     "txn": TXN_OPS,
+    "ship": SHIP_OPS,
 }
 
 
@@ -245,6 +248,51 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"
+
+
+class FaultHook:
+    """Tick a :class:`FaultPlan` at arbitrary call sites.
+
+    :class:`FaultInjectingEngine` covers engine calls; infrastructure
+    that is *not* an engine — the replication shipping link, the failure
+    detector's probes — needs the same seeded injection discipline. A
+    hook wraps a plan and exposes :meth:`tick`, with the identical
+    semantics (latency sleeps, ``crash`` raises
+    :class:`SimulatedCrash`, ``transient`` raises
+    :class:`~repro.errors.TransientEngineError`). Operation names are
+    free-form; the replication layer uses ``"ship"`` and ``"probe"``
+    (group ``"ship"``).
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        self.injected: Dict[str, int] = {"transient": 0, "crash": 0, "latency": 0}
+        self.history: List[Tuple[str, int, str]] = []
+        self._op_counts: Dict[str, int] = {}
+        self._sleep = time.sleep
+
+    def tick(self, operation: str) -> None:
+        index = self._op_counts.get(operation, 0) + 1
+        self._op_counts[operation] = index
+        rule = self.plan.decide(operation)
+        if rule is None:
+            return
+        self.injected[rule.kind] += 1
+        self.history.append((operation, index, rule.kind))
+        if rule.kind == "latency":
+            self._sleep(rule.delay)
+            return
+        if rule.kind == "crash":
+            raise SimulatedCrash(operation, index)
+        raise TransientEngineError(
+            f"injected transient fault during {operation!r} #{index}"
+        )
+
+    def operation_count(self, operation: str) -> int:
+        return self._op_counts.get(operation, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultHook({self.plan!r})"
 
 
 class FaultInjectingEngine(Engine):

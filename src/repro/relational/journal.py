@@ -290,12 +290,26 @@ class PlanJournal:
 
     def begin(self, plan: UpdatePlan, images: Images, label: str = "") -> int:
         """Append a PENDING entry; returns its id."""
+        return self.begin_encoded(
+            encode_plan(plan), encode_images(images), label
+        )
+
+    def begin_encoded(
+        self,
+        plan_records: List[Dict[str, Any]],
+        image_records: List[List[Any]],
+        label: str = "",
+    ) -> int:
+        """Append a PENDING entry from already-encoded payloads.
+
+        The replica apply path journals the exact records the primary
+        shipped; re-encoding a plan it just decoded would double the
+        serialization cost for byte-identical output.
+        """
         with self._lock:
             entry_id = self._next_id
             self._next_id += 1
-            entry = JournalEntry(
-                entry_id, encode_plan(plan), encode_images(images), label
-            )
+            entry = JournalEntry(entry_id, plan_records, image_records, label)
             self._entries[entry_id] = entry
             self._append(
                 {

@@ -1,0 +1,442 @@
+"""One replica stack and the record format the primary ships to it.
+
+A :class:`ReplicaStack` is a full serving stack — its own engine,
+journal, audit log, breaker, and materialized caches — identical in
+shape to the shard primary it shadows. It stays in sync by receiving
+:class:`ShippedRecord`\\ s in stream order and applying each through
+``ConcurrentPenguin.apply_plan``, the same flush-half entry point the
+sharded write path uses: journaled, audited, never re-translated.
+
+The receive/apply split is the heart of the replication overhead
+story. **Receive** is durable receipt — an epoch check, a position
+check, and an inbox append of already-encoded payloads — and is what
+the primary's quorum counts; it costs the write path almost nothing.
+**Apply** happens off the critical path on an applier thread (or
+inline, for deterministic tests), and promotion drains the inbox
+synchronously, so an acked-but-unapplied record can never be lost by a
+failover. Each applied record is verified against its shipped
+after-images byte for byte; a mismatch marks the stack divergent and
+excludes it from promotion.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+import repro.obs as obs
+from repro.errors import (
+    FencedWriteError,
+    ReplicaDivergenceError,
+    ReplicationError,
+    TransientEngineError,
+)
+from repro.obs.audit import COMMITTED, ROLLED_BACK, MemoryAuditLog
+from repro.penguin import Penguin
+from repro.relational.journal import (
+    Images,
+    MemoryJournal,
+    decode_images,
+    decode_plan,
+    encode_images,
+    encode_plan,
+)
+from repro.relational.operations import UpdatePlan
+from repro.serve.concurrent import ConcurrentPenguin
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = ["ReplicaStack", "ShippedRecord"]
+
+
+class ShippedRecord:
+    """One unit of log shipping: a committed coalesced plan plus images.
+
+    Decoupled from :class:`~repro.obs.audit.AuditRecord` on purpose:
+    the fast path ships the primary's audit record payloads verbatim,
+    but a cross-shard transaction ships each participant its *own
+    sub-plan* while the owner audits the full coalesced plan — reusing
+    the audit record type would conflate the two. Payloads stay in the
+    journal's encoded form, so building a record from an audit record
+    is free (no re-encoding on the write path).
+    """
+
+    __slots__ = ("op", "object_name", "plan_records", "image_records", "items")
+
+    def __init__(
+        self,
+        op: str,
+        object_name: str,
+        plan_records: List[Dict[str, Any]],
+        image_records: List[List[Any]],
+        items: int = 1,
+    ) -> None:
+        self.op = op
+        self.object_name = object_name
+        self.plan_records = plan_records
+        self.image_records = image_records
+        self.items = items
+
+    @classmethod
+    def from_audit(cls, record) -> "ShippedRecord":
+        """Wrap a committed audit record's already-encoded payloads."""
+        return cls(
+            record.op,
+            record.object_name,
+            record.plan_records,
+            record.image_records,
+            items=record.items,
+        )
+
+    @classmethod
+    def from_plan(
+        cls,
+        op: str,
+        object_name: str,
+        plan: UpdatePlan,
+        images: Images,
+        items: int = 1,
+    ) -> "ShippedRecord":
+        return cls(
+            op, object_name, encode_plan(plan), encode_images(images), items
+        )
+
+    def plan(self) -> UpdatePlan:
+        return decode_plan(self.plan_records)
+
+    def images(self) -> Images:
+        return decode_images(self.image_records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShippedRecord({self.object_name}.{self.op}, "
+            f"{len(self.plan_records)} ops)"
+        )
+
+
+class ReplicaStack:
+    """A full serving stack that follows a primary's shipped stream.
+
+    ``received_count`` (applied + inboxed) is the stack's position in
+    the stream: because :meth:`receive` only accepts position
+    ``received_count + 1``, the stack's content is always a strict
+    prefix of the primary's stream — the invariant failover's
+    most-caught-up promotion rule rests on.
+
+    Built fresh from a schema graph for replicas; wraps an existing
+    :class:`~repro.serve.concurrent.ConcurrentPenguin` (``serving=``)
+    when adopting a shard's original primary into the set.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        name: str,
+        graph: Optional[StructuralSchema] = None,
+        serving: Optional[ConcurrentPenguin] = None,
+        metric=None,
+        apply_inline: bool = False,
+        verify_images: bool = True,
+    ) -> None:
+        if serving is None:
+            if graph is None:
+                raise ValueError("a fresh ReplicaStack needs a schema graph")
+            penguin = Penguin(
+                graph, metric=metric, install=True, audit=MemoryAuditLog()
+            )
+            # Same discipline as ShardedPenguin: the journal is attached
+            # after construction, so no solo recovery pass runs here.
+            penguin.journal = MemoryJournal()
+            serving = ConcurrentPenguin(penguin)
+            serving.metric_labels = {"shard": str(shard_id), "replica": name}
+        self.shard_id = shard_id
+        self.name = name
+        self.serving = serving
+        self.epoch = 1
+        self.killed = False
+        self.fenced = False
+        self.divergent = False
+        self.apply_error: Optional[BaseException] = None
+        self.apply_inline = apply_inline
+        self.verify_images = verify_images
+        self.fenced_ships = 0
+        self._inbox: List[ShippedRecord] = []
+        self._applied = 0
+        self._lock = threading.RLock()
+        # Serializes appliers with retract; held *around* each apply so
+        # _lock (the ack path) is never taken for the apply's duration.
+        self._apply_mutex = threading.RLock()
+        self._wake = threading.Event()
+        self._closing = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- stack accessors -----------------------------------------------------
+
+    @property
+    def penguin(self) -> Penguin:
+        return self.serving.penguin
+
+    @property
+    def engine(self):
+        return self.serving.penguin.engine
+
+    @property
+    def journal(self):
+        return self.serving.penguin.journal
+
+    @property
+    def audit(self):
+        return self.serving.penguin.audit
+
+    # -- stream position -----------------------------------------------------
+
+    @property
+    def applied_count(self) -> int:
+        with self._lock:
+            return self._applied
+
+    @property
+    def received_count(self) -> int:
+        """Stream records durably received (applied or inboxed)."""
+        with self._lock:
+            return self._applied + len(self._inbox)
+
+    @property
+    def inbox_size(self) -> int:
+        with self._lock:
+            return len(self._inbox)
+
+    # -- lifecycle (chaos surface) -------------------------------------------
+
+    def kill(self) -> None:
+        """Model process death: receives and reads start failing."""
+        self.killed = True
+
+    def revive(self) -> None:
+        self.killed = False
+
+    # -- the shipping target -------------------------------------------------
+
+    def receive(self, epoch: int, position: int, record: ShippedRecord) -> None:
+        """Durably accept one stream record (this is the primary's ack).
+
+        Enforces the two protocol invariants:
+
+        * **fencing** — a ship with an epoch older than this stack has
+          seen is a zombie primary's late write; rejected.
+        * **prefix order** — only position ``received_count + 1`` is
+          accepted. A lower position is a redelivery of something
+          already held (idempotent success); a higher one is a gap and
+          an error, so the sender falls back to backlog re-shipping.
+        """
+        if self.killed:
+            raise TransientEngineError(
+                f"replica {self.name!r} of shard {self.shard_id} is down"
+            )
+        with self._lock:
+            if epoch < self.epoch:
+                self.fenced_ships += 1
+                obs.metrics().counter(
+                    "replication_fenced_ships_total",
+                    shard=str(self.shard_id),
+                    replica=self.name,
+                ).inc()
+                raise FencedWriteError(
+                    f"replica {self.name!r} is at epoch {self.epoch}; "
+                    f"rejecting ship from fenced epoch {epoch}"
+                )
+            self.epoch = epoch
+            expected = self._applied + len(self._inbox) + 1
+            if position < expected:
+                return  # duplicate delivery — already durably held
+            if position > expected:
+                raise ReplicationError(
+                    f"replica {self.name!r}: stream gap — got position "
+                    f"{position}, expected {expected}"
+                )
+            self._inbox.append(record)
+        if self.apply_inline:
+            self.drain()
+        else:
+            self._ensure_applier()
+            self._wake.set()
+
+    # -- applying ------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Apply every inboxed record in order; returns how many.
+
+        Called by the applier thread, by promotion ("replay the journal
+        tail"), and before a replica serves a stale read. A record is
+        only popped *after* its apply commits, so an apply failure
+        leaves it queued for retry.
+
+        The apply itself runs outside ``_lock``: the primary's ack path
+        (:meth:`receive`) and its lag bookkeeping take that lock, and
+        holding it across an apply would turn deferred apply into a
+        convoy where every ship waits for the previous record's apply.
+        ``_apply_mutex`` keeps appliers and :meth:`retract` serialized.
+        """
+        applied = 0
+        with self._apply_mutex:
+            while True:
+                with self._lock:
+                    if not self._inbox:
+                        break
+                    record = self._inbox[0]
+                self._apply(record)
+                with self._lock:
+                    self._inbox.pop(0)
+                    self._applied += 1
+                applied += 1
+            if applied:
+                self.apply_error = None
+        return applied
+
+    def _apply(self, record: ShippedRecord) -> None:
+        """Commit one shipped record: journaled, audited, breaker-guarded.
+
+        Runs the lean twin of ``translator.apply_plan``: the shipped
+        payloads are already in the journal's encoded form and carry the
+        primary's before/after images, so the replica journals and
+        audits them verbatim instead of recomputing images and
+        re-encoding a plan it just decoded. Still goes through
+        ``serving._write`` for the breaker and the write lock — stale
+        reads never observe a half-applied record.
+        """
+        penguin = self.serving.penguin
+        plan = record.plan()
+
+        def lean_apply():
+            journal = penguin.journal
+            audit = penguin.audit
+            entry_id = None
+            if journal is not None:
+                entry_id = journal.begin_encoded(
+                    record.plan_records,
+                    record.image_records,
+                    label=record.object_name,
+                )
+            try:
+                penguin.engine.apply_batch(plan.operations)
+            except Exception as exc:
+                if entry_id is not None:
+                    journal.mark_aborted(entry_id)
+                if audit is not None:
+                    audit.append(
+                        op=record.op,
+                        object_name=record.object_name,
+                        outcome=ROLLED_BACK,
+                        items=record.items,
+                        error=f"{type(exc).__name__}: {exc}",
+                        journal_entry=entry_id,
+                        plan_records=record.plan_records,
+                    )
+                raise
+            if entry_id is not None:
+                journal.mark_committed(entry_id)
+            if audit is not None:
+                audit.append(
+                    op=record.op,
+                    object_name=record.object_name,
+                    outcome=COMMITTED,
+                    items=record.items,
+                    journal_entry=entry_id,
+                    plan_records=record.plan_records,
+                    image_records=record.image_records,
+                )
+            return plan
+
+        self.serving._write(
+            lean_apply, op=record.op, object_name=record.object_name
+        )
+        if not self.verify_images:
+            return
+        for (relation, key), (_before, after) in record.images().items():
+            current = self.engine.get(relation, key)
+            if current != after:
+                self.divergent = True
+                raise ReplicaDivergenceError(
+                    f"replica {self.name!r} diverged applying "
+                    f"{record.object_name}.{record.op}: {relation}{key!r} "
+                    f"is {current!r}, shipped after-image says {after!r}"
+                )
+
+    def retract(self, position: int, record: ShippedRecord) -> None:
+        """Undo the newest stream record (primary quorum failure path).
+
+        If the record is still inboxed it is simply dropped; if the
+        applier already committed it, its cells are forced back to
+        their before-images and its audit record is resolved to
+        ``rolled_back`` — the replica's trail then matches the
+        primary's own revert.
+
+        Takes ``_apply_mutex`` first so a retract can never race an
+        in-flight apply of the very record it is undoing: either the
+        apply finished (force-images path) or never started (inbox pop).
+        """
+        with self._apply_mutex, self._lock:
+            total = self._applied + len(self._inbox)
+            if position > total:
+                return  # never received; nothing to undo
+            if position != total:
+                raise ReplicationError(
+                    f"replica {self.name!r}: can only retract the newest "
+                    f"record (position {total}), not {position}"
+                )
+            if self._inbox:
+                self._inbox.pop()
+                return
+            from repro.shard.twophase import _force_images
+
+            _force_images(self.engine, record.images(), to_after=False)
+            audit = self.audit
+            if audit is not None and audit.head_asn() > 0:
+                audit.resolve(
+                    audit.head_asn(),
+                    ROLLED_BACK,
+                    error="replication quorum not reached on the primary",
+                )
+            self._applied -= 1
+
+    # -- the applier thread --------------------------------------------------
+
+    def _ensure_applier(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._applier_loop,
+            name=f"replica-applier-{self.shard_id}-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _applier_loop(self) -> None:
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            if self._closing:
+                return
+            try:
+                self.drain()
+            except ReplicationError as exc:
+                # Divergence is terminal for this stack; anything else
+                # stays inboxed and is retried on the next wake (or by
+                # the synchronous drain at promotion time).
+                self.apply_error = exc
+                if self.divergent:
+                    return
+            except Exception as exc:
+                self.apply_error = exc
+
+    def close(self) -> None:
+        self._closing = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicaStack(shard={self.shard_id}, name={self.name!r}, "
+            f"epoch={self.epoch}, applied={self._applied}, "
+            f"inbox={len(self._inbox)})"
+        )

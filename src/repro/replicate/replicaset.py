@@ -1,0 +1,641 @@
+"""The per-shard replication coordinator: quorum writes and failover.
+
+A :class:`ReplicaSet` owns one shard's primary plus its replica stacks
+and the shipping links to them, and holds the whole protocol state: the
+record **stream** (what has been committed on the primary, in order),
+the per-link shipping cursors, the **epoch** (bumped by every
+failover; fences the previous primary), and the **failure detector**.
+
+The write path is *commit-then-ship with revert*: the plan commits on
+the primary (journal, audit, breaker — unchanged), the fresh committed
+audit records are taken off a :class:`~repro.obs.audit.ShippingCursor`
+and shipped to every link, and the client is acked only if at least
+``quorum`` replicas confirmed durable receipt. A write that cannot
+reach quorum is **reverted** on the primary (cells forced back to
+before-images, audit resolved ``rolled_back``) and on any replica that
+did receive it, then refused with
+:class:`~repro.errors.ReplicationQuorumError` — the quorum-reachability
+pre-check makes this revert path rare, exactly like the circuit
+breaker's fail-fast before the write lock.
+
+Failover promotes the most-caught-up live replica: drain its inbox
+(replay the journal tail), bump the epoch, fence the old primary,
+truncate the stream to the promoted prefix, and re-point everything —
+:class:`~repro.shard.sharded.Shard` resolves ``serving`` through
+``replica_set.primary`` dynamically, so routing follows automatically.
+Because every acked write is on at least ``quorum ≥ 1`` replicas and
+every replica holds a stream *prefix*, the promoted maximum contains
+the union of all replicated records: no committed-acked write is lost.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import repro.obs as obs
+from repro.errors import (
+    DegradedServiceError,
+    FailoverInProgressError,
+    FencedWriteError,
+    PrimaryDownError,
+    ReplicationError,
+    ReplicationQuorumError,
+    TransientEngineError,
+)
+from repro.obs.audit import ROLLED_BACK, AuditRecord, ShippingCursor
+from repro.relational.operations import UpdatePlan
+from repro.replicate.link import ShippingLink
+from repro.replicate.replica import ReplicaStack, ShippedRecord
+from repro.serve.concurrent import ConcurrentPenguin, ServedRead
+from repro.structural.schema_graph import StructuralSchema
+
+__all__ = ["FailureDetector", "ReplicaSet", "ReplicationConfig"]
+
+#: Checkpoint hook: called with (stage, shard_id) at every shipping and
+#: promotion step; the chaos-failover campaign kills primaries from it.
+Checkpoint = Callable[[str, int], None]
+
+#: The stages a checkpoint hook sees, in write-path then failover order.
+CHECKPOINT_STAGES = (
+    "pre_apply",
+    "post_apply",
+    "pre_ship",
+    "post_ship",
+    "pre_promote",
+    "post_drain",
+    "post_promote",
+)
+
+
+class ReplicationConfig:
+    """How a :class:`~repro.shard.sharded.ShardedPenguin` replicates.
+
+    Parameters
+    ----------
+    replicas:
+        Replica stacks per shard.
+    quorum:
+        Durable receipts (replica acks) a write needs before the client
+        is acked; defaults to 1. ``0`` means best-effort asynchronous
+        shipping; must not exceed ``replicas``.
+    miss_threshold:
+        Consecutive missed probes/attempts before the failure detector
+        declares the primary down and failover runs. Count-based, like
+        the circuit breaker, so chaos runs are deterministic.
+    apply_inline:
+        Apply shipped records synchronously inside receive instead of
+        on the applier thread — deterministic tests only; production
+        keeps apply off the ack path.
+    verify_images:
+        Replicas verify every applied record against its shipped
+        after-images byte for byte (divergent stacks are excluded from
+        promotion). On by default.
+    """
+
+    def __init__(
+        self,
+        replicas: int = 1,
+        quorum: Optional[int] = None,
+        miss_threshold: int = 3,
+        apply_inline: bool = False,
+        verify_images: bool = True,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replication needs at least one replica")
+        if quorum is None:
+            quorum = 1
+        if not 0 <= quorum <= replicas:
+            raise ValueError(
+                f"quorum must be between 0 and {replicas}, got {quorum}"
+            )
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be at least 1")
+        self.replicas = replicas
+        self.quorum = quorum
+        self.miss_threshold = miss_threshold
+        self.apply_inline = apply_inline
+        self.verify_images = verify_images
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicationConfig(replicas={self.replicas}, "
+            f"quorum={self.quorum}, miss_threshold={self.miss_threshold})"
+        )
+
+
+class FailureDetector:
+    """Count-based probe tracking, one per replica set.
+
+    Deterministic on purpose (mirroring the circuit breaker's
+    count-based probing): ``miss_threshold`` consecutive misses —
+    failed writes against a dead primary, failed heartbeats — flip
+    :attr:`down` and authorize failover; any success resets the count.
+    """
+
+    def __init__(self, miss_threshold: int = 3) -> None:
+        self.miss_threshold = miss_threshold
+        self.misses = 0
+        self.total_misses = 0
+
+    def record_ok(self) -> None:
+        self.misses = 0
+
+    def record_miss(self) -> None:
+        self.misses += 1
+        self.total_misses += 1
+
+    @property
+    def down(self) -> bool:
+        return self.misses >= self.miss_threshold
+
+    def reset(self) -> None:
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FailureDetector({self.misses}/{self.miss_threshold} missed)"
+        )
+
+
+class ReplicaSet:
+    """One shard's primary + replicas, kept in sync by log shipping."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        primary_serving: ConcurrentPenguin,
+        graph: StructuralSchema,
+        config: Optional[ReplicationConfig] = None,
+        metric=None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = config or ReplicationConfig()
+        self.graph = graph
+        self.epoch = 1
+        self.failovers = 0
+        self.failing_over = False
+        #: Optional (stage, shard_id) hook; see :data:`CHECKPOINT_STAGES`.
+        self.failpoint: Optional[Checkpoint] = None
+        self.primary = ReplicaStack(shard_id, "primary", serving=primary_serving)
+        self.detector = FailureDetector(self.config.miss_threshold)
+        self._replicas: List[ReplicaStack] = []
+        self._links: Dict[str, ShippingLink] = {}
+        for index in range(self.config.replicas):
+            replica = ReplicaStack(
+                shard_id,
+                f"r{index + 1}",
+                graph=graph,
+                metric=metric,
+                apply_inline=self.config.apply_inline,
+                verify_images=self.config.verify_images,
+            )
+            self._replicas.append(replica)
+            self._links[replica.name] = ShippingLink(replica)
+        self._stream: List[ShippedRecord] = []
+        self._cursor = ShippingCursor(self.primary.audit)
+        # Serializes apply+ship per shard so stream positions stay
+        # dense and ordered; reads never take it.
+        self._mutex = threading.RLock()
+        obs.metrics().gauge(
+            "replication_epoch", shard=str(shard_id)
+        ).set(self.epoch)
+
+    # -- topology accessors --------------------------------------------------
+
+    @property
+    def replicas(self) -> List[ReplicaStack]:
+        return list(self._replicas)
+
+    def replica(self, name: str) -> ReplicaStack:
+        for replica in self._replicas:
+            if replica.name == name:
+                return replica
+        raise KeyError(name)
+
+    def link(self, name: str) -> ShippingLink:
+        return self._links[name]
+
+    @property
+    def stream_length(self) -> int:
+        return len(self._stream)
+
+    def lag(self, replica: ReplicaStack) -> int:
+        """Stream records this replica has not applied yet."""
+        return max(0, len(self._stream) - replica.applied_count)
+
+    def quorum_reachable(self) -> bool:
+        """Whether enough replicas could plausibly ack a write now."""
+        reachable = sum(
+            1
+            for replica in self._replicas
+            if not replica.divergent and self._links[replica.name].reachable
+        )
+        return reachable >= self.config.quorum
+
+    def _checkpoint(self, stage: str) -> None:
+        if self.failpoint is not None:
+            self.failpoint(stage, self.shard_id)
+
+    # -- the replicated write path -------------------------------------------
+
+    def apply_plan(
+        self, name: str, plan: UpdatePlan, op: str = "update", items: int = 1
+    ) -> UpdatePlan:
+        """Commit on the primary, ship, ack only on quorum receipt."""
+        with self._mutex:
+            self._ensure_primary_up()
+            if not self.quorum_reachable():
+                obs.metrics().counter(
+                    "replication_refused_total",
+                    shard=str(self.shard_id),
+                    reason="quorum_unreachable",
+                ).inc()
+                raise ReplicationQuorumError(
+                    f"shard {self.shard_id}: only "
+                    f"{sum(1 for r in self._replicas if self._links[r.name].reachable)}"
+                    f" replica link(s) reachable, quorum is "
+                    f"{self.config.quorum}; write refused"
+                )
+            self._checkpoint("pre_apply")
+            audit = self.primary.audit
+            result = self.primary.serving.apply_plan(
+                name, plan, op=op, items=items
+            )
+            self._checkpoint("post_apply")
+            for record in self._cursor.take():
+                shipped = ShippedRecord.from_audit(record)
+                try:
+                    self._append_and_ship(shipped)
+                except ReplicationQuorumError:
+                    self._revert_primary(record)
+                    raise
+            self._update_lag_metrics()
+            return result
+
+    def ship_record(self, record: ShippedRecord) -> None:
+        """Ship an externally built record (the 2PC sub-plan path).
+
+        Appends to the stream and requires the same quorum as a local
+        write; on failure the record is retracted everywhere and
+        :class:`~repro.errors.ReplicationQuorumError` propagates into
+        the caller's abort path.
+        """
+        with self._mutex:
+            self._ensure_primary_up()
+            self._append_and_ship(record)
+            self._update_lag_metrics()
+
+    def retract_last(self) -> None:
+        """Undo the newest shipped record everywhere (cross-shard abort)."""
+        with self._mutex:
+            if not self._stream:
+                return
+            self._retract(len(self._stream), self._stream[-1])
+
+    def skip_externally_shipped(self, asn: int) -> None:
+        """Mark a primary audit record as replicated by another channel.
+
+        The cross-shard path ships each participant its sub-plan during
+        the transaction, then audits the *full* coalesced plan on the
+        owner; the shipping cursor must skip that owner record or the
+        next local write would ship foreign sub-plans to this shard's
+        replicas.
+        """
+        with self._mutex:
+            self._cursor.skip(asn)
+
+    def catch_up(self) -> int:
+        """Re-ship every backlog and drain every replica; returns ships.
+
+        The heal path after a partition: wedged links accumulate
+        backlog, :meth:`catch_up` (or the next write) pushes it, and
+        the lag gauge returns to zero.
+        """
+        shipped = 0
+        with self._mutex:
+            for replica in self._replicas:
+                link = self._links[replica.name]
+                before = link.cursor
+                try:
+                    self._ship_backlog(link)
+                except (TransientEngineError, ReplicationError):
+                    pass
+                shipped += link.cursor - before
+            self._update_lag_metrics()
+        for replica in self._replicas:
+            if not replica.killed:
+                replica.drain()
+        self._update_lag_metrics()
+        return shipped
+
+    # -- write-path internals ------------------------------------------------
+
+    def _ensure_primary_up(self) -> None:
+        """Fail, fail over, or fall through — the write-path detector.
+
+        Every attempt against a dead or fenced primary counts one miss;
+        once the detector crosses its threshold the failover runs right
+        here and the write proceeds against the new primary.
+        """
+        if self.failing_over:
+            raise FailoverInProgressError(
+                f"shard {self.shard_id}: failover in progress; retry"
+            )
+        while self.primary.killed or self.primary.fenced:
+            self.detector.record_miss()
+            obs.metrics().counter(
+                "replication_probe_misses_total", shard=str(self.shard_id)
+            ).inc()
+            if not self.detector.down:
+                raise PrimaryDownError(
+                    f"shard {self.shard_id}: primary unreachable "
+                    f"({self.detector.misses}/{self.detector.miss_threshold}"
+                    f" missed probes)"
+                )
+            self._failover()
+
+    def _append_and_ship(self, shipped: ShippedRecord) -> None:
+        self._stream.append(shipped)
+        position = len(self._stream)
+        acks = 0
+        for replica in self._replicas:
+            link = self._links[replica.name]
+            self._checkpoint("pre_ship")
+            if self.primary.killed:
+                # The primary died before this record left the box: the
+                # client is not acked. Replicas that already hold it
+                # keep it — the plan applied atomically, nothing tears.
+                self.detector.record_miss()
+                raise PrimaryDownError(
+                    f"shard {self.shard_id}: primary died mid-ship"
+                )
+            try:
+                self._ship_backlog(link)
+            except FencedWriteError:
+                obs.metrics().counter(
+                    "replication_ships_total",
+                    shard=str(self.shard_id),
+                    outcome="fenced",
+                ).inc()
+                continue
+            except (TransientEngineError, ReplicationError):
+                obs.metrics().counter(
+                    "replication_ships_total",
+                    shard=str(self.shard_id),
+                    outcome="fault",
+                ).inc()
+                continue
+            if link.cursor >= position:
+                acks += 1
+        self._checkpoint("post_ship")
+        if acks < self.config.quorum:
+            self._retract(position, shipped)
+            obs.metrics().counter(
+                "replication_refused_total",
+                shard=str(self.shard_id),
+                reason="quorum_failed",
+            ).inc()
+            raise ReplicationQuorumError(
+                f"shard {self.shard_id}: write reached {acks} replica(s), "
+                f"quorum is {self.config.quorum}; reverted"
+            )
+        obs.metrics().counter(
+            "replication_ships_total", shard=str(self.shard_id), outcome="ok"
+        ).inc()
+
+    def _ship_backlog(self, link: ShippingLink) -> None:
+        """Push everything past this link's cursor, in stream order."""
+        while link.cursor < len(self._stream):
+            record = self._stream[link.cursor]
+            link.send(self.epoch, link.cursor + 1, record)
+            link.cursor += 1
+
+    def _retract(self, position: int, record: ShippedRecord) -> None:
+        if position != len(self._stream):
+            raise ReplicationError(
+                f"shard {self.shard_id}: can only retract the stream head"
+            )
+        self._stream.pop()
+        for replica in self._replicas:
+            link = self._links[replica.name]
+            if link.cursor >= position:
+                replica.retract(position, record)
+                link.cursor = position - 1
+
+    def _revert_primary(self, record: AuditRecord) -> None:
+        """Roll the primary's own commit back after a quorum failure."""
+        from repro.shard.twophase import _force_images
+
+        _force_images(self.primary.engine, record.images(), to_after=False)
+        self.primary.audit.resolve(
+            record.asn,
+            ROLLED_BACK,
+            error="replication quorum not reached",
+        )
+
+    # -- failure detection and failover --------------------------------------
+
+    def probe(self) -> Dict[str, Any]:
+        """One heartbeat: update the detector, fail over if warranted."""
+        with self._mutex:
+            up = not (self.primary.killed or self.primary.fenced)
+            if up:
+                self.detector.record_ok()
+            else:
+                self.detector.record_miss()
+                obs.metrics().counter(
+                    "replication_probe_misses_total",
+                    shard=str(self.shard_id),
+                ).inc()
+                if self.detector.down:
+                    try:
+                        self._failover()
+                    except DegradedServiceError:
+                        pass  # no promotable replica; stay down
+            return self.health()
+
+    def _failover(self) -> None:
+        """Promote the most-caught-up live replica; fence the old primary.
+
+        Caller holds the mutex. Raises
+        :class:`~repro.errors.PrimaryDownError` when no replica can be
+        promoted (all dead or divergent) — the shard is then fully down.
+        """
+        self.failing_over = True
+        try:
+            self._checkpoint("pre_promote")
+            old = self.primary
+            old.fenced = True
+            candidates = [
+                replica
+                for replica in self._replicas
+                if not replica.killed and not replica.divergent
+            ]
+            if not candidates:
+                raise PrimaryDownError(
+                    f"shard {self.shard_id}: primary is down and no live "
+                    f"replica can be promoted"
+                )
+            candidates.sort(key=lambda r: (-r.received_count, r.name))
+            chosen = candidates[0]
+            chosen.drain()  # replay the journal tail before serving
+            self._checkpoint("post_drain")
+            self.epoch += 1
+            chosen.epoch = self.epoch
+            promoted_prefix = chosen.applied_count
+            self._replicas.remove(chosen)
+            del self._links[chosen.name]
+            self.primary = chosen
+            # Every surviving replica holds a prefix of the promoted
+            # prefix (the chosen had the maximum), so truncating the
+            # stream and clamping cursors keeps positions dense.
+            self._stream = self._stream[:promoted_prefix]
+            for replica in self._replicas:
+                link = self._links[replica.name]
+                link.cursor = min(link.cursor, replica.received_count)
+            self._cursor = ShippingCursor(chosen.audit)
+            self.detector.reset()
+            self.failovers += 1
+            registry = obs.metrics()
+            registry.counter(
+                "replication_failovers_total", shard=str(self.shard_id)
+            ).inc()
+            registry.gauge(
+                "replication_epoch", shard=str(self.shard_id)
+            ).set(self.epoch)
+            self._update_lag_metrics()
+            self._checkpoint("post_promote")
+        finally:
+            self.failing_over = False
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_served(self, name: str, key: Sequence[Any]) -> ServedRead:
+        primary = self._live_primary()
+        if primary is not None:
+            try:
+                return primary.serving.get_served(name, key)
+            except DegradedServiceError:
+                pass
+        return self._replica_read("get", name, key=key)
+
+    def query_served(
+        self, name: str, text: Optional[str] = None
+    ) -> ServedRead:
+        primary = self._live_primary()
+        if primary is not None:
+            try:
+                return primary.serving.query_served(name, text)
+            except DegradedServiceError:
+                pass
+        return self._replica_read("query", name, text=text)
+
+    def _live_primary(self) -> Optional[ReplicaStack]:
+        """The primary if it can serve; None routes to a replica.
+
+        A read against a dead primary feeds the failure detector too,
+        so a read-only workload still converges on failover.
+        """
+        if self.failing_over:
+            raise FailoverInProgressError(
+                f"shard {self.shard_id}: failover in progress; retry"
+            )
+        if not (self.primary.killed or self.primary.fenced):
+            return self.primary
+        with self._mutex:
+            if self.primary.killed or self.primary.fenced:
+                self.detector.record_miss()
+                obs.metrics().counter(
+                    "replication_probe_misses_total",
+                    shard=str(self.shard_id),
+                ).inc()
+                if self.detector.down:
+                    try:
+                        self._failover()
+                    except DegradedServiceError:
+                        return None
+            if self.primary.killed or self.primary.fenced:
+                return None
+            return self.primary
+
+    def _replica_read(
+        self,
+        mode: str,
+        name: str,
+        key: Optional[Sequence[Any]] = None,
+        text: Optional[str] = None,
+    ) -> ServedRead:
+        """Serve from the most-caught-up live replica, marked stale."""
+        candidates = [
+            replica
+            for replica in self._replicas
+            if not replica.killed and not replica.divergent
+        ]
+        candidates.sort(key=lambda r: (-r.received_count, r.name))
+        for replica in candidates:
+            try:
+                replica.drain()
+                if mode == "get":
+                    served = replica.serving.get_served(name, key)
+                else:
+                    served = replica.serving.query_served(name, text)
+            except DegradedServiceError:
+                continue
+            served.stale = True
+            served.source = f"replica:{replica.name}"
+            obs.metrics().counter(
+                "replication_stale_reads_total", shard=str(self.shard_id)
+            ).inc()
+            return served
+        raise DegradedServiceError(
+            f"shard {self.shard_id}: primary is unavailable and no "
+            f"replica can serve {name!r}"
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def _update_lag_metrics(self) -> None:
+        registry = obs.metrics()
+        for replica in self._replicas:
+            registry.gauge(
+                "replication_lag",
+                shard=str(self.shard_id),
+                replica=replica.name,
+            ).set(self.lag(replica))
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "primary": self.primary.name,
+            "primary_up": not (self.primary.killed or self.primary.fenced),
+            "failing_over": self.failing_over,
+            "failovers": self.failovers,
+            "missed_probes": self.detector.misses,
+            "stream": len(self._stream),
+            "quorum": self.config.quorum,
+            "replicas": [
+                {
+                    "name": replica.name,
+                    "received": replica.received_count,
+                    "applied": replica.applied_count,
+                    "lag": self.lag(replica),
+                    "killed": replica.killed,
+                    "divergent": replica.divergent,
+                    "link_wedged": self._links[replica.name].wedged,
+                }
+                for replica in self._replicas
+            ],
+        }
+
+    def close(self) -> None:
+        for replica in self._replicas:
+            replica.close()
+        self.primary.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicaSet(shard={self.shard_id}, epoch={self.epoch}, "
+            f"primary={self.primary.name!r}, "
+            f"replicas={[r.name for r in self._replicas]})"
+        )

@@ -45,9 +45,13 @@ class ServedRead:
     changelog records the answering cache is behind, and ``shard``
     identifies the answering shard when served by a
     :class:`~repro.shard.sharded.ShardedPenguin` (None otherwise).
+    ``source`` names a non-default answering stack — a replication
+    layer sets ``"replica:<name>"`` when the primary could not serve —
+    and is omitted from :meth:`meta` when unset, keeping the wire
+    format unchanged for primary-served reads.
     """
 
-    __slots__ = ("value", "stale", "shard", "staleness", "object_name")
+    __slots__ = ("value", "stale", "shard", "staleness", "object_name", "source")
 
     def __init__(
         self,
@@ -56,21 +60,26 @@ class ServedRead:
         shard: Optional[int] = None,
         staleness: Optional[int] = None,
         object_name: str = "",
+        source: Optional[str] = None,
     ) -> None:
         self.value = value
         self.stale = stale
         self.shard = shard
         self.staleness = staleness
         self.object_name = object_name
+        self.source = source
 
     def meta(self) -> Dict[str, Any]:
         """The metadata alone, JSON-safe (threaded into HTTP responses)."""
-        return {
+        out = {
             "object": self.object_name,
             "stale": self.stale,
             "shard": self.shard,
             "staleness": self.staleness,
         }
+        if self.source is not None:
+            out["source"] = self.source
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -24,7 +24,19 @@ metadata (``stale``, ``shard``, ``staleness``), so a DEGRADED-mode
 answer is visibly marked at the HTTP surface rather than passed off
 as fresh. Error mapping: unknown objects are 404, validation and
 translation rejections 400, DEGRADED refusals 503 with a
-``Retry-After`` hint, everything else 500.
+``Retry-After`` hint, deadline expiries 504, everything else 500.
+
+Overload protection is explicit. Each request runs under a
+**deadline** — client-supplied via ``X-Deadline-Ms`` or the server's
+``default_deadline_ms`` — with partial-work safety: a write whose
+budget is spent is rejected *before* translation (504, nothing
+applied), and one that already entered the batcher is never cancelled
+mid-commit (the 504 says the write may still apply). An **admission
+gate** sheds load past ``max_in_flight`` concurrent requests with a
+503 + ``Retry-After`` before any session work happens. ``stop()``
+drains gracefully: the listener closes first, in-flight requests run
+to completion and get their responses, the batcher flushes, and only
+then do connections close.
 """
 
 from __future__ import annotations
@@ -63,6 +75,7 @@ _REASONS = {
     405: "Method Not Allowed",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 MAX_BODY_BYTES = 1 << 20
@@ -100,6 +113,8 @@ class _HttpError(Exception):
 def _classify(exc: BaseException) -> _HttpError:
     if isinstance(exc, _HttpError):
         return exc
+    if isinstance(exc, asyncio.TimeoutError):
+        return _HttpError(504, "deadline exceeded")
     if isinstance(exc, DegradedServiceError):
         return _HttpError(503, str(exc))
     if isinstance(exc, ViewObjectError) and not isinstance(exc, QueryError):
@@ -115,6 +130,24 @@ def _classify(exc: BaseException) -> _HttpError:
                         TypeError)):
         return _HttpError(400, str(exc))
     return _HttpError(500, f"{type(exc).__name__}: {exc}")
+
+
+class _Deadline:
+    """A per-request time budget on the loop's monotonic clock."""
+
+    __slots__ = ("loop", "at")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, seconds: float) -> None:
+        self.loop = loop
+        self.at = loop.time() + seconds
+
+    @property
+    def remaining(self) -> float:
+        return self.at - self.loop.time()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
 
 
 class MicroBatcher:
@@ -224,6 +257,7 @@ class ServerHandle:
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._stopped = False
+        self._startup_error: Optional[BaseException] = None
 
     @property
     def port(self) -> int:
@@ -243,18 +277,38 @@ class ServerHandle:
                 self._started.set()
                 loop.run_forever()
                 loop.run_until_complete(self.server.stop())
+            except BaseException as exc:  # noqa: BLE001 - reported by start()
+                self._startup_error = exc
             finally:
                 self._started.set()  # unblock start() on startup failure
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+                try:
+                    loop.run_until_complete(asyncio.sleep(0))
+                except BaseException:  # pragma: no cover - best-effort sweep
+                    pass
                 loop.close()
 
         self._thread = threading.Thread(
             target=run, name="penguin-serve", daemon=True
         )
         self._thread.start()
-        if not self._started.wait(timeout):  # pragma: no cover
-            raise RuntimeError("server failed to start in time")
+        if not self._started.wait(timeout):
+            # The loop is wedged inside server.start(): stopping it makes
+            # run_until_complete abandon the startup and unwind the thread.
+            if self._loop is not None:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=1.0)
+            raise RuntimeError(
+                f"server failed to start within {timeout:g}s"
+            )
         if not self.server.running:
-            raise RuntimeError("server failed to start; see logs")
+            detail = (
+                f": {self._startup_error}" if self._startup_error else
+                "; see logs"
+            )
+            raise RuntimeError(f"server failed to start{detail}")
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -294,15 +348,28 @@ class PenguinServer:
         port: int = 0,
         batch_window: float = 0.005,
         max_batch: int = 32,
+        default_deadline_ms: Optional[float] = None,
+        max_in_flight: int = 64,
     ) -> None:
         self.session = session
         self.host = host
         self.port = port
         self.batch_window = batch_window
         self.max_batch = max_batch
+        #: Per-request budget when the client sends no ``X-Deadline-Ms``;
+        #: None serves without a deadline, matching the old behavior.
+        self.default_deadline_ms = default_deadline_ms
+        #: Admission high-water mark: requests past it are shed with 503.
+        self.max_in_flight = max_in_flight
         self.batcher: Optional[MicroBatcher] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self.requests_served = 0
+        self.requests_shed = 0
+        self.deadlines_exceeded = 0
+        self._draining = False
+        self._active = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._writers: set = set()
 
     @property
     def running(self) -> bool:
@@ -316,6 +383,10 @@ class PenguinServer:
             self.session, loop,
             window=self.batch_window, max_batch=self.max_batch,
         )
+        self._draining = False
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -323,12 +394,21 @@ class PenguinServer:
         return self
 
     async def stop(self) -> None:
+        """Graceful drain, in order: stop accepting new connections,
+        let every in-flight request finish and send its response, flush
+        whatever the :class:`MicroBatcher` still holds, and only then
+        close the remaining (idle) connections."""
         if self._server is None:
             return
+        self._draining = True
         self._server.close()
-        await self._server.wait_closed()
+        if self._idle is not None:
+            await self._idle.wait()
         if self.batcher is not None:
             await self.batcher.drain()
+        for writer in list(self._writers):
+            writer.close()
+        await self._server.wait_closed()
         self._server = None
 
     def in_background(self) -> ServerHandle:
@@ -340,6 +420,7 @@ class PenguinServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -362,22 +443,59 @@ class PenguinServer:
                     break
                 body = await reader.readexactly(length) if length else b""
                 keep_alive = headers.get("connection", "").lower() != "close"
-                status, payload, content_type = await self._dispatch(
-                    method, target, body
-                )
-                self.requests_served += 1
-                obs.metrics().counter(
-                    "serve_http_requests_total",
-                    method=method,
-                    status=str(status),
-                ).inc()
-                await self._respond(
-                    writer, status, payload,
-                    content_type=content_type, close=not keep_alive,
-                )
+                if self._draining:
+                    # Requests received after stop() began are refused;
+                    # the ones already dispatched run to completion.
+                    await self._respond(
+                        writer, 503, {"error": "server is draining"},
+                        close=True,
+                    )
+                    break
+                if self._active >= self.max_in_flight:
+                    self.requests_shed += 1
+                    obs.metrics().counter("serve_shed_total").inc()
+                    await self._respond(
+                        writer, 503,
+                        {"error": "server at capacity; retry later"},
+                        close=not keep_alive,
+                    )
+                    if not keep_alive:
+                        break
+                    continue
+                self._active += 1
+                if self._idle is not None:
+                    self._idle.clear()
+                obs.metrics().gauge("serve_in_flight").set(self._active)
+                try:
+                    status, payload, content_type = await self._dispatch(
+                        method, target, body, headers
+                    )
+                    self.requests_served += 1
+                    if status == 504:
+                        self.deadlines_exceeded += 1
+                        obs.metrics().counter(
+                            "serve_deadline_exceeded_total", method=method
+                        ).inc()
+                    obs.metrics().counter(
+                        "serve_http_requests_total",
+                        method=method,
+                        status=str(status),
+                    ).inc()
+                    await self._respond(
+                        writer, status, payload,
+                        content_type=content_type, close=not keep_alive,
+                    )
+                finally:
+                    # The response is already on the wire: a concurrent
+                    # drain waiting on _idle never drops this request.
+                    self._active -= 1
+                    obs.metrics().gauge("serve_in_flight").set(self._active)
+                    if self._active == 0 and self._idle is not None:
+                        self._idle.set()
                 if not keep_alive:
                     break
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -434,15 +552,24 @@ class PenguinServer:
     # -- routing -------------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any, str]:
         path, _, query_string = target.partition("?")
         segments = [s for s in path.split("/") if s]
         try:
+            deadline = self._request_deadline(headers or {})
             if path == "/health" and method == "GET":
-                return 200, await self._run(self.session.health), "application/json"
+                return (
+                    200,
+                    await self._run(self.session.health, deadline),
+                    "application/json",
+                )
             if path == "/metrics" and method == "GET":
-                text = await self._run(self.session.metrics_text)
+                text = await self._run(self.session.metrics_text, deadline)
                 return 200, text, "text/plain; version=0.0.4"
             if path == "/objects" and method == "GET":
                 return 200, await self._objects_index(), "application/json"
@@ -451,30 +578,34 @@ class PenguinServer:
                 if method == "GET":
                     return (
                         200,
-                        await self._query(name, query_string),
+                        await self._query(name, query_string, deadline),
                         "application/json",
                     )
                 if method == "POST":
                     return (
                         201,
-                        await self._insert(name, body),
+                        await self._insert(name, body, deadline),
                         "application/json",
                     )
                 raise _HttpError(405, f"{method} not allowed here")
             if segments[:1] == ["objects"] and len(segments) == 3:
                 name, key = segments[1], parse_key(segments[2])
                 if method == "GET":
-                    return 200, await self._get(name, key), "application/json"
+                    return (
+                        200,
+                        await self._get(name, key, deadline),
+                        "application/json",
+                    )
                 if method == "PUT":
                     return (
                         200,
-                        await self._replace(name, key, body),
+                        await self._replace(name, key, body, deadline),
                         "application/json",
                     )
                 if method == "DELETE":
                     return (
                         200,
-                        await self._delete(name, key),
+                        await self._delete(name, key, deadline),
                         "application/json",
                     )
                 raise _HttpError(405, f"{method} not allowed here")
@@ -485,9 +616,39 @@ class PenguinServer:
             error = _classify(exc)
             return error.status, {"error": str(error)}, "application/json"
 
-    async def _run(self, fn: Callable[[], Any]) -> Any:
+    def _request_deadline(
+        self, headers: Dict[str, str]
+    ) -> Optional[_Deadline]:
+        raw = headers.get("x-deadline-ms")
+        if raw is None:
+            millis = self.default_deadline_ms
+        else:
+            try:
+                millis = float(raw)
+            except ValueError:
+                raise _HttpError(
+                    400, f"X-Deadline-Ms must be a number, got {raw!r}"
+                ) from None
+            if millis <= 0:
+                raise _HttpError(
+                    400, f"X-Deadline-Ms must be positive, got {raw!r}"
+                )
+        if millis is None:
+            return None
+        return _Deadline(asyncio.get_running_loop(), millis / 1000.0)
+
+    async def _run(
+        self, fn: Callable[[], Any], deadline: Optional[_Deadline] = None
+    ) -> Any:
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, fn)
+        future = loop.run_in_executor(None, fn)
+        if deadline is None:
+            return await future
+        # Reads (and pre-translation work) are safe to abandon: the
+        # executor call has no session side effects worth keeping.
+        return await asyncio.wait_for(
+            future, timeout=max(deadline.remaining, 0.0)
+        )
 
     async def _objects_index(self) -> Dict[str, Any]:
         names = list(self.session.object_names)
@@ -499,10 +660,15 @@ class PenguinServer:
 
     # -- reads ---------------------------------------------------------------
 
-    async def _query(self, name: str, query_string: str) -> Dict[str, Any]:
+    async def _query(
+        self,
+        name: str,
+        query_string: str,
+        deadline: Optional[_Deadline] = None,
+    ) -> Dict[str, Any]:
         text = self._query_text(query_string)
         served: ServedRead = await self._run(
-            lambda: self.session.query_served(name, text)
+            lambda: self.session.query_served(name, text), deadline
         )
         return {
             "instances": [instance.to_dict() for instance in served.value],
@@ -510,9 +676,14 @@ class PenguinServer:
             "meta": served.meta(),
         }
 
-    async def _get(self, name: str, key: Tuple[Any, ...]) -> Dict[str, Any]:
+    async def _get(
+        self,
+        name: str,
+        key: Tuple[Any, ...],
+        deadline: Optional[_Deadline] = None,
+    ) -> Dict[str, Any]:
         served: ServedRead = await self._run(
-            lambda: self.session.get_served(name, key)
+            lambda: self.session.get_served(name, key), deadline
         )
         if served.value is None:
             raise _HttpError(404, f"no instance {key!r} of {name!r}")
@@ -551,32 +722,74 @@ class PenguinServer:
         return build_instance(self.session.object(name), mapping)
 
     async def _submit(
-        self, name: str, request: UpdateRequest
+        self,
+        name: str,
+        request: UpdateRequest,
+        deadline: Optional[_Deadline] = None,
     ) -> Dict[str, Any]:
         assert self.batcher is not None, "server not started"
-        plan, batched = await self.batcher.submit(name, request)
+        if deadline is not None and deadline.expired:
+            # Partial-work safety, half one: a spent budget rejects the
+            # write before translation ever runs — nothing was applied.
+            raise _HttpError(
+                504, "deadline exceeded before translation; nothing applied"
+            )
+        future = self.batcher.submit(name, request)
+        if deadline is None:
+            plan, batched = await future
+        else:
+            try:
+                # Half two: once submitted, the write is shielded — a
+                # deadline expiry reports 504 but never cancels a batch
+                # mid-commit, so the store cannot be left torn.
+                plan, batched = await asyncio.wait_for(
+                    asyncio.shield(future),
+                    timeout=max(deadline.remaining, 0.0),
+                )
+            except asyncio.TimeoutError:
+                future.add_done_callback(_consume_result)
+                raise _HttpError(
+                    504,
+                    "deadline exceeded while committing; the write was "
+                    "not cancelled and may still apply",
+                ) from None
         return {
             "applied": True,
             "operations": len(plan.operations),
             "batched_with": batched - 1,
         }
 
-    async def _insert(self, name: str, body: bytes) -> Dict[str, Any]:
+    async def _insert(
+        self, name: str, body: bytes, deadline: Optional[_Deadline] = None
+    ) -> Dict[str, Any]:
         mapping = self._instance_body(body)
-        instance = await self._run(lambda: self._coerce(name, mapping))
-        return await self._submit(name, CompleteInsertion(instance))
+        instance = await self._run(lambda: self._coerce(name, mapping), deadline)
+        return await self._submit(name, CompleteInsertion(instance), deadline)
 
     async def _replace(
-        self, name: str, key: Tuple[Any, ...], body: bytes
+        self,
+        name: str,
+        key: Tuple[Any, ...],
+        body: bytes,
+        deadline: Optional[_Deadline] = None,
     ) -> Dict[str, Any]:
         mapping = self._instance_body(body)
-        new = await self._run(lambda: self._coerce(name, mapping))
-        return await self._submit(name, Replacement(key, new))
+        new = await self._run(lambda: self._coerce(name, mapping), deadline)
+        return await self._submit(name, Replacement(key, new), deadline)
 
     async def _delete(
-        self, name: str, key: Tuple[Any, ...]
+        self,
+        name: str,
+        key: Tuple[Any, ...],
+        deadline: Optional[_Deadline] = None,
     ) -> Dict[str, Any]:
-        return await self._submit(name, CompleteDeletion(key))
+        return await self._submit(name, CompleteDeletion(key), deadline)
+
+
+def _consume_result(future: "asyncio.Future") -> None:
+    """Retrieve an abandoned write future's outcome (silences warnings)."""
+    if not future.cancelled():
+        future.exception()
 
 
 _HEX = set("0123456789abcdefABCDEF")

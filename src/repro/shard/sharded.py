@@ -43,7 +43,7 @@ from repro.core.updates.operations import (
     Replacement,
     UpdateRequest,
 )
-from repro.errors import DegradedServiceError
+from repro.errors import DegradedServiceError, ReplicationQuorumError
 from repro.obs.audit import COMMITTED as AUDIT_COMMITTED
 from repro.obs.audit import ROLLED_BACK as AUDIT_ROLLED_BACK
 from repro.obs.audit import AuditLog, MemoryAuditLog
@@ -52,6 +52,7 @@ from repro.penguin import Penguin
 from repro.relational.engine import Engine
 from repro.relational.journal import MemoryJournal, PlanJournal, plan_images
 from repro.relational.operations import UpdatePlan
+from repro.replicate import ReplicaSet, ReplicationConfig, ShippedRecord
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.concurrent import ConcurrentPenguin, ServedRead
 from repro.serve.locks import ReadWriteLock
@@ -63,11 +64,30 @@ __all__ = ["Shard", "ShardedPenguin", "ShardedRecovery", "sharded_loader"]
 
 
 class Shard:
-    """One shard: a serving facade plus its id, as seen by the router."""
+    """One shard: a serving facade plus its id, as seen by the router.
 
-    def __init__(self, shard_id: int, serving: ConcurrentPenguin) -> None:
+    With replication attached (:attr:`replica_set` non-None), every
+    accessor resolves through the set's *current primary* — after a
+    failover the promoted replica's stack is what ``serving``,
+    ``engine``, ``journal``, and ``lock`` return, so routing follows
+    the promotion with no re-wiring anywhere else.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        serving: ConcurrentPenguin,
+        replica_set: Optional[ReplicaSet] = None,
+    ) -> None:
         self.shard_id = shard_id
-        self.serving = serving
+        self._serving = serving
+        self.replica_set = replica_set
+
+    @property
+    def serving(self) -> ConcurrentPenguin:
+        if self.replica_set is not None:
+            return self.replica_set.primary.serving
+        return self._serving
 
     @property
     def penguin(self) -> Penguin:
@@ -84,6 +104,44 @@ class Shard:
     @property
     def lock(self) -> ReadWriteLock:
         return self.serving.lock
+
+    # -- replication-aware routing ------------------------------------------
+
+    def each_serving(self):
+        """The primary's facade, then every replica's (definition fan-out)."""
+        yield self.serving
+        if self.replica_set is not None:
+            for replica in self.replica_set.replicas:
+                yield replica.serving
+
+    def seed_engines(self) -> List[Engine]:
+        """Every engine that must hold this shard's seed data."""
+        engines = [self.engine]
+        if self.replica_set is not None:
+            engines.extend(
+                replica.engine for replica in self.replica_set.replicas
+            )
+        return engines
+
+    def apply_plan(
+        self, name: str, plan: UpdatePlan, op: str = "update", items: int = 1
+    ) -> UpdatePlan:
+        """The shard-local write entry point, quorum-replicated if so configured."""
+        if self.replica_set is not None:
+            return self.replica_set.apply_plan(name, plan, op=op, items=items)
+        return self.serving.apply_plan(name, plan, op=op, items=items)
+
+    def get_served(self, name: str, key: Sequence[Any]) -> ServedRead:
+        if self.replica_set is not None:
+            return self.replica_set.get_served(name, key)
+        return self.serving.get_served(name, key)
+
+    def query_served(
+        self, name: str, text: Optional[str] = None
+    ) -> ServedRead:
+        if self.replica_set is not None:
+            return self.replica_set.query_served(name, text)
+        return self.serving.query_served(name, text)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Shard({self.shard_id}, {self.serving!r})"
@@ -132,6 +190,16 @@ class ShardedPenguin:
         Defaults: fresh memory engines, :class:`MemoryJournal` and
         :class:`MemoryAuditLog` per shard. Pass ``install=False`` when
         re-attaching engines that already have the schema.
+    replication:
+        A :class:`~repro.replicate.ReplicationConfig` attaches a
+        :class:`~repro.replicate.ReplicaSet` to every shard: writes ack
+        only after the configured quorum of replicas has durable
+        receipt of the shipped plan, reads fall back to the
+        most-caught-up replica (marked stale) when the primary is dead
+        or degraded, and the failure detector promotes a replica
+        automatically after ``miss_threshold`` missed probes. ``None``
+        (the default) changes nothing. Replica stacks always use fresh
+        memory engines.
 
     Startup always runs recovery — the cross-shard two-phase pass
     first, then each shard's standard journal recovery — and keeps the
@@ -152,6 +220,7 @@ class ShardedPenguin:
         audits: Optional[Sequence[AuditLog]] = None,
         breakers: Optional[Sequence[CircuitBreaker]] = None,
         install: Optional[bool] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         self.graph = graph
         self.placement = Placement(graph, partition_by)
@@ -191,7 +260,16 @@ class ShardedPenguin:
                 breaker=breakers[shard_id] if breakers else CircuitBreaker(),
             )
             serving.metric_labels = {"shard": str(shard_id)}
-            self._shards[shard_id] = Shard(shard_id, serving)
+            replica_set = None
+            if replication is not None:
+                replica_set = ReplicaSet(
+                    shard_id, serving, graph, config=replication,
+                    metric=metric,
+                )
+            self._shards[shard_id] = Shard(
+                shard_id, serving, replica_set=replica_set
+            )
+        self.replication = replication
         # Fast-path writes (one shard) share this lock; a cross-shard
         # transaction takes it exclusively. Reads never touch it.
         self._coordinator = ReadWriteLock()
@@ -224,41 +302,49 @@ class ShardedPenguin:
 
     # -- definition-time fan-out --------------------------------------------
 
+    def _fan_out(self, call) -> List[Any]:
+        """Apply a definition-time call to every stack (primaries first
+        within each shard, then replicas); returns the primaries'
+        results, one per shard."""
+        results = []
+        for shard in self.shards:
+            for index, serving in enumerate(shard.each_serving()):
+                result = call(serving)
+                if index == 0:
+                    results.append(result)
+        return results
+
     def define_object(self, *args: Any, **kwargs: Any):
-        """Define the object on every shard; returns shard 0's definition."""
-        results = [
-            shard.serving.define_object(*args, **kwargs)
-            for shard in self.shards
-        ]
-        return results[0]
+        """Define the object on every shard (and every replica stack);
+        returns shard 0's definition."""
+        return self._fan_out(
+            lambda serving: serving.define_object(*args, **kwargs)
+        )[0]
 
     def register_object(self, view_object) -> None:
-        for shard in self.shards:
-            shard.serving.register_object(view_object)
+        self._fan_out(
+            lambda serving: serving.register_object(view_object)
+        )
 
     def choose_translator(self, name: str, answers=None):
         """Run the dialog once per shard with identical answers, so every
         shard binds the same translator; returns shard 0's result."""
-        results = [
-            shard.serving.choose_translator(name, answers)
-            for shard in self.shards
-        ]
-        return results[0]
+        return self._fan_out(
+            lambda serving: serving.choose_translator(name, answers)
+        )[0]
 
     def set_policy(self, name: str, policy):
-        results = [
-            shard.serving.set_policy(name, policy) for shard in self.shards
-        ]
-        return results[0]
+        return self._fan_out(
+            lambda serving: serving.set_policy(name, policy)
+        )[0]
 
     def materialize(self, name: str, policy: Optional[str] = None):
-        return [
-            shard.serving.materialize(name, policy) for shard in self.shards
-        ]
+        return self._fan_out(
+            lambda serving: serving.materialize(name, policy)
+        )
 
     def dematerialize(self, name: str) -> None:
-        for shard in self.shards:
-            shard.serving.dematerialize(name)
+        self._fan_out(lambda serving: serving.dematerialize(name))
 
     @property
     def object_names(self) -> Tuple[str, ...]:
@@ -272,8 +358,10 @@ class ShardedPenguin:
         """Route one base-relation insert during initial data loading.
 
         Partitioned rows land on their owning shard; replicated rows
-        land on every shard. This is the loading path only — steady
-        state writes go through the view-object operations.
+        land on every shard. Replica stacks receive every row their
+        shard does, so replication starts from an identical baseline.
+        This is the loading path only — steady state writes go through
+        the view-object operations.
         """
         if self.placement.is_partitioned(relation):
             if isinstance(values, Mapping):
@@ -284,12 +372,12 @@ class ShardedPenguin:
                 routing = self.placement.routing_key_of_values(
                     relation, values
                 )
-            self._shards[self.router.shard_of(routing)].engine.insert(
-                relation, values
-            )
+            targets = [self._shards[self.router.shard_of(routing)]]
         else:
-            for shard in self.shards:
-                shard.engine.insert(relation, values)
+            targets = list(self.shards)
+        for shard in targets:
+            for engine in shard.seed_engines():
+                engine.insert(relation, values)
 
     def all_rows(self, relation: str) -> List[Tuple[Any, ...]]:
         """The logical contents of one relation, sorted.
@@ -319,7 +407,7 @@ class ShardedPenguin:
     def get_served(self, name: str, key: Sequence[Any]) -> ServedRead:
         """One instance by object key, with serving metadata attached."""
         owner = self.owner_of(name, key)
-        served = self._shards[owner].serving.get_served(name, key)
+        served = self._shards[owner].get_served(name, key)
         served.shard = owner
         return served
 
@@ -339,7 +427,7 @@ class ShardedPenguin:
         stale = False
         staleness = None
         for shard in self.shards:
-            served = shard.serving.query_served(name, text)
+            served = shard.query_served(name, text)
             merged.extend(served.value)
             if served.stale:
                 stale = True
@@ -554,7 +642,7 @@ class ShardedPenguin:
         items: int,
     ) -> UpdatePlan:
         plan = split.get(shard_id, explanation.coalesced)
-        result = self._shards[shard_id].serving.apply_plan(
+        result = self._shards[shard_id].apply_plan(
             name, plan, op=op, items=items
         )
         obs.metrics().counter(
@@ -573,11 +661,21 @@ class ShardedPenguin:
     ) -> UpdatePlan:
         owner = self._shards[owner_id]
         for shard_id in sorted(split):
-            if not self._shards[shard_id].serving.breaker.allow():
+            shard = self._shards[shard_id]
+            if not shard.serving.breaker.allow():
                 owner.serving._audit_refusal(op, name)
                 raise DegradedServiceError(
                     f"shard {shard_id} is degraded: cross-shard update "
                     f"refused"
+                )
+            if (
+                shard.replica_set is not None
+                and not shard.replica_set.quorum_reachable()
+            ):
+                owner.serving._audit_refusal(op, name)
+                raise ReplicationQuorumError(
+                    f"shard {shard_id} cannot reach its replication "
+                    f"quorum: cross-shard update refused"
                 )
         with self._txn_lock:
             txn_id = f"txn{next(self._txn_counter)}"
@@ -591,9 +689,37 @@ class ShardedPenguin:
             )
         translator = owner.penguin.translator(name)
         audit = owner.penguin.audit
+
+        # With replication attached, each participant's replicas must
+        # receive exactly that participant's sub-plan — shipped after
+        # the apply phase, before the commit markers, so a quorum
+        # failure aborts through the ordinary 2PC inline-abort path.
+        post_apply = None
+        if any(self._shards[sid].replica_set is not None for sid in split):
+
+            def post_apply(images_by_shard):
+                shipped: List[int] = []
+                try:
+                    for sid in sorted(split):
+                        replica_set = self._shards[sid].replica_set
+                        if replica_set is None:
+                            continue
+                        replica_set.ship_record(
+                            ShippedRecord.from_plan(
+                                op, name, split[sid],
+                                images_by_shard[sid], items=items,
+                            )
+                        )
+                        shipped.append(sid)
+                except Exception:
+                    for sid in shipped:
+                        self._shards[sid].replica_set.retract_last()
+                    raise
+
         try:
             two_phase_apply(
-                self._shards, split, txn_id, failpoint=self.failpoint
+                self._shards, split, txn_id, failpoint=self.failpoint,
+                post_apply=post_apply,
             )
         except Exception as exc:
             if audit is not None:
@@ -606,10 +732,14 @@ class ShardedPenguin:
             ).inc()
             raise
         if audit is not None:
-            translator._audit(
+            asn = translator._audit(
                 audit, op, AUDIT_COMMITTED,
                 plan=explanation.coalesced, images=images, items=items,
             )
+            if owner.replica_set is not None:
+                # The owner's replicas already got their sub-plan above;
+                # the full-plan owner audit record must not ship too.
+                owner.replica_set.skip_externally_shipped(asn)
         obs.metrics().counter(
             "shard_updates_total", outcome="cross_shard", shard=str(owner_id)
         ).inc()
@@ -638,7 +768,7 @@ class ShardedPenguin:
             str(shard_id): shard.serving.health()
             for shard_id, shard in self._shards.items()
         }
-        return {
+        out = {
             "shards": per_shard,
             "num_shards": self.num_shards,
             "router": self.router.describe(),
@@ -648,6 +778,19 @@ class ShardedPenguin:
                 if shard.serving.breaker.degraded
             ],
         }
+        if self.replication is not None:
+            out["replication"] = {
+                str(shard_id): shard.replica_set.health()
+                for shard_id, shard in self._shards.items()
+                if shard.replica_set is not None
+            }
+        return out
+
+    def close(self) -> None:
+        """Stop replica applier threads (no-op without replication)."""
+        for shard in self.shards:
+            if shard.replica_set is not None:
+                shard.replica_set.close()
 
     def audit_outcomes(self) -> List[Tuple[str, str]]:
         """Every shard's audited (op, outcome) pairs, sorted.

@@ -123,6 +123,7 @@ def two_phase_apply(
     split: Mapping[int, UpdatePlan],
     txn_id: str,
     failpoint: Optional[Failpoint] = None,
+    post_apply: Optional[Callable[[Dict[int, Images]], None]] = None,
 ) -> Dict[int, int]:
     """Apply a partitioned plan atomically across its shards.
 
@@ -132,6 +133,13 @@ def two_phase_apply(
     same ids to their sub-plans. Returns the journal entry id per
     shard. Shard locks are taken in id order (a global order, so two
     coordinators can never deadlock) and held across all three phases.
+
+    ``post_apply`` runs after every sub-plan has applied but *before*
+    the commit markers, with the per-shard before/after images; raising
+    from it aborts the transaction through the ordinary inline-abort
+    path (applied participants reverted, every entry marked ABORTED).
+    The replication layer uses it to ship each participant's sub-plan
+    and enforce "commit on the replication quorum or abort".
     """
     order = sorted(split)
     registry = obs.metrics()
@@ -172,6 +180,9 @@ def two_phase_apply(
                     shard = participants[shard_id]
                     shard.engine.apply_batch(split[shard_id].operations)
                     applied.append(shard_id)
+                if post_apply is not None:
+                    checkpoint("replicate", -1)
+                    post_apply(images_by_shard)
             except Exception:
                 for shard_id in applied:
                     _force_images(

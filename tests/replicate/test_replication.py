@@ -1,0 +1,439 @@
+"""Per-shard replication: log shipping, quorum, failover, catch-up."""
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import (
+    DegradedServiceError,
+    FailoverInProgressError,
+    FencedWriteError,
+    PrimaryDownError,
+    ReplicationError,
+    ReplicationQuorumError,
+)
+from repro.obs.history import divergence
+from repro.replicate import ReplicationConfig, ShippingLink
+from repro.shard import ShardedPenguin, sharded_loader
+from repro.workloads.hospital import (
+    HospitalConfig,
+    hospital_schema,
+    patient_chart_object,
+    populate_hospital,
+)
+
+OBJECT = "patient_chart"
+
+
+def fresh_chart(pid, name="Replicated Patient"):
+    return {
+        "patient_id": pid,
+        "name": name,
+        "birth_year": 1970,
+        "ward_name": None,
+        "VISIT": [
+            {
+                "patient_id": pid,
+                "visit_no": 1,
+                "visit_date": "1991-05-29",
+                "physician_id": 9000,
+                "reason": "replication",
+                "DIAGNOSIS": [],
+                "PRESCRIPTION": [],
+                "LAB_RESULT": [],
+                "PHYSICIAN": [],
+            }
+        ],
+    }
+
+
+def build(replicas=2, quorum=1, miss_threshold=3, apply_inline=True,
+          shards=2, patients=6):
+    graph = hospital_schema()
+    sharded = ShardedPenguin(
+        graph,
+        "PATIENT",
+        num_shards=shards,
+        replication=ReplicationConfig(
+            replicas=replicas,
+            quorum=quorum,
+            miss_threshold=miss_threshold,
+            apply_inline=apply_inline,
+        ),
+    )
+    populate_hospital(sharded_loader(sharded), HospitalConfig(patients=patients))
+    sharded.register_object(patient_chart_object(graph))
+    return sharded
+
+
+def pid_on_shard(sharded, shard_id, start=90_000):
+    pid = start
+    while sharded.router.shard_of((pid,)) != shard_id:
+        pid += 1
+    return pid
+
+
+def chart_on_shard(sharded, shard_id, name="Replicated Patient", start=90_000):
+    return fresh_chart(pid_on_shard(sharded, shard_id, start), name)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(replicas=0)
+        with pytest.raises(ValueError):
+            ReplicationConfig(replicas=1, quorum=2)
+        with pytest.raises(ValueError):
+            ReplicationConfig(replicas=1, quorum=-1)
+        with pytest.raises(ValueError):
+            ReplicationConfig(miss_threshold=0)
+
+    def test_replication_off_by_default(self):
+        graph = hospital_schema()
+        sharded = ShardedPenguin(graph, "PATIENT", num_shards=2)
+        assert sharded.replication is None
+        assert all(shard.replica_set is None for shard in sharded.shards)
+
+
+class TestShipping:
+    def test_writes_replicate_byte_identically(self):
+        sharded = build()
+        for i in range(6):
+            sharded.insert(OBJECT, fresh_chart(90_000 + i, f"chart {i}"))
+        for shard in sharded.shards:
+            replica_set = shard.replica_set
+            for replica in replica_set.replicas:
+                assert divergence(shard.engine, replica.engine) == []
+                assert replica_set.lag(replica) == 0
+        sharded.close()
+
+    def test_seed_load_reaches_replicas(self):
+        sharded = build()
+        for shard in sharded.shards:
+            for replica in shard.replica_set.replicas:
+                assert divergence(shard.engine, replica.engine) == []
+        sharded.close()
+
+    def test_background_applier_converges(self):
+        sharded = build(apply_inline=False)
+        for i in range(4):
+            sharded.insert(OBJECT, fresh_chart(90_100 + i))
+        for shard in sharded.shards:
+            shard.replica_set.catch_up()
+            for replica in shard.replica_set.replicas:
+                assert divergence(shard.engine, replica.engine) == []
+        sharded.close()
+
+    def test_primary_reads_have_no_source_marker(self):
+        sharded = build()
+        pid = pid_on_shard(sharded, 0, start=100)
+        served = sharded.get_served(OBJECT, (pid,))
+        assert served.source is None
+        assert "source" not in served.meta()
+        sharded.close()
+
+    def test_duplicate_ship_is_idempotent_and_gap_rejected(self):
+        sharded = build()
+        sharded.insert(OBJECT, chart_on_shard(sharded, 0))
+        replica_set = sharded.shard(0).replica_set
+        replica = replica_set.replicas[0]
+        record = replica_set._stream[-1]
+        held = replica.received_count
+        # Redelivery of an old position: accepted silently, nothing changes.
+        replica.receive(replica_set.epoch, held, record)
+        assert replica.received_count == held
+        # A position past the next expected one is a stream gap.
+        with pytest.raises(ReplicationError):
+            replica.receive(replica_set.epoch, held + 2, record)
+        sharded.close()
+
+
+class TestQuorum:
+    def test_unreachable_quorum_fails_fast(self):
+        sharded = build()
+        replica_set = sharded.shard(0).replica_set
+        for replica in replica_set.replicas:
+            replica_set.link(replica.name).wedge()
+        audited = len(sharded.shard(0).penguin.audit.records())
+        with pytest.raises(ReplicationQuorumError):
+            sharded.insert(OBJECT, chart_on_shard(sharded, 0))
+        # Fail-fast means the primary never even applied or audited it.
+        assert len(sharded.shard(0).penguin.audit.records()) == audited
+        sharded.close()
+
+    def test_mid_write_quorum_loss_reverts_the_primary(self):
+        sharded = build()
+        replica_set = sharded.shard(0).replica_set
+
+        def wedge(stage, shard_id):
+            if stage == "post_apply":
+                for replica in replica_set.replicas:
+                    replica_set.link(replica.name).wedge()
+
+        replica_set.failpoint = wedge
+        chart = chart_on_shard(sharded, 0)
+        key = (chart["patient_id"],)
+        with pytest.raises(ReplicationQuorumError):
+            sharded.insert(OBJECT, chart)
+        replica_set.failpoint = None
+        assert sharded.get(OBJECT, key) is None
+        assert sharded.shard(0).penguin.audit.records()[-1].outcome == (
+            "rolled_back"
+        )
+        # Healing the links restores the write path, replicas converge.
+        for replica in replica_set.replicas:
+            replica_set.link(replica.name).heal()
+        sharded.insert(OBJECT, chart)
+        assert sharded.get(OBJECT, key) is not None
+        for replica in replica_set.replicas:
+            assert divergence(sharded.shard(0).engine, replica.engine) == []
+        sharded.close()
+
+    def test_quorum_zero_ships_best_effort(self):
+        sharded = build(replicas=1, quorum=0)
+        replica_set = sharded.shard(0).replica_set
+        replica_set.link(replica_set.replicas[0].name).wedge()
+        chart = chart_on_shard(sharded, 0)
+        sharded.insert(OBJECT, chart)  # acked without any replica
+        assert sharded.get(OBJECT, (chart["patient_id"],)) is not None
+        replica_set.link(replica_set.replicas[0].name).heal()
+        replica_set.catch_up()
+        assert divergence(
+            sharded.shard(0).engine, replica_set.replicas[0].engine
+        ) == []
+        sharded.close()
+
+
+class TestFailover:
+    def test_promotion_preserves_acked_writes_and_repoints_routing(self):
+        with obs.use():
+            sharded = build()
+            shard = sharded.shard(0)
+            replica_set = shard.replica_set
+            acked = []
+            for i in range(4):
+                chart = chart_on_shard(sharded, 0, f"pre-kill {i}", 91_000 + i * 10)
+                sharded.insert(OBJECT, chart)
+                acked.append((chart["patient_id"], f"pre-kill {i}"))
+            old_serving = shard.serving
+            replica_set.primary.kill()
+            # Writes miss until the detector trips, then fail over inline.
+            post = chart_on_shard(sharded, 0, "post-kill", 92_000)
+            for _ in range(replica_set.config.miss_threshold):
+                try:
+                    sharded.insert(OBJECT, post)
+                    break
+                except PrimaryDownError:
+                    continue
+            assert replica_set.failovers == 1
+            assert replica_set.epoch == 2
+            assert shard.serving is not old_serving
+            assert shard.serving is replica_set.primary.serving
+            for pid, name in acked + [(post["patient_id"], "post-kill")]:
+                assert sharded.get(OBJECT, (pid,)).to_dict()["name"] == name
+            assert sharded.shard(0).penguin.replay_audit().ok
+            assert sharded.check_integrity() == []
+            health = sharded.health()
+            assert health["replication"]["0"]["epoch"] == 2
+            sharded.close()
+
+    def test_promotion_drains_the_inbox_first(self):
+        sharded = build(apply_inline=False)
+        replica_set = sharded.shard(0).replica_set
+        charts = [
+            chart_on_shard(sharded, 0, f"inbox {i}", 93_000 + i * 10)
+            for i in range(3)
+        ]
+        for chart in charts:
+            sharded.insert(OBJECT, chart)
+        replica_set.primary.kill()
+        for _ in range(replica_set.config.miss_threshold):
+            try:
+                sharded.get(OBJECT, (charts[0]["patient_id"],))
+            except DegradedServiceError:
+                continue
+        assert replica_set.failovers == 1
+        # Everything acked pre-kill is applied on the promoted stack.
+        for chart in charts:
+            instance = sharded.get(OBJECT, (chart["patient_id"],))
+            assert instance.to_dict()["name"] == chart["name"]
+        sharded.close()
+
+    def test_all_replicas_dead_means_shard_down(self):
+        sharded = build(miss_threshold=1)
+        replica_set = sharded.shard(0).replica_set
+        replica_set.primary.kill()
+        for replica in replica_set.replicas:
+            replica.kill()
+        with pytest.raises(DegradedServiceError):
+            sharded.insert(OBJECT, chart_on_shard(sharded, 0))
+        sharded.close()
+
+    def test_reads_blocked_while_failing_over(self):
+        sharded = build()
+        replica_set = sharded.shard(0).replica_set
+        pid = pid_on_shard(sharded, 0, start=100)
+        seen = {}
+
+        def hook(stage, shard_id):
+            if stage == "post_drain":
+                try:
+                    replica_set.get_served(OBJECT, (pid,))
+                except FailoverInProgressError:
+                    seen["blocked"] = True
+
+        replica_set.failpoint = hook
+        replica_set.primary.kill()
+        for _ in range(replica_set.config.miss_threshold):
+            try:
+                sharded.insert(OBJECT, chart_on_shard(sharded, 0, start=94_000))
+                break
+            except PrimaryDownError:
+                continue
+        assert seen.get("blocked") is True
+        sharded.close()
+
+
+class TestStaleReads:
+    def test_replica_serves_marked_stale_when_primary_down(self):
+        sharded = build(miss_threshold=50)
+        shard = sharded.shard(0)
+        chart = chart_on_shard(sharded, 0, "stale witness", 95_000)
+        sharded.insert(OBJECT, chart)
+        shard.replica_set.primary.kill()
+        served = sharded.get_served(OBJECT, (chart["patient_id"],))
+        assert served.stale is True
+        assert str(served.source).startswith("replica:")
+        assert served.meta()["source"] == served.source
+        assert served.value.to_dict()["name"] == "stale witness"
+        # Queries fall through to replicas the same way.
+        served = sharded.shard(0).query_served(OBJECT, None)
+        assert served.stale is True
+        sharded.close()
+
+
+class TestFencing:
+    def test_zombie_ship_is_rejected(self):
+        sharded = build()
+        replica_set = sharded.shard(0).replica_set
+        sharded.insert(OBJECT, chart_on_shard(sharded, 0, start=96_000))
+        old_epoch = replica_set.epoch
+        replica_set.primary.kill()
+        for _ in range(replica_set.config.miss_threshold):
+            try:
+                sharded.insert(
+                    OBJECT, chart_on_shard(sharded, 0, "fence", 96_500)
+                )
+                break
+            except PrimaryDownError:
+                continue
+        survivor = replica_set.replicas[0]
+        zombie = ShippingLink(survivor)
+        zombie.cursor = survivor.received_count
+        with pytest.raises(FencedWriteError):
+            zombie.send(
+                old_epoch,
+                survivor.received_count + 1,
+                replica_set._stream[-1],
+            )
+        assert survivor.fenced_ships == 1
+        sharded.close()
+
+
+class TestPartitionCatchUp:
+    def test_replica_catches_up_after_a_partition(self):
+        """Satellite: wedge, accumulate, heal — converge and lag -> 0."""
+        with obs.use():
+            sharded = build()
+            shard = sharded.shard(0)
+            replica_set = shard.replica_set
+            lagging = replica_set.replicas[0]
+            healthy = replica_set.replicas[1]
+            replica_set.link(lagging.name).wedge()
+
+            written = []
+            for i in range(5):
+                chart = chart_on_shard(sharded, 0, f"partition {i}", 97_000 + i * 7)
+                sharded.insert(OBJECT, chart)  # quorum met by the healthy peer
+                written.append(chart)
+            assert replica_set.lag(lagging) >= len(written)
+            assert replica_set.lag(healthy) == 0
+            gauge = obs.metrics().gauge(
+                "replication_lag", shard="0", replica=lagging.name
+            )
+            assert gauge.value >= len(written)
+            assert divergence(shard.engine, lagging.engine) != []
+
+            replica_set.link(lagging.name).heal()
+            shipped = replica_set.catch_up()
+            assert shipped >= len(written)
+            assert divergence(shard.engine, lagging.engine) == []
+            assert replica_set.lag(lagging) == 0
+            assert gauge.value == 0
+            sharded.close()
+
+    def test_next_write_also_heals_the_backlog(self):
+        sharded = build()
+        replica_set = sharded.shard(0).replica_set
+        lagging = replica_set.replicas[0]
+        replica_set.link(lagging.name).wedge()
+        sharded.insert(OBJECT, chart_on_shard(sharded, 0, "a", 98_000))
+        replica_set.link(lagging.name).heal()
+        # The next write re-ships the backlog through the same link.
+        sharded.insert(OBJECT, chart_on_shard(sharded, 0, "b", 98_100))
+        assert divergence(sharded.shard(0).engine, lagging.engine) == []
+        sharded.close()
+
+
+class TestCrossShard:
+    @staticmethod
+    def rehome(node, pid):
+        out = {}
+        for key, value in node.items():
+            if key == "patient_id":
+                out[key] = pid
+            elif isinstance(value, list):
+                out[key] = [TestCrossShard.rehome(child, pid) for child in value]
+            else:
+                out[key] = value
+        return out
+
+    def cross_pair(self, sharded):
+        pids = sorted(row[0] for row in sharded.all_rows("PATIENT"))
+        old = pids[0]
+        new = next(
+            c for c in range(99_000, 99_100)
+            if sharded.router.shard_of((c,)) != sharded.router.shard_of((old,))
+        )
+        return old, new
+
+    def test_cross_shard_commit_converges_all_replicas(self):
+        sharded = build()
+        old, new = self.cross_pair(sharded)
+        moved = self.rehome(sharded.get(OBJECT, (old,)).to_dict(), new)
+        sharded.replace(OBJECT, (old,), moved)
+        assert sharded.get(OBJECT, (old,)) is None
+        assert sharded.get(OBJECT, (new,)) is not None
+        for shard in sharded.shards:
+            shard.replica_set.catch_up()
+            for replica in shard.replica_set.replicas:
+                assert divergence(shard.engine, replica.engine) == []
+        sharded.close()
+
+    def test_cross_shard_aborts_when_a_participant_quorum_is_down(self):
+        sharded = build()
+        old, new = self.cross_pair(sharded)
+        target = sharded.shard(sharded.router.shard_of((new,)))
+        for replica in target.replica_set.replicas:
+            target.replica_set.link(replica.name).wedge()
+        moved = self.rehome(sharded.get(OBJECT, (old,)).to_dict(), new)
+        with pytest.raises(ReplicationQuorumError):
+            sharded.replace(OBJECT, (old,), moved)
+        assert sharded.get(OBJECT, (old,)) is not None
+        assert sharded.get(OBJECT, (new,)) is None
+        for replica in target.replica_set.replicas:
+            target.replica_set.link(replica.name).heal()
+        for shard in sharded.shards:
+            shard.replica_set.catch_up()
+            for replica in shard.replica_set.replicas:
+                assert divergence(shard.engine, replica.engine) == []
+        sharded.close()
