@@ -39,7 +39,13 @@ Commands:
   newest audit records, ``why``/``history`` print a tuple's provenance
   chain and image sequence, ``as-of`` reconstructs a past state, and
   ``replay`` re-executes the log onto a fresh engine and verifies the
-  final state byte-for-byte.
+  final state byte-for-byte;
+* ``validate --workload NAME | --sweep N`` — run the definition-time
+  strategy checker and the round-trip law harness against a workload's
+  spanning object, or sweep N seeded random chain cases under seeded
+  random policies and assert that every law-falsified configuration
+  carries a >=HIGH risk finding; ``--adversarial`` grafts hostile
+  schema hazards onto the sweep, ``--json FILE`` exports the reports.
 """
 
 from __future__ import annotations
@@ -673,6 +679,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.strategy.validate import (
+        WORKLOADS,
+        render_result,
+        sweep,
+        validate_workload,
+    )
+
+    if args.workload is None and not args.sweep:
+        print(
+            "nothing to validate: pass --workload NAME and/or --sweep N",
+            file=sys.stderr,
+        )
+        return 2
+
+    payload = {}
+    ok = True
+    falsified = 0
+    if args.workload is not None:
+        if args.workload not in WORKLOADS:
+            print(
+                f"unknown workload {args.workload!r}; "
+                f"known: {sorted(WORKLOADS)}",
+                file=sys.stderr,
+            )
+            return 2
+        result = validate_workload(args.workload)
+        print(render_result(result))
+        ok = ok and result["agreement"]
+        falsified += int(result["falsified"])
+        result.pop("_risk_report")
+        result.pop("_law_report")
+        payload["workload"] = result
+    if args.sweep:
+        outcome = sweep(
+            count=args.sweep,
+            base_seed=args.seed,
+            adversarial=args.adversarial,
+        )
+        print(
+            f"sweep: {outcome['cases']} case(s)"
+            + (" (adversarial)" if args.adversarial else "")
+            + f", {outcome['falsified']} falsified by the laws, "
+            f"{outcome['disagreements']} checker/law disagreement(s)"
+        )
+        for result in outcome["disagreement_cases"]:
+            print(f"  DISAGREEMENT: {result['case']}")
+        ok = ok and not outcome["disagreements"]
+        falsified += outcome["falsified"]
+        payload["sweep"] = outcome
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json}")
+    if args.strict and falsified:
+        print(f"strict mode: {falsified} falsified configuration(s)")
+        return 1
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -884,6 +949,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="smoke-mode p95 latency bound in milliseconds",
     )
 
+    validate = commands.add_parser(
+        "validate",
+        help="run the strategy checker and the round-trip law harness "
+             "against a workload object or a seeded chain-case sweep",
+    )
+    validate.add_argument(
+        "--workload", default=None,
+        help="validate one named workload (hospital, university, cad); "
+             "omit with --sweep to run the chain corpus",
+    )
+    validate.add_argument(
+        "--sweep", type=int, default=0, metavar="N",
+        help="validate N seeded random chain cases under seeded "
+             "random policies and assert checker/law agreement",
+    )
+    validate.add_argument(
+        "--seed", type=int, default=0,
+        help="first seed of the sweep corpus",
+    )
+    validate.add_argument(
+        "--adversarial", action="store_true",
+        help="graft adversarial schema hazards onto the sweep cases",
+    )
+    validate.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the full risk/law report as JSON",
+    )
+    validate.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any law falsification, not only on "
+             "checker/law disagreement",
+    )
+
     return parser
 
 
@@ -902,6 +1000,7 @@ def main(argv=None) -> int:
         "metrics": cmd_metrics,
         "audit": cmd_audit,
         "serve": cmd_serve,
+        "validate": cmd_validate,
     }[args.command]
     return handler(args)
 

@@ -57,6 +57,15 @@ InstanceLike = Union[Instance, Mapping[str, Any]]
 # suite sweep every semantic test across both implementations.
 COMPILE_PLANS_DEFAULT = True
 
+# The process-wide default for Translator(strictness=None). "warn"
+# runs the static strategy checker at construction and emits a
+# StrategyWarning for CRITICAL configurations; "refuse" raises
+# UnsafeTranslatorError instead (no CRITICAL config ever reaches a
+# CompiledProgram); "off" skips the definition-time check entirely.
+STRICTNESS_DEFAULT = "warn"
+
+_STRICTNESS_VALUES = ("off", "warn", "refuse")
+
 
 class Translator:
     """Translates updates on one view object into database operations.
@@ -108,6 +117,7 @@ class Translator:
         journal: Optional[PlanJournal] = None,
         audit: Optional[AuditLog] = None,
         compile_plans: Optional[bool] = None,
+        strictness: Optional[str] = None,
     ) -> None:
         self.view_object = view_object
         self.policy = policy or TranslatorPolicy.permissive()
@@ -122,6 +132,57 @@ class Translator:
         if compile_plans is None:
             compile_plans = COMPILE_PLANS_DEFAULT
         self._compiled = CompiledCache(enabled=compile_plans)
+        if strictness is None:
+            strictness = STRICTNESS_DEFAULT
+        if strictness not in _STRICTNESS_VALUES:
+            raise ValueError(
+                f"strictness must be one of {_STRICTNESS_VALUES}, "
+                f"got {strictness!r}"
+            )
+        self.strictness = strictness
+        self._risk_report = None
+        if strictness != "off":
+            self._enforce_strictness()
+
+    def _enforce_strictness(self) -> None:
+        """Definition-time strategy validation (§6 happens once; so does
+        this): compute the risk report, then warn or refuse on CRITICAL
+        before any plan — compiled or interpreted — can be built."""
+        report = self.risk()
+        if not report.is_critical:
+            return
+        worst = "; ".join(
+            f.describe() for f in report.at_least(report.level)[:3]
+        )
+        if self.strictness == "refuse":
+            from repro.errors import UnsafeTranslatorError
+
+            raise UnsafeTranslatorError(
+                f"translator for {self.view_object.name!r} refused at "
+                f"definition time (strictness='refuse'): {worst}",
+                report=report,
+            )
+        import warnings
+
+        from repro.strategy.risk import StrategyWarning
+
+        warnings.warn(
+            f"translator for {self.view_object.name!r} is CRITICAL: {worst}",
+            StrategyWarning,
+            stacklevel=3,
+        )
+
+    def risk(self):
+        """The static strategy checker's verdict on this configuration
+        (:class:`~repro.strategy.risk.RiskReport`), computed once at
+        definition time and cached."""
+        if self._risk_report is None:
+            from repro.strategy.checks import check_strategy
+
+            self._risk_report = check_strategy(
+                self.view_object, self.policy, self.analysis
+            )
+        return self._risk_report
 
     def for_user(self, user: Optional[str]) -> "Translator":
         """This translator bound to a specific user.
@@ -141,6 +202,8 @@ class Translator:
         bound._policy_dict = self._policy_dict
         bound._instantiator = self._instantiator
         bound._checker = self._checker
+        bound.strictness = self.strictness
+        bound._risk_report = self._risk_report
         # Shared *by reference*: every bound copy dispatches through the
         # same lazily built program instead of recompiling per user.
         bound._compiled = self._compiled
@@ -960,6 +1023,7 @@ class Translator:
             connections=tuple(rules),
             verify_integrity=self.verify_integrity,
             items=len(requests),
+            risk=self.risk(),
         )
 
     @staticmethod

@@ -216,6 +216,7 @@ def choose_translator(
     view_object: ViewObjectDefinition,
     source: AnswerSource,
     verify_integrity: bool = False,
+    strictness: Optional[str] = None,
 ) -> Tuple[Translator, Transcript]:
     """Run the dialog and return the configured translator.
 
@@ -225,6 +226,9 @@ def choose_translator(
     """
     policy, transcript = run_definition_dialog(view_object, source)
     translator = Translator(
-        view_object, policy=policy, verify_integrity=verify_integrity
+        view_object,
+        policy=policy,
+        verify_integrity=verify_integrity,
+        strictness=strictness,
     )
     return translator, transcript

@@ -254,3 +254,28 @@ class DialogError(ReproError):
 
 class AnswerError(DialogError):
     """An answer source produced an unusable answer."""
+
+
+# ---------------------------------------------------------------------------
+# Strategy validation
+# ---------------------------------------------------------------------------
+
+
+class StrategyError(ReproError):
+    """Base class for errors raised by the strategy-validation pass."""
+
+
+class UnsafeTranslatorError(StrategyError):
+    """A translator configuration was refused at definition time.
+
+    Raised when a :class:`~repro.core.updates.translator.Translator`
+    is constructed with ``strictness="refuse"`` and the static checker
+    classifies the policy CRITICAL: some operation class the policy
+    enables can never be translated, or one of its repair rules can
+    never be satisfied. The offending
+    :class:`~repro.strategy.risk.RiskReport` rides along as ``report``.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report

@@ -43,6 +43,7 @@ class TranslationExplanation:
         connections: Tuple[str, ...],
         verify_integrity: bool,
         items: int = 1,
+        risk: Any = None,
     ) -> None:
         self.object_name = object_name
         self.operation = operation
@@ -52,6 +53,9 @@ class TranslationExplanation:
         self.connections = connections
         self.verify_integrity = verify_integrity
         self.items = items
+        # The definition-time RiskReport of the translator that produced
+        # this plan (None when the strategy checker never ran).
+        self.risk = risk
 
     # -- the facts tests assert against --------------------------------------
 
@@ -98,6 +102,7 @@ class TranslationExplanation:
             "verify_integrity": self.verify_integrity,
             "raw_ops": self.raw_ops,
             "coalesced_ops": self.coalesced_ops,
+            "risk": None if self.risk is None else self.risk.to_dict(),
         }
 
     def render(self) -> str:
@@ -131,6 +136,16 @@ class TranslationExplanation:
             "  verify integrity : "
             + ("full post-translation check" if self.verify_integrity else "off")
         )
+        if self.risk is None:
+            lines.append("  strategy risk    : unchecked")
+        else:
+            lines.append(
+                f"  strategy risk    : {self.risk.level.value.upper()} "
+                f"({len(self.risk)} finding(s))"
+            )
+            lines.extend(
+                f"    {finding.describe()}" for finding in self.risk.findings
+            )
         if self.folds:
             lines.append(
                 f"  coalescing       : {self.raw_ops} -> {self.coalesced_ops} "

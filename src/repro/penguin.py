@@ -99,6 +99,7 @@ class Penguin:
         verify_integrity: bool = False,
         journal: Optional[PlanJournal] = None,
         audit: Optional[AuditLog] = None,
+        strictness: Optional[str] = None,
     ) -> None:
         self.graph = graph
         if engine is None:
@@ -113,6 +114,9 @@ class Penguin:
         self.verify_integrity = verify_integrity
         self.journal = journal
         self.audit = audit
+        # Definition-time strategy validation ("off" / "warn" /
+        # "refuse"); None defers to the Translator's process default.
+        self.strictness = strictness
         self.recovery_report: Optional[RecoveryReport] = None
         self._objects: Dict[str, ViewObjectDefinition] = {}
         self._translators: Dict[str, Translator] = {}
@@ -182,7 +186,10 @@ class Penguin:
         view_object = self.object(name)
         source = _coerce_answers(answers)
         translator, transcript = choose_translator(
-            view_object, source, verify_integrity=self.verify_integrity
+            view_object,
+            source,
+            verify_integrity=self.verify_integrity,
+            strictness=self.strictness,
         )
         translator.journal = self.journal
         translator.audit = self.audit
@@ -190,13 +197,21 @@ class Penguin:
         return translator, transcript
 
     def set_policy(self, name: str, policy: TranslatorPolicy) -> Translator:
-        """Bind a programmatically built policy instead of a dialog."""
+        """Bind a programmatically built policy instead of a dialog.
+
+        Unlike the dialog, a programmatic policy can encode any switch
+        combination — including ones the dialog would never produce —
+        so the definition-time strategy checker runs here too: under
+        ``strictness="refuse"`` a CRITICAL policy raises
+        :class:`~repro.errors.UnsafeTranslatorError` before binding.
+        """
         translator = Translator(
             self.object(name),
             policy=policy,
             verify_integrity=self.verify_integrity,
             journal=self.journal,
             audit=self.audit,
+            strictness=self.strictness,
         )
         self._translators[name] = translator
         return translator
@@ -209,8 +224,25 @@ class Penguin:
                 verify_integrity=self.verify_integrity,
                 journal=self.journal,
                 audit=self.audit,
+                strictness=self.strictness,
             )
         return self._translators[name]
+
+    def risk_report(self, name: str):
+        """The bound translator's definition-time risk report."""
+        return self.translator(name).risk()
+
+    def risk_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-object strategy risk for every defined object — the
+        metadata the HTTP ``/objects`` index surfaces."""
+        summary: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._objects):
+            report = self.risk_report(name)
+            summary[name] = {
+                "level": report.level.value,
+                "findings": len(report),
+            }
+        return summary
 
     # -- materialization -------------------------------------------------------------
 

@@ -491,5 +491,8 @@ class ConcurrentPenguin:
     def materialized(self, name: str):
         return self.penguin.materialized(name)
 
+    def risk_summary(self):
+        return self.penguin.risk_summary()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ConcurrentPenguin({self.penguin!r})"

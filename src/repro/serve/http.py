@@ -656,6 +656,9 @@ class PenguinServer:
         describe = getattr(self.session, "describe", None)
         if describe is not None:
             payload["topology"] = describe()
+        risk_summary = getattr(self.session, "risk_summary", None)
+        if risk_summary is not None:
+            payload["risk"] = await self._run(risk_summary)
         return payload
 
     # -- reads ---------------------------------------------------------------

@@ -350,6 +350,11 @@ class ShardedPenguin:
     def object_names(self) -> Tuple[str, ...]:
         return self._shards[0].penguin.object_names
 
+    def risk_summary(self):
+        # Every shard binds the same objects with the same policy, so
+        # shard 0's strategy risk is the deployment's.
+        return self._shards[0].penguin.risk_summary()
+
     # -- base-data loading ---------------------------------------------------
 
     def seed_insert(

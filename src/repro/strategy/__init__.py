@@ -1,0 +1,22 @@
+"""Strategy validation: static checks + round-trip law harness.
+
+The Section 6 dialog fixes the translator at view-definition time;
+this package verifies — before any update executes — that the chosen
+answers yield a well-behaved translator. ``check_strategy`` is the
+static half (a :class:`~repro.strategy.risk.RiskReport` over the
+projection tree + policy answers); :mod:`repro.strategy.laws` is the
+dynamic half (PutGet/GetPut-style laws executed against seeded
+databases); :mod:`repro.strategy.validate` drives both from the
+``python -m repro validate`` CLI.
+"""
+
+from repro.strategy.checks import check_strategy
+from repro.strategy.risk import Finding, RiskLevel, RiskReport, StrategyWarning
+
+__all__ = [
+    "check_strategy",
+    "Finding",
+    "RiskLevel",
+    "RiskReport",
+    "StrategyWarning",
+]

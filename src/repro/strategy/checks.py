@@ -1,0 +1,428 @@
+"""Static strategy validation: is the chosen translator well-behaved?
+
+Runs at view-definition time, after the dialog answers are collected
+and before any update executes — the determinacy-style analysis that
+Franconi & Guagliardo and BIRDS perform for relational view updates,
+transposed to the paper's projection tree + policy answers.
+
+Every check is grounded in an actual rejection or hazard of the
+VO-CI / VO-CD / VO-R algorithms:
+
+* **CRITICAL** — an enabled operation class or repair rule can *never*
+  succeed: a NULLIFY repair over non-nullable or key connecting
+  attributes (``_repair_incoming_references`` would emit an illegal
+  replace), or an island relation whose projected-out attributes the
+  default completer can never fill (every complete insertion dies in
+  ``null_completer``).
+* **HIGH** — contradictory or side-effecting answers: view-level key
+  replacement allowed while database key replacement is prohibited
+  (every key change passes validation then rejects in CASE R-3),
+  merge-on-key-conflict on a relation whose tuples are shared through
+  incoming references (the merge silently rewrites other instances),
+  or a circuit among the object's relations (translation paths are
+  not uniquely determined).
+* **MEDIUM** — sound but partial: PROHIBIT repairs, outside-island
+  relations that may not be modified or extended, skeleton inserts
+  the policy forbids. These reject only on some databases.
+* **LOW** — ambiguity resolved by a documented default: AUTO repairs,
+  unreachable switch combinations, fully read-only translators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.dependency_island import IslandAnalysis, NodeRole, analyze_island
+from repro.core.updates.policy import (
+    ReferenceRepair,
+    RelationPolicy,
+    TranslatorPolicy,
+    null_completer,
+)
+from repro.core.view_object import ViewObjectDefinition
+from repro.strategy.risk import Finding, RiskLevel, RiskReport
+from repro.structural.connections import Connection, ConnectionKind
+
+__all__ = ["check_strategy"]
+
+
+def check_strategy(
+    view_object: ViewObjectDefinition,
+    policy: Optional[TranslatorPolicy] = None,
+    analysis: Optional[IslandAnalysis] = None,
+) -> RiskReport:
+    """Classify one (view object, policy) configuration.
+
+    Pure and deterministic: reads only the projection tree, the
+    structural schema, and the policy switches — never the data — so
+    the same answers always produce a byte-identical report.
+    """
+    policy = policy or TranslatorPolicy.permissive()
+    analysis = analysis or analyze_island(view_object)
+    checker = _Checker(view_object, policy, analysis)
+    return RiskReport(view_object.name, checker.run())
+
+
+class _Checker:
+    def __init__(
+        self,
+        view_object: ViewObjectDefinition,
+        policy: TranslatorPolicy,
+        analysis: IslandAnalysis,
+    ) -> None:
+        self.view_object = view_object
+        self.policy = policy
+        self.analysis = analysis
+        self.graph = view_object.graph
+        self.findings: List[Finding] = []
+        self.tree_relations = set(view_object.relations())
+        self.island_relations = set(analysis.island_relations)
+
+    def run(self) -> List[Finding]:
+        any_write = (
+            self.policy.allow_insertion
+            or self.policy.allow_deletion
+            or self.policy.allow_replacement
+        )
+        if not any_write:
+            self.add(
+                RiskLevel.LOW,
+                "gates.read-only",
+                "no operation class is allowed; the translator is "
+                "effectively read-only",
+            )
+            return self.findings
+        if self.policy.allow_insertion:
+            self.check_insertions()
+        if self.policy.allow_deletion:
+            self.check_deletions()
+        if self.policy.allow_replacement:
+            self.check_replacements()
+        self.check_structure()
+        return self.findings
+
+    def relation_policy(self, relation: str) -> RelationPolicy:
+        """Non-mutating lookup: ``TranslatorPolicy.for_relation`` inserts
+        a default entry as a side effect, which would change the policy
+        answers recorded in the audit log; the checker must stay pure."""
+        existing = self.policy.relations.get(relation)
+        return existing if existing is not None else RelationPolicy()
+
+    def add(
+        self,
+        level: RiskLevel,
+        code: str,
+        message: str,
+        relation: Optional[str] = None,
+        connection: Optional[str] = None,
+    ) -> None:
+        self.findings.append(
+            Finding(level, code, message, relation=relation, connection=connection)
+        )
+
+    # -- insertions (VO-CI) ----------------------------------------------------
+
+    def check_insertions(self) -> None:
+        default_completer = self.policy.completer is null_completer
+        for node in self.view_object.tree.bfs():
+            role = self.analysis.role(node.node_id)
+            relation = node.relation
+            if role is NodeRole.ISLAND:
+                if default_completer:
+                    missing = self.uncompletable_attributes(node.node_id)
+                    if missing:
+                        is_pivot = node.node_id == self.view_object.pivot_node_id
+                        level = (
+                            RiskLevel.CRITICAL if is_pivot else RiskLevel.HIGH
+                        )
+                        detail = (
+                            "every complete insertion must insert the pivot "
+                            "tuple"
+                            if is_pivot
+                            else "insertions with components here always "
+                            "reject"
+                        )
+                        self.add(
+                            level,
+                            "insertion.completer-dead-end",
+                            f"projected-out attribute(s) "
+                            f"{', '.join(sorted(missing))} of island relation "
+                            f"{relation!r} are not nullable and the default "
+                            f"completer only supplies nulls; {detail}",
+                            relation=relation,
+                        )
+                continue
+            # Outside the island VO-CI consults the dialog switches:
+            # CASE 2 needs can_modify+can_insert, CASE 3 needs
+            # can_modify+can_replace_existing.
+            relation_policy = self.relation_policy(relation)
+            if not (relation_policy.can_modify and relation_policy.can_insert):
+                self.add(
+                    RiskLevel.MEDIUM,
+                    "insertion.outside-no-insert",
+                    f"insertions reject whenever the referenced "
+                    f"{relation!r} tuple does not already exist "
+                    f"(CASE 2 outside the island needs modify+insert)",
+                    relation=relation,
+                )
+            if not (
+                relation_policy.can_modify
+                and relation_policy.can_replace_existing
+            ):
+                self.add(
+                    RiskLevel.LOW,
+                    "insertion.outside-no-replace",
+                    f"insertions reject when an existing {relation!r} tuple "
+                    f"conflicts with the inserted component (CASE 3 outside "
+                    f"the island needs modify+replace)",
+                    relation=relation,
+                )
+        self.check_skeleton_support(default_completer)
+
+    def check_skeleton_support(self, default_completer: bool) -> None:
+        """Relations outside the object that insertions may need to
+        extend with skeleton tuples (``_ensure_dependencies``)."""
+        support: Set[str] = set()
+        for relation in sorted(self.tree_relations):
+            for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+                for connection in self.graph.connections_to(relation, kind):
+                    support.add(connection.source)
+            for connection in self.graph.connections_from(
+                relation, ConnectionKind.REFERENCE
+            ):
+                support.add(connection.target)
+        for relation in sorted(support - self.tree_relations):
+            relation_policy = self.relation_policy(relation)
+            if not (relation_policy.can_modify and relation_policy.can_insert):
+                self.add(
+                    RiskLevel.MEDIUM,
+                    "insertion.skeleton-prohibited",
+                    f"insertions reject whenever a skeleton tuple is needed "
+                    f"in {relation!r} but the policy forbids inserting there",
+                    relation=relation,
+                )
+            elif default_completer and self.skeleton_uncompletable(relation):
+                self.add(
+                    RiskLevel.MEDIUM,
+                    "insertion.skeleton-uncompletable",
+                    f"skeleton tuples for {relation!r} need non-nullable "
+                    f"attributes the default completer cannot supply; "
+                    f"insertions reject whenever the dependency is missing",
+                    relation=relation,
+                )
+
+    def uncompletable_attributes(self, node_id: str) -> Set[str]:
+        """Non-nullable attributes of a tree node's relation that neither
+        the projection nor any connection can supply."""
+        node = self.view_object.node(node_id)
+        schema = self.graph.relation(node.relation)
+        selected = set(self.view_object.projection(node_id).attributes)
+        connected = self.connected_attributes(node.relation)
+        return {
+            attribute.name
+            for attribute in schema.attributes
+            if not attribute.nullable
+            and attribute.name not in selected
+            and attribute.name not in connected
+        }
+
+    def skeleton_uncompletable(self, relation: str) -> bool:
+        schema = self.graph.relation(relation)
+        connected = self.connected_attributes(relation)
+        return any(
+            not attribute.nullable and attribute.name not in connected
+            for attribute in schema.attributes
+        )
+
+    def connected_attributes(self, relation: str) -> Set[str]:
+        """Attributes of ``relation`` that some connection fills or
+        rewrites (ownership keys, reference FKs, subset keys)."""
+        attrs: Set[str] = set()
+        for connection in self.graph.connections:
+            if connection.source == relation:
+                attrs.update(connection.source_attributes)
+            if connection.target == relation:
+                attrs.update(connection.target_attributes)
+        return attrs
+
+    # -- deletions (VO-CD + global integrity) ----------------------------------
+
+    def check_deletions(self) -> None:
+        deletable = self.deletable_closure()
+        seen: Set[str] = set()
+        for relation in sorted(deletable):
+            for connection in self.graph.connections_to(
+                relation, ConnectionKind.REFERENCE
+            ):
+                if connection.name in seen:
+                    continue
+                seen.add(connection.name)
+                self.check_repair(connection)
+
+    def deletable_closure(self) -> Set[str]:
+        """Relations a complete deletion can reach: the island, its
+        owned/subset cascade, and every relation whose repair is DELETE."""
+        deletable = set(self.island_relations)
+        frontier = list(deletable)
+        while frontier:
+            relation = frontier.pop()
+            for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET):
+                for connection in self.graph.connections_from(relation, kind):
+                    if connection.target not in deletable:
+                        deletable.add(connection.target)
+                        frontier.append(connection.target)
+            for connection in self.graph.connections_to(
+                relation, ConnectionKind.REFERENCE
+            ):
+                repair, _ = self.resolve_repair(connection)
+                if (
+                    repair is ReferenceRepair.DELETE
+                    and connection.source not in deletable
+                ):
+                    deletable.add(connection.source)
+                    frontier.append(connection.source)
+        return deletable
+
+    def resolve_repair(self, connection: Connection):
+        """(resolved repair, nullify possible) for one reference."""
+        relation_policy = self.relation_policy(connection.source)
+        schema = self.graph.relation(connection.source)
+        nullable = all(
+            schema.attribute(a).nullable and not schema.is_key_attribute(a)
+            for a in connection.source_attributes
+        )
+        repair = relation_policy.on_reference_delete
+        if repair is ReferenceRepair.AUTO:
+            repair = (
+                ReferenceRepair.NULLIFY if nullable else ReferenceRepair.DELETE
+            )
+        return repair, nullable
+
+    def check_repair(self, connection: Connection) -> None:
+        relation_policy = self.relation_policy(connection.source)
+        chosen = relation_policy.on_reference_delete
+        resolved, nullable = self.resolve_repair(connection)
+        if chosen is ReferenceRepair.AUTO:
+            self.add(
+                RiskLevel.LOW,
+                "deletion.auto-repair",
+                f"repair of {connection.source!r} tuples referencing a "
+                f"deleted {connection.target!r} tuple is left to AUTO; "
+                f"it resolves to {resolved.value.upper()} here",
+                relation=connection.source,
+                connection=connection.name,
+            )
+        if resolved is ReferenceRepair.PROHIBIT:
+            self.add(
+                RiskLevel.MEDIUM,
+                "deletion.repair-prohibit",
+                f"deletions reject whenever a {connection.source!r} tuple "
+                f"still references the deleted {connection.target!r} tuple",
+                relation=connection.source,
+                connection=connection.name,
+            )
+        if resolved is ReferenceRepair.NULLIFY and not nullable:
+            self.add(
+                RiskLevel.CRITICAL,
+                "deletion.nullify-impossible",
+                f"the NULLIFY repair for {connection.source!r} -> "
+                f"{connection.target!r} can never be applied: the "
+                f"connecting attribute(s) "
+                f"{', '.join(connection.source_attributes)} are not "
+                f"nullable nonkey attributes, so every deletion with live "
+                f"references dies on an illegal null",
+                relation=connection.source,
+                connection=connection.name,
+            )
+
+    # -- replacements (VO-R) ---------------------------------------------------
+
+    def check_replacements(self) -> None:
+        for relation in sorted(self.island_relations):
+            relation_policy = self.relation_policy(relation)
+            incoming = self.graph.connections_to(
+                relation, ConnectionKind.REFERENCE
+            )
+            if (
+                relation_policy.allow_key_replacement
+                and not relation_policy.allow_db_key_replacement
+            ):
+                self.add(
+                    RiskLevel.HIGH,
+                    "replacement.key-never-translatable",
+                    f"the view accepts key modifications of island relation "
+                    f"{relation!r} but database key replacement is "
+                    f"prohibited; every such replacement passes validation "
+                    f"then rejects in CASE R-3",
+                    relation=relation,
+                )
+            if (
+                relation_policy.allow_key_replacement
+                and relation_policy.allow_db_key_replacement
+                and relation_policy.allow_merge_on_key_conflict
+            ):
+                shared = bool(incoming) or any(
+                    True
+                    for kind in (ConnectionKind.OWNERSHIP, ConnectionKind.SUBSET)
+                    for _ in self.graph.connections_from(relation, kind)
+                )
+                self.add(
+                    RiskLevel.HIGH if shared else RiskLevel.MEDIUM,
+                    "replacement.merge-side-effects",
+                    f"merge-on-key-conflict on {relation!r} overwrites an "
+                    f"existing tuple"
+                    + (
+                        " and retargets tuples shared through its "
+                        "connections — side effects beyond the updated "
+                        "instance"
+                        if shared
+                        else "; the overwritten tuple's old state is lost"
+                    ),
+                    relation=relation,
+                )
+            if (
+                not relation_policy.allow_key_replacement
+                and relation_policy.allow_merge_on_key_conflict
+            ):
+                self.add(
+                    RiskLevel.LOW,
+                    "replacement.unreachable-merge",
+                    f"merge-on-key-conflict is enabled for {relation!r} but "
+                    f"key replacement is not; the switch can never fire",
+                    relation=relation,
+                )
+            if (
+                relation_policy.allow_key_replacement
+                and relation_policy.allow_db_key_replacement
+            ):
+                for connection in incoming:
+                    source_policy = self.relation_policy(connection.source)
+                    if not source_policy.can_modify:
+                        self.add(
+                            RiskLevel.MEDIUM,
+                            "replacement.retarget-prohibited",
+                            f"key replacements of {relation!r} reject "
+                            f"whenever {connection.source!r} tuples "
+                            f"reference the old key (retargeting needs "
+                            f"modify permission there)",
+                            relation=connection.source,
+                            connection=connection.name,
+                        )
+
+    # -- structure -------------------------------------------------------------
+
+    def check_structure(self) -> None:
+        relevant = set(self.tree_relations)
+        for relation in self.island_relations:
+            for connection in self.graph.connections_to(
+                relation, ConnectionKind.REFERENCE
+            ):
+                relevant.add(connection.source)
+        if self.graph.undirected_cycles_exist_within(relevant):
+            self.add(
+                RiskLevel.HIGH,
+                "structure.circuit",
+                "the object's relations form a circuit; translation paths "
+                "around it are not uniquely determined and repairs may "
+                "interact — manual review required",
+            )

@@ -30,6 +30,7 @@ from repro.relational.engine import Engine
 from repro.structural.schema_graph import StructuralSchema
 
 __all__ = [
+    "ADVERSARIAL_FEATURES",
     "chain_schema",
     "populate_chain",
     "chain_object",
@@ -38,6 +39,26 @@ __all__ = [
     "WorkloadOp",
     "ZipfianWorkload",
 ]
+
+#: Schema hazards the adversarial generator can graft onto a chain case.
+#:
+#: ``hidden_attr``    – R0 gains a non-nullable ``secret`` attribute that
+#:                      the view projects out: the default null completer
+#:                      can never complete a pivot insertion.
+#: ``dead_end``       – a DEADEND relation references R0 through a
+#:                      non-nullable key attribute, so a NULLIFY repair
+#:                      of the reference is impossible by construction.
+#: ``shared_peninsula`` – a SHARER relation also references PENINSULA,
+#:                      so peninsula tuples are shared with tuples the
+#:                      view cannot see.
+#: ``circuit``        – an extra R1 -> R0 reference puts a circuit in
+#:                      the subgraph the projection tree is built from.
+ADVERSARIAL_FEATURES: Tuple[str, ...] = (
+    "hidden_attr",
+    "dead_end",
+    "shared_peninsula",
+    "circuit",
+)
 
 
 def _level_name(level: int) -> str:
@@ -48,6 +69,7 @@ def chain_schema(
     depth: int = 3,
     with_peninsula: bool = True,
     with_lookup: bool = True,
+    hidden_attr: bool = False,
 ) -> StructuralSchema:
     """An ownership chain R0 --* R1 --* ... --* R<depth>."""
     graph = StructuralSchema(f"chain{depth}")
@@ -58,6 +80,8 @@ def chain_schema(
         builder.text("payload", nullable=True)
         if level == 0 and with_lookup:
             builder.integer("lookup_id")
+        if level == 0 and hidden_attr:
+            builder.text("secret")
         builder.key(*[f"k{i}" for i in range(level + 1)])
         graph.add_relation(builder.build())
     for level in range(depth):
@@ -88,6 +112,43 @@ def chain_schema(
     return graph
 
 
+def _add_adversarial(
+    graph: StructuralSchema,
+    with_peninsula: bool,
+    features: Tuple[str, ...],
+) -> None:
+    """Graft the drawn :data:`ADVERSARIAL_FEATURES` onto a chain graph.
+
+    ``hidden_attr`` is handled by :func:`chain_schema` itself (it alters
+    R0's attribute list); everything here adds relations or connections
+    around the unchanged chain.
+    """
+    if "dead_end" in features:
+        graph.add_relation(
+            relation("DEADEND")
+            .integer("d_id")
+            .integer("k0")
+            .text("why", nullable=True)
+            .key("d_id", "k0")
+            .build()
+        )
+        graph.reference("deadend_r0", "DEADEND", "R0", ["k0"], ["k0"])
+    if "shared_peninsula" in features and with_peninsula:
+        graph.add_relation(
+            relation("SHARER")
+            .integer("s_id")
+            .integer("pen_id", nullable=True)
+            .integer("k0", nullable=True)
+            .key("s_id")
+            .build()
+        )
+        graph.reference(
+            "sharer_pen", "SHARER", "PENINSULA", ["pen_id", "k0"], ["pen_id", "k0"]
+        )
+    if "circuit" in features:
+        graph.reference("circuit_r1", "R1", "R0", ["k0"], ["k0"])
+
+
 def populate_chain(
     engine: Engine,
     depth: int = 3,
@@ -95,10 +156,12 @@ def populate_chain(
     fanout: int = 3,
     peninsula_refs: int = 2,
     seed: int = 7,
+    adversarial_features: Tuple[str, ...] = (),
 ) -> Dict[str, int]:
     """Fill a chain database: ``roots`` pivot tuples, ``fanout`` children
     per tuple per level, ``peninsula_refs`` referencing tuples per root."""
     rng = random.Random(seed)
+    hidden_attr = "hidden_attr" in adversarial_features
     has_lookup = engine.has_relation("LOOKUP")
     if has_lookup:
         for lookup_id in range(5):
@@ -114,6 +177,8 @@ def populate_chain(
         mapping["payload"] = f"{name}:{'/'.join(map(str, prefix))}"
         if level == 0 and has_lookup:
             mapping["lookup_id"] = rng.randrange(5)
+        if level == 0 and hidden_attr:
+            mapping["secret"] = f"s{prefix[0]}"
         engine.insert(name, mapping)
         for child_index in range(fanout):
             insert_level(level + 1, prefix + (child_index,))
@@ -126,6 +191,15 @@ def populate_chain(
                     "PENINSULA",
                     {"pen_id": pen, "k0": root, "note": f"pen{pen}"},
                 )
+                if engine.has_relation("SHARER"):
+                    engine.insert(
+                        "SHARER",
+                        {"s_id": root * 10 + pen, "pen_id": pen, "k0": root},
+                    )
+        if engine.has_relation("DEADEND"):
+            engine.insert(
+                "DEADEND", {"d_id": 0, "k0": root, "why": f"d{root}"}
+            )
     return {name: engine.count(name) for name in engine.relation_names()}
 
 
@@ -149,8 +223,8 @@ def chain_selections(
 
 
 def random_chain_case(
-    engine: Engine, seed: int
-) -> Tuple[StructuralSchema, ViewObjectDefinition, Dict[str, int]]:
+    engine: Engine, seed: int, adversarial: bool = False
+) -> Tuple[StructuralSchema, ViewObjectDefinition, Dict[str, object]]:
     """Install and populate a seeded random member of the chain family.
 
     Everything varies with ``seed`` — island depth, fan-out, root count,
@@ -158,6 +232,12 @@ def random_chain_case(
     itself — so a property quantified over seeds ranges over many
     *schemas*, not just many databases. Returns the graph, the spanning
     view object, and the drawn parameters.
+
+    With ``adversarial=True`` the case additionally grafts a seeded,
+    non-empty subset of :data:`ADVERSARIAL_FEATURES` onto the schema —
+    hazards the strategy checker must flag. The adversarial draw uses
+    its own generator, so for a given seed the *base* schema and data
+    are identical with and without the flag.
     """
     rng = random.Random(seed)
     depth = rng.randint(1, 3)
@@ -166,7 +246,23 @@ def random_chain_case(
     with_peninsula = rng.random() < 0.8
     with_lookup = rng.random() < 0.8
     peninsula_refs = rng.randint(0, 2) if with_peninsula else 0
-    graph = chain_schema(depth, with_peninsula, with_lookup)
+    features: Tuple[str, ...] = ()
+    if adversarial:
+        arng = random.Random(seed * 6151 + 3)
+        drawn = [f for f in ADVERSARIAL_FEATURES if arng.random() < 0.5]
+        if "shared_peninsula" in drawn and not with_peninsula:
+            drawn.remove("shared_peninsula")
+        if not drawn:
+            drawn = ["dead_end"]
+        features = tuple(drawn)
+    graph = chain_schema(
+        depth,
+        with_peninsula,
+        with_lookup,
+        hidden_attr="hidden_attr" in features,
+    )
+    if features:
+        _add_adversarial(graph, with_peninsula, features)
     graph.install(engine)
     populate_chain(
         engine,
@@ -175,9 +271,10 @@ def random_chain_case(
         fanout=fanout,
         peninsula_refs=peninsula_refs,
         seed=seed,
+        adversarial_features=features,
     )
     view_object = chain_object(graph, depth, with_peninsula, with_lookup)
-    params = {
+    params: Dict[str, object] = {
         "depth": depth,
         "fanout": fanout,
         "roots": roots,
@@ -185,6 +282,8 @@ def random_chain_case(
         "with_lookup": int(with_lookup),
         "peninsula_refs": peninsula_refs,
     }
+    if adversarial:
+        params["adversarial"] = ",".join(features)
     return graph, view_object, params
 
 

@@ -114,6 +114,15 @@ class TestRoutes:
         assert body["objects"] == [OBJECT]
         assert "hash(4)" in body["topology"]
 
+    def test_objects_index_surfaces_per_view_risk(self, served):
+        _, url = served
+        status, body = request(f"{url}/objects")
+        assert status == 200
+        assert set(body["risk"]) == {OBJECT}
+        entry = body["risk"][OBJECT]
+        assert entry["level"] in {"safe", "low", "medium", "high", "critical"}
+        assert entry["findings"] >= 0
+
     def test_get_carries_serving_metadata(self, served):
         sharded, url = served
         status, body = request(f"{url}/objects/{OBJECT}/100")

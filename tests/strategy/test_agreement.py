@@ -1,0 +1,83 @@
+"""The contract between the two halves: every configuration the law
+harness falsifies must carry a >=HIGH finding from the static checker
+(over-flagging is allowed, a false SAFE is not)."""
+
+import pytest
+
+from repro.strategy import RiskLevel, check_strategy
+from repro.strategy.laws import chain_case, random_policy, run_laws
+from repro.strategy.validate import sweep, validate_workload
+
+pytestmark = pytest.mark.strategy
+
+SEEDS = range(12)
+
+
+def agreement_failures(seeds, adversarial):
+    failures = []
+    falsified = 0
+    for seed in seeds:
+        case = chain_case(seed, adversarial=adversarial)
+        _, view_object, _ = case.build()
+        policy = random_policy(view_object, seed)
+        report = check_strategy(view_object, policy)
+        law_report = run_laws(case, policy)
+        if law_report.falsified:
+            falsified += 1
+            if report.level < RiskLevel.HIGH:
+                failures.append(
+                    f"seed {seed} (adversarial={adversarial}): laws "
+                    f"falsified but risk is {report.level.value}\n"
+                    f"{law_report.render()}\n{report.render()}"
+                )
+    return failures, falsified
+
+
+class TestCheckerNeverUnderFlags:
+    def test_random_policies_on_plain_schemas(self):
+        failures, _ = agreement_failures(SEEDS, adversarial=False)
+        assert not failures, "\n\n".join(failures)
+
+    @pytest.mark.slow
+    def test_random_policies_on_adversarial_schemas(self):
+        failures, falsified = agreement_failures(SEEDS, adversarial=True)
+        assert not failures, "\n\n".join(failures)
+        # The adversarial corpus must actually exercise the contract:
+        # at least one configuration has to be falsified, otherwise the
+        # assertion above is vacuous.
+        assert falsified > 0
+
+    def test_adversarial_hidden_attr_is_falsified_and_critical(self):
+        # A hidden non-nullable attribute means a permissive policy
+        # cannot complete pivot insertions: the laws notice, and the
+        # checker says CRITICAL.
+        from repro.core.updates.policy import TranslatorPolicy
+
+        found = False
+        for seed in range(20):
+            case = chain_case(seed, adversarial=True)
+            if "hidden_attr" not in str(case.params.get("adversarial", "")):
+                continue
+            found = True
+            _, view_object, _ = case.build()
+            policy = TranslatorPolicy.permissive()
+            report = check_strategy(view_object, policy)
+            law_report = run_laws(case, policy)
+            assert law_report.falsified, law_report.render()
+            assert report.is_critical, report.render()
+            break
+        assert found, "no hidden_attr case in the first 20 seeds"
+
+
+class TestValidateDriver:
+    def test_sweep_reports_agreement(self):
+        outcome = sweep(count=6, adversarial=True)
+        assert outcome["cases"] == 6
+        assert outcome["disagreements"] == 0
+        assert len(outcome["results"]) == 6
+
+    @pytest.mark.parametrize("workload", ["hospital", "university", "cad"])
+    def test_workload_validation_agrees(self, workload):
+        result = validate_workload(workload)
+        assert result["agreement"], result["_law_report"].render()
+        assert result["risk"]["object"] == result["object"]

@@ -1,0 +1,122 @@
+"""The round-trip law harness itself: laws hold for sound configs,
+reports are reproducible, and falsifications print their seed."""
+
+import threading
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.updates.policy import (
+    ReferenceRepair,
+    RelationPolicy,
+    TranslatorPolicy,
+)
+from repro.strategy.laws import (
+    LAW_NAMES,
+    chain_case,
+    random_policy,
+    run_laws,
+    workload_case,
+)
+from tests.conftest import wait_until
+
+pytestmark = pytest.mark.strategy
+
+
+class TestLawsHoldForSoundConfigs:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_permissive_chain_cases_never_falsify(self, seed):
+        report = run_laws(chain_case(seed), TranslatorPolicy.permissive())
+        assert not report.falsified, report.render()
+
+    @pytest.mark.parametrize(
+        "workload", ["hospital", "university", "cad"]
+    )
+    def test_permissive_workloads_never_falsify(self, workload):
+        report = run_laws(
+            workload_case(workload), TranslatorPolicy.permissive()
+        )
+        assert not report.falsified, report.render()
+
+    def test_every_law_runs(self):
+        report = run_laws(chain_case(3), TranslatorPolicy.permissive())
+        assert tuple(r.law for r in report.results) == LAW_NAMES
+
+
+class TestReproducibility:
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_report(self, seed):
+        case = chain_case(seed)
+        _, view_object, _ = case.build()
+        policy = random_policy(view_object, seed)
+        one = run_laws(case, policy)
+        two = run_laws(case, policy)
+        assert one.render() == two.render()
+        assert one.to_dict() == two.to_dict()
+
+    def test_random_policy_is_seed_deterministic(self):
+        case = chain_case(5)
+        _, view_object, _ = case.build()
+        a = random_policy(view_object, 5)
+        b = random_policy(view_object, 5)
+        assert repr(sorted(a.relations.items())) == repr(
+            sorted(b.relations.items())
+        )
+        assert (a.allow_insertion, a.allow_deletion, a.allow_replacement) == (
+            b.allow_insertion,
+            b.allow_deletion,
+            b.allow_replacement,
+        )
+
+
+class TestFalsificationReport:
+    def falsified_report(self):
+        # PENINSULA.k0 is a non-nullable key attribute, so a NULLIFY
+        # repair dies on an illegal null at deletion time.
+        policy = TranslatorPolicy.permissive()
+        policy.relations["PENINSULA"] = RelationPolicy(
+            on_reference_delete=ReferenceRepair.NULLIFY
+        )
+        return run_laws(chain_case(0), policy)
+
+    def test_unsound_repair_is_falsified(self):
+        report = self.falsified_report()
+        assert report.falsified
+
+    def test_report_prints_reproduction_seed_and_schema(self):
+        report = self.falsified_report()
+        rendered = report.render()
+        assert "REPRODUCE WITH" in rendered
+        assert "seed=0" in rendered
+        assert "depth" in rendered
+        payload = report.to_dict()
+        assert payload["seed"] == 0
+        assert payload["case"] == "chain"
+        assert payload["falsified"]
+
+
+class TestHarnessConcurrency:
+    def test_concurrent_sessions_agree(self):
+        """Two harness runs on separate threads share nothing; the
+        shared ``wait_until`` helper bounds the join without a fixed
+        sleep (the usual source of CI flakes)."""
+        results = {}
+
+        def run(tag):
+            report = run_laws(chain_case(7), TranslatorPolicy.permissive())
+            results[tag] = report.render()
+
+        threads = [
+            threading.Thread(target=run, args=(tag,)) for tag in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        wait_until(lambda: len(results) == 2)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert results["a"] == results["b"]

@@ -1,0 +1,84 @@
+"""Risk vocabulary: level ordering, finding sorting, report rendering."""
+
+import pytest
+
+from repro.strategy.risk import Finding, RiskLevel, RiskReport
+
+pytestmark = pytest.mark.strategy
+
+
+class TestRiskLevel:
+    def test_total_order(self):
+        assert (
+            RiskLevel.SAFE
+            < RiskLevel.LOW
+            < RiskLevel.MEDIUM
+            < RiskLevel.HIGH
+            < RiskLevel.CRITICAL
+        )
+
+    def test_comparison_against_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            RiskLevel.SAFE < "low"
+
+    def test_values_are_stable_strings(self):
+        assert [level.value for level in RiskLevel] == [
+            "safe",
+            "low",
+            "medium",
+            "high",
+            "critical",
+        ]
+
+
+class TestFinding:
+    def test_describe(self):
+        finding = Finding(
+            RiskLevel.HIGH, "replacement.key-never-translatable", "boom",
+            relation="R0",
+        )
+        assert finding.describe() == (
+            "[HIGH] replacement.key-never-translatable @ R0: boom"
+        )
+
+    def test_sorting_is_most_severe_first(self):
+        low = Finding(RiskLevel.LOW, "a.b", "m1", relation="R1")
+        high = Finding(RiskLevel.HIGH, "z.z", "m2", relation="R0")
+        report = RiskReport("obj", [low, high])
+        assert report.findings[0] is high
+
+    def test_equal_findings_hash_equal(self):
+        a = Finding(RiskLevel.LOW, "a.b", "m", relation="R1")
+        b = Finding(RiskLevel.LOW, "a.b", "m", relation="R1")
+        assert a == b and hash(a) == hash(b)
+
+
+class TestRiskReport:
+    def test_empty_report_is_safe(self):
+        report = RiskReport("obj", [])
+        assert report.level is RiskLevel.SAFE
+        assert not report.is_critical
+        assert report.at_least(RiskLevel.HIGH) == ()
+
+    def test_level_is_max_of_findings(self):
+        report = RiskReport(
+            "obj",
+            [
+                Finding(RiskLevel.LOW, "a.a", "m"),
+                Finding(RiskLevel.CRITICAL, "b.b", "m"),
+            ],
+        )
+        assert report.level is RiskLevel.CRITICAL
+        assert report.is_critical
+
+    def test_render_and_to_dict_are_deterministic(self):
+        findings = [
+            Finding(RiskLevel.MEDIUM, "c.c", "m3", relation="R2"),
+            Finding(RiskLevel.HIGH, "b.b", "m2", relation="R1"),
+            Finding(RiskLevel.HIGH, "a.a", "m1", relation="R0"),
+        ]
+        one = RiskReport("obj", findings)
+        two = RiskReport("obj", list(reversed(findings)))
+        assert one.render() == two.render()
+        assert one.to_dict() == two.to_dict()
+        assert "HIGH" in one.render()

@@ -1,0 +1,68 @@
+"""``python -m repro validate``: the CLI wrapper over both halves."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+pytestmark = pytest.mark.strategy
+
+
+def test_workload_validation_succeeds(capsys):
+    assert main(["validate", "--workload", "hospital"]) == 0
+    out = capsys.readouterr().out
+    assert "strategy risk" in out or "risk" in out.lower()
+    assert "AGREEMENT" in out or "agree" in out.lower()
+
+
+def test_sweep_reports_counts(capsys):
+    assert main(["validate", "--sweep", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "4 case(s)" in out
+    assert "disagreement" in out
+
+
+def test_adversarial_sweep_with_json_artifact(tmp_path, capsys):
+    artifact = tmp_path / "risk.json"
+    assert (
+        main(
+            [
+                "validate",
+                "--sweep",
+                "6",
+                "--adversarial",
+                "--json",
+                str(artifact),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(artifact.read_text())
+    assert payload["sweep"]["cases"] == 6
+    assert payload["sweep"]["disagreements"] == 0
+    assert len(payload["sweep"]["results"]) == 6
+    out = capsys.readouterr().out
+    assert "(adversarial)" in out
+
+
+def test_strict_mode_fails_on_falsification(tmp_path):
+    # The adversarial corpus contains law-falsified configurations even
+    # under a permissive policy (hidden_attr cases), so --strict must
+    # flip the exit code while plain mode stays green on agreement.
+    code = main(
+        ["validate", "--sweep", "12", "--adversarial", "--strict"]
+    )
+    assert code == 1
+
+
+def test_no_arguments_is_usage_error(capsys):
+    assert main(["validate"]) == 2
+    err = capsys.readouterr().err
+    assert "nothing to validate" in err
+
+
+def test_unknown_workload_is_usage_error(capsys):
+    assert main(["validate", "--workload", "bank"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
