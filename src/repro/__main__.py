@@ -30,7 +30,15 @@ Commands:
 * ``trace`` — run the canonical Figure-4 workload (query, EXPLAIN,
   insert, get, delete) with tracing on and print the span trees, the
   update EXPLAIN, and any slow-log entries; ``--jsonl FILE`` exports
-  the spans as JSON Lines;
+  the spans as JSON Lines; ``--follow REQUEST_ID`` instead issues one
+  re-homing HTTP write against a replicated 2-shard cluster and
+  prints the assembled cross-thread trace, failing unless every leg
+  (HTTP task, micro-batch, translation, both 2PC participants, log
+  ship, replica applies) is present under one trace id;
+* ``flight`` — kill a primary in a replicated deployment and dump the
+  flight-recorder bundle the failover anomaly triggers (last spans,
+  metrics snapshot, audit tails from every stack); ``--inspect FILE``
+  renders an existing bundle;
 * ``metrics`` — run the same workload with the metrics registry live
   and print the Prometheus-style exposition (or ``--json`` snapshot);
 * ``audit`` — run a deterministic audited workload on the hospital
@@ -378,8 +386,138 @@ def _run_figure4_workload(session: Penguin) -> str:
     return explanation.render()
 
 
+def _http_json(url, method="GET", payload=None, headers=None):
+    """One JSON request; returns (status, body, response headers)."""
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    for key, value in (headers or {}).items():
+        request.add_header(key, value)
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return (
+            response.status,
+            json.loads(response.read() or b"{}"),
+            dict(response.headers),
+        )
+
+
+#: Span names one followed cluster write must produce, in causal order.
+#: Each entry accepts any of its aliases — the owner-shard translation
+#: spans as "translate" on the single-shard batch path and "explain"
+#: (propagate/validate children) on the cross-shard path.
+TRACE_LEGS = (
+    ("http.request",),              # asyncio front end
+    ("serve.batch",),               # micro-batch executor fragment
+    ("translate", "explain"),       # owner-shard view-update translation
+    ("shard.two_phase",),           # cross-shard coordinator
+    ("2pc.prepare",),               # participant intent legs
+    ("2pc.apply",),                 # participant apply legs
+    ("replicate.ship",),            # primary -> replica log shipping
+    ("replica.apply",),             # replica applier-thread fragments
+)
+
+
+def _trace_follow(args: argparse.Namespace) -> int:
+    """One HTTP write against a 2-shard, 2-replica cluster, followed
+    end to end by its request id: the write re-homes a patient chart
+    to the other shard, so the assembled trace must contain the HTTP
+    task, the micro-batch fragment, the owner-shard translation, both
+    2PC participant legs, and each replica's ship+apply fragments —
+    all under one trace id."""
+    import repro.obs as obs
+    from repro.obs.cluster import TraceAssembler
+    from repro.serve.http import PenguinServer
+
+    request_id = args.follow
+    hub = obs.configure(slow_threshold=args.slow_threshold)
+    assembled = None
+    try:
+        sharded = _build_sharded_hospital(shards=2, patients=6, replicas=2)
+        server = PenguinServer(sharded, port=0, batch_window=0.002)
+        handle = server.in_background()
+        try:
+            router = sharded.router
+            source = next(
+                pid for pid in range(70000, 70512)
+                if router.shard_of((pid,)) == 0
+            )
+            target = next(
+                pid for pid in range(71000, 71512)
+                if router.shard_of((pid,)) == 1
+            )
+            rng = random.Random(0)
+            _http_json(
+                f"{handle.url}/objects/patient_chart",
+                "POST",
+                {"instance": _audit_chart(source, rng)},
+            )
+            status, _, headers = _http_json(
+                f"{handle.url}/objects/patient_chart/{source}",
+                "PUT",
+                {"instance": _audit_chart(target, rng)},
+                {"X-Request-Id": request_id},
+            )
+            print(
+                f"PUT /objects/patient_chart/{source} -> {status} "
+                f"(re-homed patient {source} -> {target} across shards, "
+                f"X-Request-Id {headers.get('X-Request-Id')})"
+            )
+            # Replica applies land on their applier threads after the
+            # ack; poll the assembler until both fragments arrive.
+            assembler = TraceAssembler(hub.tracer)
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline:
+                assembled = assembler.assemble(request_id=request_id)
+                if (
+                    assembled is not None
+                    and len(assembled.find_all("replica.apply")) >= 2
+                ):
+                    break
+                time.sleep(0.02)
+        finally:
+            handle.stop()
+            sharded.close()
+    finally:
+        obs.disable()
+    if assembled is None:
+        print(f"no trace found for request id {request_id!r}")
+        return 1
+    print()
+    print(assembled.render())
+    names = set(assembled.span_names())
+    apply_shards = sorted(
+        str(span.attributes.get("shard"))
+        for span in assembled.find_all("2pc.apply")
+    )
+    checks = [
+        (
+            f"leg {' / '.join(aliases)} present",
+            any(name in names for name in aliases),
+        )
+        for aliases in TRACE_LEGS
+    ]
+    checks.append(
+        ("2pc apply legs on both shards", apply_shards == ["0", "1"])
+    )
+    checks.append(
+        ("audit cross-link recorded", bool(assembled.audit_asns()))
+    )
+    print()
+    ok = True
+    for label, passed in checks:
+        ok = ok and passed
+        print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+    print("trace-follow:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     import repro.obs as obs
+
+    if args.follow:
+        return _trace_follow(args)
 
     session = _observed_session()
     hub = obs.configure(slow_threshold=args.slow_threshold)
@@ -563,13 +701,22 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _build_sharded_hospital(shards: int, patients: int):
+def _build_sharded_hospital(shards: int, patients: int, replicas: int = 0):
     """A sharded hospital deployment, loaded and object-registered."""
+    from repro.replicate import ReplicationConfig
     from repro.shard import ShardedPenguin, sharded_loader
     from repro.workloads.hospital import HospitalConfig
 
     graph = hospital_schema()
-    sharded = ShardedPenguin(graph, partition_by="PATIENT", num_shards=shards)
+    replication = (
+        ReplicationConfig(replicas=replicas) if replicas else None
+    )
+    sharded = ShardedPenguin(
+        graph,
+        partition_by="PATIENT",
+        num_shards=shards,
+        replication=replication,
+    )
     populate_hospital(
         sharded_loader(sharded), HospitalConfig(patients=patients)
     )
@@ -607,7 +754,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.load import run_load
 
     obs.configure()  # live metrics so /metrics has content
-    sharded = _build_sharded_hospital(args.shards, args.patients)
+    sharded = _build_sharded_hospital(
+        args.shards, args.patients, replicas=args.replicas
+    )
     port = args.port
     if port is None:
         port = 0 if (args.smoke or args.load_ops) else 8642
@@ -676,6 +825,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve_forever())
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def cmd_flight(args: argparse.Namespace) -> int:
+    from repro.obs.cluster import FlightRecorder
+
+    if args.inspect:
+        print(FlightRecorder.inspect(args.inspect))
+        return 0
+
+    # Demo: a replicated deployment with the recorder installed, a
+    # killed primary, and the failure detector's failover anomaly
+    # freezing the last spans/metrics/audit tails into a bundle.
+    import repro.obs as obs
+
+    hub = obs.configure()
+    try:
+        sharded = _build_sharded_hospital(shards=2, patients=4, replicas=2)
+        recorder = FlightRecorder(args.directory)
+        sharded.attach_flight_recorder(recorder)
+        rng = random.Random(0)
+        pid = 70000
+        sharded.insert("patient_chart", _audit_chart(pid, rng))
+        replica_set = sharded.shard(0).replica_set
+        replica_set.primary.kill()
+        for _ in range(replica_set.config.miss_threshold + 1):
+            replica_set.probe()
+        sharded.close()
+    finally:
+        obs.disable()
+    path = recorder.latest()
+    if path is None:
+        print("no flight bundle was produced")
+        return 1
+    print(f"wrote {path}")
+    print()
+    print(FlightRecorder.inspect(path))
     return 0
 
 
@@ -858,6 +1044,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the normalized (timing-free) span trees",
     )
+    trace.add_argument(
+        "--follow",
+        default=None,
+        metavar="REQUEST_ID",
+        help="follow one HTTP write (tagged with this X-Request-Id) "
+             "across a 2-shard, 2-replica cluster and print the "
+             "assembled cross-component trace",
+    )
+
+    flight = commands.add_parser(
+        "flight",
+        help="inspect a flight-recorder bundle, or run the injected-"
+             "failover demo that produces one",
+    )
+    flight.add_argument(
+        "--inspect",
+        default=None,
+        metavar="FILE",
+        help="render an existing bundle instead of running the demo",
+    )
+    flight.add_argument(
+        "--directory",
+        default="flight-bundles",
+        help="where the demo writes its bundle (default ./flight-bundles)",
+    )
 
     metrics = commands.add_parser(
         "metrics",
@@ -924,6 +1135,10 @@ def build_parser() -> argparse.ArgumentParser:
              "an ephemeral port)",
     )
     serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="attach N log-shipping replicas per shard (0 = none)",
+    )
     serve.add_argument(
         "--patients", type=int, default=25,
         help="resident hospital population (zipfian reads target it)",
@@ -997,6 +1212,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "chaos-failover": cmd_chaos_failover,
         "trace": cmd_trace,
+        "flight": cmd_flight,
         "metrics": cmd_metrics,
         "audit": cmd_audit,
         "serve": cmd_serve,

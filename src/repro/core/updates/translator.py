@@ -769,7 +769,7 @@ class Translator:
         error: Optional[BaseException] = None,
         journal_entry: Optional[int] = None,
     ) -> int:
-        return audit.append(
+        asn = audit.append(
             op=op,
             object_name=self.view_object.name,
             outcome=outcome,
@@ -782,6 +782,13 @@ class Translator:
             error=None if error is None else f"{type(error).__name__}: {error}",
             journal_entry=journal_entry,
         )
+        # Trace -> audit cross-link: the record already carries the
+        # ambient trace id; stamping the ASN on the enclosing span lets
+        # an assembled trace surface its audit records too.
+        span = obs.tracer().current
+        if span is not None:
+            span.set(asn=asn)
+        return asn
 
     def _finalize(
         self,

@@ -29,8 +29,22 @@ call and nothing else. :func:`configure` swaps in a live hub;
 from __future__ import annotations
 
 import contextlib
+import threading
+from collections import OrderedDict
 from typing import Iterator, Optional
 
+from repro.obs.context import (
+    TraceContext,
+    activate,
+    attach,
+    current_context,
+    current_request_id,
+    current_trace_id,
+    format_traceparent,
+    new_request_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -50,6 +64,18 @@ __all__ = [
     "tracer",
     "metrics",
     "slow_log",
+    "component_metrics",
+    "anomaly",
+    "TraceContext",
+    "activate",
+    "attach",
+    "current_context",
+    "current_request_id",
+    "current_trace_id",
+    "format_traceparent",
+    "new_request_id",
+    "new_trace_id",
+    "parse_traceparent",
     "Tracer",
     "Span",
     "MetricsRegistry",
@@ -95,6 +121,13 @@ _LAZY_EXPORTS = {
     "ReplayReport": "repro.obs.history",
     "as_of": "repro.obs.history",
     "replay": "repro.obs.history",
+    "ClusterMetrics": "repro.obs.cluster",
+    "TraceAssembler": "repro.obs.cluster",
+    "AssembledTrace": "repro.obs.cluster",
+    "FlightRecorder": "repro.obs.cluster",
+    "SloTarget": "repro.obs.cluster",
+    "SloTracker": "repro.obs.cluster",
+    "histogram_quantile": "repro.obs.cluster",
 }
 
 
@@ -110,7 +143,15 @@ def __getattr__(name: str):
 
 
 class Observability:
-    """One tracer + one metrics registry + one slow log, as a unit."""
+    """One tracer + one metrics registry + one slow log, as a unit.
+
+    A live hub additionally hands out *component* registries
+    (:meth:`component`) — per-shard / per-replica metric namespaces a
+    :class:`~repro.obs.cluster.ClusterMetrics` view merges back into
+    one labeled render — and may carry a
+    :class:`~repro.obs.cluster.FlightRecorder` that :func:`anomaly`
+    triggers dump to.
+    """
 
     def __init__(
         self,
@@ -121,8 +162,27 @@ class Observability:
         self.tracer = tracer
         self.metrics = metrics
         self.slow_log = slow_log
+        self.components: "OrderedDict[str, MetricsRegistry]" = OrderedDict()
+        self._components_lock = threading.Lock()
+        self.flight = None  # Optional[FlightRecorder], set via install
         if slow_log is not None and tracer.enabled:
             tracer.on_root.append(slow_log.consider)
+
+    def component(self, name: str) -> MetricsRegistry:
+        """The named component's registry (created on first use).
+
+        On a disabled hub this is the shared null registry, keeping the
+        instrumented path cost identical to the global accessors.
+        """
+        if not self.is_enabled:
+            return NULL_REGISTRY
+        if not name:
+            return self.metrics
+        registry = self.components.get(name)
+        if registry is None:
+            with self._components_lock:
+                registry = self.components.setdefault(name, MetricsRegistry())
+        return registry
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -172,6 +232,32 @@ def metrics() -> MetricsRegistry:
 
 def slow_log() -> Optional[SlowLog]:
     return _active.slow_log
+
+
+def component_metrics(name: str) -> MetricsRegistry:
+    """The active hub's registry for one cluster component.
+
+    Component names follow topology: ``shard0`` for a primary stack,
+    ``shard0/r1`` for its second replica. The empty name is the global
+    (cross-cutting) registry.
+    """
+    return _active.component(name)
+
+
+def anomaly(kind: str, **detail) -> None:
+    """Report a cluster anomaly: count it and trip the flight recorder.
+
+    Call sites are the moments worth a post-mortem — failover, breaker
+    open, quorum revert, torn two-phase recovery, SLO fast burn. On a
+    disabled hub this is a no-op counter touch; when a
+    :class:`~repro.obs.cluster.FlightRecorder` is installed on the
+    active hub, it dumps a bundle (rate-limited per kind).
+    """
+    hub = _active
+    hub.metrics.counter("anomalies_total", kind=kind).inc()
+    recorder = hub.flight
+    if recorder is not None:
+        recorder.trigger(kind, detail, hub=hub)
 
 
 def configure(

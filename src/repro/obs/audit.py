@@ -40,6 +40,7 @@ import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import AuditError
+from repro.obs.context import current_trace_id
 from repro.relational.journal import (
     Images,
     PlanJournal,
@@ -94,6 +95,7 @@ class AuditRecord:
         "items",
         "error",
         "journal_entry",
+        "trace_id",
     )
 
     def __init__(
@@ -110,6 +112,7 @@ class AuditRecord:
         items: int = 1,
         error: Optional[str] = None,
         journal_entry: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.asn = asn
         self.op = op
@@ -123,6 +126,7 @@ class AuditRecord:
         self.items = items
         self.error = error
         self.journal_entry = journal_entry
+        self.trace_id = trace_id
 
     def plan(self) -> UpdatePlan:
         return decode_plan(self.plan_records)
@@ -149,6 +153,8 @@ class AuditRecord:
             out["error"] = self.error
         if self.journal_entry is not None:
             out["journal_entry"] = self.journal_entry
+        if self.trace_id is not None:
+            out["trace"] = self.trace_id
         return out
 
     def describe(self) -> str:
@@ -208,6 +214,7 @@ class AuditLog:
         journal_entry: Optional[int] = None,
         plan_records: Optional[List[Dict[str, Any]]] = None,
         image_records: Optional[List[List[Any]]] = None,
+        trace_id: Optional[str] = None,
     ) -> int:
         """Record one view-level update; returns its ASN.
 
@@ -215,11 +222,19 @@ class AuditLog:
         the journal's encoded form (log shipping hands replicas the
         primary's encodings verbatim); when given, ``plan``/``images``
         are ignored and no re-encoding happens on the write path.
+
+        ``trace_id`` cross-links the record to the distributed trace
+        that produced it; when omitted, the ambient
+        :class:`~repro.obs.context.TraceContext` (if any) is stamped,
+        so every audited update inside a traced request joins the
+        trace for free.
         """
         if outcome not in OUTCOMES:
             raise AuditError(
                 f"unknown audit outcome {outcome!r}; choose from {OUTCOMES}"
             )
+        if trace_id is None:
+            trace_id = current_trace_id()
         if plan_records is None:
             plan_records = encode_plan(plan) if plan is not None else []
         if image_records is None:
@@ -240,6 +255,7 @@ class AuditLog:
                 items=items,
                 error=error,
                 journal_entry=journal_entry,
+                trace_id=trace_id,
             )
             self._records[asn] = record
             self._append_payload(
@@ -329,6 +345,18 @@ class AuditLog:
         exactly when its effects become shippable.
         """
         return [r for r in self.committed() if r.asn > asn]
+
+    def records_for_trace(self, trace_id: str) -> List[AuditRecord]:
+        """Every record stamped with ``trace_id``, in ASN order.
+
+        The trace→audit direction of the cross-link: given an
+        assembled distributed trace, surface the audited updates it
+        committed (``why()`` provides the other direction, since a
+        lineage link's record now carries the trace id).
+        """
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.asn)
+        return [r for r in records if r.trace_id == trace_id]
 
     def tail(self, n: int = 10) -> List[AuditRecord]:
         return self.records()[-n:]
@@ -479,6 +507,7 @@ class FileAuditLog(AuditLog):
                 items=payload.get("items", 1),
                 error=payload.get("error"),
                 journal_entry=payload.get("journal_entry"),
+                trace_id=payload.get("trace"),
             )
             self._records[record.asn] = record
             self._next_asn = max(self._next_asn, record.asn + 1)

@@ -50,6 +50,13 @@ def _label_pairs(labels: Dict[str, Any]) -> LabelPairs:
         # (op=..., object=..., engine=...): skip the sort.
         ((key, value),) = labels.items()
         return ((key, str(value)),)
+    if len(labels) == 2:
+        # Two labels (shard=..., outcome=...) covers nearly all of the
+        # rest; one comparison beats building a generator for sorted().
+        (k1, v1), (k2, v2) = labels.items()
+        if k1 <= k2:
+            return ((k1, str(v1)), (k2, str(v2)))
+        return ((k2, str(v2)), (k1, str(v1)))
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -273,6 +280,40 @@ class MetricsRegistry:
         )
 
     # -- export --------------------------------------------------------------
+
+    def series(self) -> List[Tuple[str, str, LabelPairs, Any]]:
+        """Every instrument as structured ``(kind, name, labels, value)``.
+
+        ``value`` is a float for counters/gauges and a ``{"count",
+        "sum", "buckets", "bounds"}`` dict for histograms. This is the
+        merge-friendly form :class:`~repro.obs.cluster.ClusterMetrics`
+        consumes: unlike :meth:`snapshot`, labels stay structured so a
+        ``component`` label can be injected before rendering.
+        """
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        out: List[Tuple[str, str, LabelPairs, Any]] = []
+        for counter in counters:
+            out.append(("counter", counter.name, counter.labels, counter.value))
+        for gauge in gauges:
+            out.append(("gauge", gauge.name, gauge.labels, gauge.value))
+        for histogram in histograms:
+            out.append(
+                (
+                    "histogram",
+                    histogram.name,
+                    histogram.labels,
+                    {
+                        "count": histogram.count,
+                        "sum": histogram.sum,
+                        "buckets": histogram.bucket_counts(),
+                        "bounds": histogram.buckets,
+                    },
+                )
+            )
+        return out
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Every instrument's current value, as plain data."""

@@ -14,22 +14,32 @@ Design constraints, in order:
 * **zero dependencies** — spans live in plain objects, the sink is an
   in-memory ring buffer (a bounded ``deque``), and the exporter writes
   JSON Lines with the standard library;
-* **thread-local nesting** — each thread grows its own span stack, so
-  concurrent serving threads trace independently without locking each
-  other.
+* **context-local nesting** — the span stack lives in a
+  :mod:`contextvars` variable, so concurrent serving *threads* trace
+  independently (fresh threads start with an empty context) and so do
+  concurrent asyncio *tasks* sharing the event-loop thread: each task
+  gets its own copy of the context at creation, and the stack is an
+  immutable tuple, so one task's pushes are invisible to its siblings.
+  (Thread-locals, the previous scheme, interleaved spans across
+  overlapping in-flight HTTP requests.)
 
 Finished *root* spans land in the ring buffer and are offered to any
 registered ``on_root`` callbacks (the slow-operation log hooks in
-there).
+there). A root opened while a :class:`~repro.obs.context.TraceContext`
+is ambient stamps its ``trace_id``/parent span id, which is how the
+cluster-wide :class:`~repro.obs.cluster.TraceAssembler` stitches
+fragments from different threads back into one causal timeline.
 """
 
 from __future__ import annotations
 
 import json
-import threading
 import time
 from collections import deque
+from contextvars import ContextVar
 from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.context import current_context, new_span_id
 
 __all__ = ["Span", "Tracer", "NOOP_TRACER"]
 
@@ -40,11 +50,17 @@ class Span:
     """One timed operation, possibly with children.
 
     A span is its own context manager: ``with tracer.span(...) as s``
-    pushes it onto the tracer's thread-local stack on enter and pops
-    (recording the end time and any error) on exit.  The enter/exit
-    bodies are deliberately flat — no helper calls, the thread-local
-    stack resolved once and cached — because this is the hottest path
-    of the whole layer: every traced operation pays it.
+    pushes it onto the tracer's context-local stack on enter and pops
+    (recording the end time and any error) on exit.  The stack is an
+    immutable tuple held in a ``ContextVar`` — asyncio tasks copy the
+    *mapping* at creation but would share a mutable list by reference,
+    which is exactly the interleaving bug tuples avoid. The enter/exit
+    bodies are deliberately flat because this is the hottest path of
+    the whole layer: every traced operation pays it.
+
+    Root spans (opened on an empty stack) get a ``span_id`` and, when
+    a :class:`~repro.obs.context.TraceContext` is ambient, stamp its
+    ``trace_id`` and parent span id for cross-thread assembly.
     """
 
     __slots__ = (
@@ -54,8 +70,11 @@ class Span:
         "start",
         "end",
         "error",
+        "trace_id",
+        "_span_id",
+        "parent_id",
         "_tracer",
-        "_stack",
+        "_is_root",
     )
 
     def __init__(
@@ -65,40 +84,71 @@ class Span:
         tracer: Optional["Tracer"] = None,
     ) -> None:
         self.name = name
-        self.attributes: Dict[str, Any] = attributes or {}
+        self.attributes: Dict[str, Any] = (
+            attributes if attributes is not None else {}
+        )
         self.children: List["Span"] = []
         self.start: float = 0.0
         self.end: Optional[float] = None
         self.error: Optional[str] = None
+        self.trace_id: Optional[str] = None
+        self._span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
         self._tracer = tracer
+        self._is_root = False
+
+    @property
+    def span_id(self) -> Optional[str]:
+        """The root's id, minted on first read.
+
+        Most spans are opened, closed, and evicted from the ring
+        buffer without anyone ever cross-referencing them; deferring
+        the id keeps that cost off the hot path entirely. Readers
+        (trace assembly, the ``Traceparent`` response header, flight
+        bundles) see a stable id from their first access on.
+        """
+        if self._span_id is None and self._is_root:
+            self._span_id = new_span_id()
+        return self._span_id
+
+    @span_id.setter
+    def span_id(self, value: Optional[str]) -> None:
+        self._span_id = value
 
     # -- context management (the hot path) ------------------------------------
 
     def __enter__(self) -> "Span":
         tracer = self._tracer
-        local = tracer._local
-        try:
-            stack = local.stack
-        except AttributeError:
-            stack = local.stack = []
-        self._stack = stack
+        stack = tracer._stack.get()
         if stack:
             stack[-1].children.append(self)
-        stack.append(self)
+        else:
+            self._is_root = True
+            ctx = current_context()
+            if ctx is not None:
+                self.trace_id = ctx.trace_id
+                self.parent_id = ctx.span_id or None
+        tracer._stack.set(stack + (self,))
         self.start = tracer.clock()
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
-        self.end = self._tracer.clock()
+        tracer = self._tracer
+        self.end = tracer.clock()
         if exc is not None and self.error is None:
             self.error = f"{type(exc).__name__}: {exc}"
-        # Tolerate a mismatched pop (a crash mid-span unwinding through
-        # BaseException handlers) by draining down to this span.
-        stack = self._stack
-        while stack and stack.pop() is not self:
-            pass
-        if not stack:
-            self._tracer._finish_root(self)
+        stack = tracer._stack.get()
+        if stack and stack[-1] is self:
+            tracer._stack.set(stack[:-1])
+        else:
+            # Mismatched pop (a crash mid-span unwinding through
+            # BaseException handlers): truncate down to this span.
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is self:
+                    tracer._stack.set(stack[:index])
+                    break
+        if self._is_root:
+            tracer._finish_root(self)
         return False
 
     # -- recording -----------------------------------------------------------
@@ -140,6 +190,12 @@ class Span:
             "name": self.name,
             "duration_ms": round(self.duration * 1000, 3),
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.attributes:
             out["attributes"] = dict(self.attributes)
         if self.error is not None:
@@ -193,6 +249,9 @@ class _NoopSpan:
     children: List[Span] = []
     duration = 0.0
     error = None
+    trace_id = None
+    span_id = None
+    parent_id = None
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -238,8 +297,13 @@ class Tracer:
         self.enabled = enabled
         self.on_root: List[Callable[[Span], None]] = []
         self._roots: deque = deque(maxlen=capacity)
-        self._local = threading.local()
-        self._lock = threading.Lock()
+        # The nesting stack: an immutable tuple per context. Tracers are
+        # few and long-lived, so one ContextVar per tracer is fine (and
+        # keeps independently `use()`d hubs from seeing each other's
+        # in-flight spans).
+        self._stack: ContextVar[Tuple[Span, ...]] = ContextVar(
+            "repro_span_stack", default=()
+        )
         self.dropped = 0  # roots evicted from the ring buffer
 
     # -- span lifecycle ------------------------------------------------------
@@ -251,10 +315,13 @@ class Tracer:
         return Span(name, attributes, tracer=self)
 
     def _finish_root(self, span: Span) -> None:
-        with self._lock:
-            if len(self._roots) == self._roots.maxlen:
-                self.dropped += 1
-            self._roots.append(span)
+        # deque.append with a maxlen is a single atomic C call under
+        # the GIL, so the hot path takes no lock; the dropped counter
+        # is best-effort under concurrency, which is all it needs.
+        roots = self._roots
+        if len(roots) == roots.maxlen:
+            self.dropped += 1
+        roots.append(span)
         for callback in self.on_root:
             callback(span)
 
@@ -262,26 +329,32 @@ class Tracer:
 
     @property
     def current(self) -> Optional[Span]:
-        """The innermost live span of this thread, or None."""
-        stack = getattr(self._local, "stack", None)
+        """The innermost live span of this context, or None."""
+        stack = self._stack.get()
         return stack[-1] if stack else None
 
     def roots(self) -> Tuple[Span, ...]:
         """The retained finished root spans, oldest first."""
-        with self._lock:
-            return tuple(self._roots)
+        return tuple(self._roots)
 
     def take(self) -> Tuple[Span, ...]:
-        """Return the retained roots and clear the buffer."""
-        with self._lock:
-            roots = tuple(self._roots)
-            self._roots.clear()
-            return roots
+        """Return the retained roots and clear the buffer.
+
+        Drains via atomic ``popleft`` so a root appended concurrently
+        with the drain is either returned here or left for the next
+        call — never lost.
+        """
+        taken: List[Span] = []
+        roots = self._roots
+        while True:
+            try:
+                taken.append(roots.popleft())
+            except IndexError:
+                return tuple(taken)
 
     def clear(self) -> None:
-        with self._lock:
-            self._roots.clear()
-            self.dropped = 0
+        self._roots.clear()
+        self.dropped = 0
 
     # -- export --------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.errors import JournalError
+from repro.obs.context import current_trace_id
 from repro.relational.engine import Engine
 from repro.relational.operations import (
     DatabaseOperation,
@@ -242,7 +243,14 @@ def images_from_records(engine: Engine, records: Iterable) -> Images:
 class JournalEntry:
     """One journaled plan with its resolution state."""
 
-    __slots__ = ("entry_id", "status", "plan_records", "image_records", "label")
+    __slots__ = (
+        "entry_id",
+        "status",
+        "plan_records",
+        "image_records",
+        "label",
+        "trace_id",
+    )
 
     def __init__(
         self,
@@ -251,12 +259,14 @@ class JournalEntry:
         image_records: List[List[Any]],
         label: str = "",
         status: str = PENDING,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.entry_id = entry_id
         self.status = status
         self.plan_records = plan_records
         self.image_records = image_records
         self.label = label
+        self.trace_id = trace_id
 
     def plan(self) -> UpdatePlan:
         return decode_plan(self.plan_records)
@@ -305,21 +315,31 @@ class PlanJournal:
         The replica apply path journals the exact records the primary
         shipped; re-encoding a plan it just decoded would double the
         serialization cost for byte-identical output.
+
+        The intent is stamped with the ambient trace id (if a
+        :class:`~repro.obs.context.TraceContext` is active), so a
+        recovered journal can still answer *which request* left a
+        PENDING entry behind.
         """
+        trace_id = current_trace_id()
         with self._lock:
             entry_id = self._next_id
             self._next_id += 1
-            entry = JournalEntry(entry_id, plan_records, image_records, label)
-            self._entries[entry_id] = entry
-            self._append(
-                {
-                    "event": PENDING,
-                    "id": entry_id,
-                    "label": label,
-                    "plan": entry.plan_records,
-                    "images": entry.image_records,
-                }
+            entry = JournalEntry(
+                entry_id, plan_records, image_records, label,
+                trace_id=trace_id,
             )
+            self._entries[entry_id] = entry
+            payload = {
+                "event": PENDING,
+                "id": entry_id,
+                "label": label,
+                "plan": entry.plan_records,
+                "images": entry.image_records,
+            }
+            if trace_id is not None:
+                payload["trace"] = trace_id
+            self._append(payload)
         obs.metrics().counter("journal_entries_total", label=label).inc()
         return entry_id
 
@@ -410,6 +430,7 @@ class FileJournal(PlanJournal):
                         record["plan"],
                         record["images"],
                         record.get("label", ""),
+                        trace_id=record.get("trace"),
                     )
                     self._entries[entry.entry_id] = entry
                     self._next_id = max(self._next_id, entry.entry_id + 1)

@@ -25,6 +25,7 @@ import threading
 from typing import Any, Dict, List, Optional
 
 import repro.obs as obs
+from repro.obs.context import TraceContext, attach, current_trace_id
 from repro.errors import (
     FencedWriteError,
     ReplicaDivergenceError,
@@ -60,7 +61,14 @@ class ShippedRecord:
     is free (no re-encoding on the write path).
     """
 
-    __slots__ = ("op", "object_name", "plan_records", "image_records", "items")
+    __slots__ = (
+        "op",
+        "object_name",
+        "plan_records",
+        "image_records",
+        "items",
+        "trace_id",
+    )
 
     def __init__(
         self,
@@ -69,12 +77,17 @@ class ShippedRecord:
         plan_records: List[Dict[str, Any]],
         image_records: List[List[Any]],
         items: int = 1,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.op = op
         self.object_name = object_name
         self.plan_records = plan_records
         self.image_records = image_records
         self.items = items
+        # The originating request's trace id rides the shipped record
+        # across the thread boundary contextvars cannot cross, so the
+        # replica's applier-thread spans join the distributed trace.
+        self.trace_id = trace_id
 
     @classmethod
     def from_audit(cls, record) -> "ShippedRecord":
@@ -85,6 +98,7 @@ class ShippedRecord:
             record.plan_records,
             record.image_records,
             items=record.items,
+            trace_id=getattr(record, "trace_id", None),
         )
 
     @classmethod
@@ -95,9 +109,17 @@ class ShippedRecord:
         plan: UpdatePlan,
         images: Images,
         items: int = 1,
+        trace_id: Optional[str] = None,
     ) -> "ShippedRecord":
+        if trace_id is None:
+            trace_id = current_trace_id()
         return cls(
-            op, object_name, encode_plan(plan), encode_images(images), items
+            op,
+            object_name,
+            encode_plan(plan),
+            encode_images(images),
+            items,
+            trace_id=trace_id,
         )
 
     def plan(self) -> UpdatePlan:
@@ -136,18 +158,24 @@ class ReplicaStack:
         metric=None,
         apply_inline: bool = False,
         verify_images: bool = True,
+        engine_factory=None,
     ) -> None:
         if serving is None:
             if graph is None:
                 raise ValueError("a fresh ReplicaStack needs a schema graph")
             penguin = Penguin(
-                graph, metric=metric, install=True, audit=MemoryAuditLog()
+                graph,
+                engine=engine_factory() if engine_factory is not None else None,
+                metric=metric,
+                install=True,
+                audit=MemoryAuditLog(),
             )
             # Same discipline as ShardedPenguin: the journal is attached
             # after construction, so no solo recovery pass runs here.
             penguin.journal = MemoryJournal()
             serving = ConcurrentPenguin(penguin)
             serving.metric_labels = {"shard": str(shard_id), "replica": name}
+            serving.component = f"shard{shard_id}/{name}"
         self.shard_id = shard_id
         self.name = name
         self.serving = serving
@@ -303,6 +331,26 @@ class ReplicaStack:
         ``serving._write`` for the breaker and the write lock — stale
         reads never observe a half-applied record.
         """
+        # Re-attach the originating request's trace context: the applier
+        # thread has no ambient context of its own, and the journal
+        # intent + audit record written below stamp the ambient trace
+        # id, so the replica's trail cross-links back to the request.
+        ctx = (
+            TraceContext(record.trace_id)
+            if record.trace_id is not None
+            else None
+        )
+        with attach(ctx):
+            with obs.tracer().span(
+                "replica.apply",
+                shard=self.shard_id,
+                replica=self.name,
+                op=record.op,
+                object=record.object_name,
+            ):
+                self._apply_record(record)
+
+    def _apply_record(self, record: ShippedRecord) -> None:
         penguin = self.serving.penguin
         plan = record.plan()
 

@@ -91,6 +91,11 @@ class ReplicationConfig:
         Replicas verify every applied record against its shipped
         after-images byte for byte (divergent stacks are excluded from
         promotion). On by default.
+    engine_factory:
+        Zero-argument callable producing the relational engine each
+        fresh replica stack stores into (e.g. ``SqliteEngine``). A
+        replica that may be promoted should persist the way its
+        primary does; ``None`` keeps the in-memory default.
     """
 
     def __init__(
@@ -100,6 +105,7 @@ class ReplicationConfig:
         miss_threshold: int = 3,
         apply_inline: bool = False,
         verify_images: bool = True,
+        engine_factory: Optional[Callable[[], Any]] = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("replication needs at least one replica")
@@ -116,6 +122,7 @@ class ReplicationConfig:
         self.miss_threshold = miss_threshold
         self.apply_inline = apply_inline
         self.verify_images = verify_images
+        self.engine_factory = engine_factory
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -189,6 +196,7 @@ class ReplicaSet:
                 metric=metric,
                 apply_inline=self.config.apply_inline,
                 verify_images=self.config.verify_images,
+                engine_factory=self.config.engine_factory,
             )
             self._replicas.append(replica)
             self._links[replica.name] = ShippingLink(replica)
@@ -356,6 +364,16 @@ class ReplicaSet:
             self._failover()
 
     def _append_and_ship(self, shipped: ShippedRecord) -> None:
+        with obs.tracer().span(
+            "replicate.ship",
+            shard=self.shard_id,
+            object=shipped.object_name,
+        ) as span:
+            self._append_and_ship_traced(shipped, span)
+
+    def _append_and_ship_traced(
+        self, shipped: ShippedRecord, span
+    ) -> None:
         self._stream.append(shipped)
         position = len(self._stream)
         acks = 0
@@ -389,6 +407,7 @@ class ReplicaSet:
             if link.cursor >= position:
                 acks += 1
         self._checkpoint("post_ship")
+        span.set(position=position, acks=acks)
         if acks < self.config.quorum:
             self._retract(position, shipped)
             obs.metrics().counter(
@@ -396,6 +415,13 @@ class ReplicaSet:
                 shard=str(self.shard_id),
                 reason="quorum_failed",
             ).inc()
+            obs.anomaly(
+                "quorum_revert",
+                shard=self.shard_id,
+                acks=acks,
+                quorum=self.config.quorum,
+                object=shipped.object_name,
+            )
             raise ReplicationQuorumError(
                 f"shard {self.shard_id}: write reached {acks} replica(s), "
                 f"quorum is {self.config.quorum}; reverted"
@@ -505,6 +531,13 @@ class ReplicaSet:
                 "replication_epoch", shard=str(self.shard_id)
             ).set(self.epoch)
             self._update_lag_metrics()
+            obs.anomaly(
+                "failover",
+                shard=self.shard_id,
+                promoted=chosen.name,
+                fenced=old.name,
+                epoch=self.epoch,
+            )
             self._checkpoint("post_promote")
         finally:
             self.failing_over = False

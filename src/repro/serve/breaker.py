@@ -111,6 +111,7 @@ class CircuitBreaker:
                 obs.metrics().gauge("breaker_state").set(0)
 
     def record_failure(self) -> None:
+        opened = False
         with self._lock:
             self.failures += 1
             self._consecutive_failures += 1
@@ -121,8 +122,16 @@ class CircuitBreaker:
                 self._state = DEGRADED
                 self.opened += 1
                 self._refused_since_probe = 0
+                opened = True
                 obs.metrics().counter("breaker_opened_total").inc()
                 obs.metrics().gauge("breaker_state").set(1)
+        if opened:
+            # Outside the lock: the flight-recorder dump this may
+            # trigger reads registries and span buffers, and nothing
+            # about it needs the breaker's state to hold still.
+            obs.anomaly(
+                "breaker_open", consecutive_failures=self.failure_threshold
+            )
 
     def reset(self) -> None:
         """Force-close the breaker (e.g. after out-of-band recovery)."""

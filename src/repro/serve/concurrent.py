@@ -138,6 +138,15 @@ class ConcurrentPenguin:
         #: per-shard series stay distinguishable (and bounded by the
         #: shard count).
         self.metric_labels: Dict[str, str] = {}
+        #: The cluster component this facade's serving metrics belong
+        #: to (``"shard0"``, ``"shard0/r1"``, ...). Empty means the
+        #: global registry — a standalone facade behaves exactly as
+        #: before. :class:`~repro.obs.cluster.ClusterMetrics` merges
+        #: component registries back into one labeled render.
+        self.component: str = ""
+
+    def _registry(self):
+        return obs.component_metrics(self.component)
 
     # -- health-routed execution --------------------------------------------
 
@@ -170,17 +179,17 @@ class ConcurrentPenguin:
                     raise
                 self.breaker.record_failure()
                 if self.breaker.degraded:
-                    obs.metrics().counter(
+                    self._registry().counter(
                         "serve_reads_total", mode="stale", **self.metric_labels
                     ).inc()
                     return stale_read(), True
                 raise
             self.breaker.record_success()
-            obs.metrics().counter(
+            self._registry().counter(
                 "serve_reads_total", mode="engine", **self.metric_labels
             ).inc()
             return result, False
-        obs.metrics().counter(
+        self._registry().counter(
             "serve_reads_total", mode="stale", **self.metric_labels
         ).inc()
         return stale_read(), True
@@ -201,7 +210,7 @@ class ConcurrentPenguin:
         not just the ones that did.
         """
         if not self.breaker.allow():
-            obs.metrics().counter(
+            self._registry().counter(
                 "serve_writes_total", mode="refused", **self.metric_labels
             ).inc()
             self._audit_refusal(op, object_name)
@@ -215,12 +224,12 @@ class ConcurrentPenguin:
             except Exception as exc:
                 if _is_engine_fault(exc):
                     self.breaker.record_failure()
-                obs.metrics().counter(
+                self._registry().counter(
                     "serve_writes_total", mode="failed", **self.metric_labels
                 ).inc()
                 raise
         self.breaker.record_success()
-        obs.metrics().counter(
+        self._registry().counter(
             "serve_writes_total", mode="applied", **self.metric_labels
         ).inc()
         return result
@@ -334,17 +343,24 @@ class ConcurrentPenguin:
         with self.lock.read_locked():
             return self.penguin.cache_stats()
 
-    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """The active metrics registry's snapshot.
+    def metrics_snapshot(
+        self, component: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """The merged cluster metrics snapshot (global + components).
 
-        Safe under concurrent serving: the registry takes no
-        facade-wide lock, so this never blocks readers or writers.
+        Safe under concurrent serving: registries take no facade-wide
+        lock, so this never blocks readers or writers. ``component``
+        narrows the view to one shard/replica registry.
         """
-        return obs.metrics().snapshot()
+        from repro.obs.cluster import ClusterMetrics
 
-    def metrics_text(self) -> str:
-        """The active metrics registry, rendered for scraping."""
-        return obs.metrics().render_text()
+        return ClusterMetrics().snapshot(component)
+
+    def metrics_text(self, component: Optional[str] = None) -> str:
+        """The merged cluster metrics, rendered for scraping."""
+        from repro.obs.cluster import ClusterMetrics
+
+        return ClusterMetrics().render_text(component)
 
     # -- exclusive (write-side) operations ----------------------------------
 

@@ -44,9 +44,20 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import repro.obs as obs
+from repro.obs.cluster import ClusterMetrics, SloTarget, SloTracker
+from repro.obs.context import (
+    TraceContext,
+    attach,
+    current_context,
+    format_traceparent,
+    new_request_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.core.updates.operations import (
     CompleteDeletion,
     CompleteInsertion,
@@ -176,7 +187,10 @@ class MicroBatcher:
         self.loop = loop
         self.window = window
         self.max_batch = max_batch
-        self._queues: Dict[str, List[Tuple[UpdateRequest, asyncio.Future]]] = {}
+        self._queues: Dict[
+            str,
+            List[Tuple[UpdateRequest, asyncio.Future, Optional[TraceContext]]],
+        ] = {}
         self._timers: Dict[str, asyncio.TimerHandle] = {}
         self.batches_flushed = 0
         self.requests_batched = 0
@@ -184,7 +198,10 @@ class MicroBatcher:
     def submit(self, name: str, request: UpdateRequest) -> "asyncio.Future":
         future: asyncio.Future = self.loop.create_future()
         queue = self._queues.setdefault(name, [])
-        queue.append((request, future))
+        # Capture the submitter's trace context: the executor thread
+        # that applies the batch starts with an empty contextvars
+        # context, so the handoff must be explicit.
+        queue.append((request, future, current_context()))
         if len(queue) >= self.max_batch:
             self._flush(name)
         elif name not in self._timers:
@@ -206,13 +223,33 @@ class MicroBatcher:
         asyncio.ensure_future(self._apply(name, queue), loop=self.loop)
 
     async def _apply(
-        self, name: str, queue: List[Tuple[UpdateRequest, asyncio.Future]]
+        self,
+        name: str,
+        queue: List[
+            Tuple[UpdateRequest, asyncio.Future, Optional[TraceContext]]
+        ],
     ) -> None:
-        requests = [request for request, _ in queue]
+        requests = [request for request, _, _ in queue]
+        contexts = [ctx for _, _, ctx in queue if ctx is not None]
+        ctx = contexts[0] if contexts else None
+        folded = sorted({c.trace_id for c in contexts})
+
+        def apply_batch() -> Any:
+            # The batch fragment joins the first submitter's trace;
+            # requests folded in from other traces are named on the
+            # span so their timelines can point at this fragment too.
+            with attach(ctx):
+                with obs.tracer().span(
+                    "serve.batch", object=name, requests=len(requests)
+                ) as span:
+                    if ctx is not None and ctx.request_id:
+                        span.set(request_id=ctx.request_id)
+                    if len(folded) > 1:
+                        span.set(folded_traces=folded)
+                    return self.session.apply_plan_batch(name, requests)
+
         try:
-            plan = await self.loop.run_in_executor(
-                None, lambda: self.session.apply_plan_batch(name, requests)
-            )
+            plan = await self.loop.run_in_executor(None, apply_batch)
         except Exception as exc:
             if len(queue) == 1:
                 future = queue[0][1]
@@ -221,10 +258,10 @@ class MicroBatcher:
                 return
             # One bad request rejected the whole window: retry each
             # alone so the good ones still land.
-            for request, future in queue:
-                await self._apply(name, [(request, future)])
+            for request, future, request_ctx in queue:
+                await self._apply(name, [(request, future, request_ctx)])
             return
-        for _, future in queue:
+        for _, future, _ in queue:
             if not future.done():
                 future.set_result((plan, len(queue)))
 
@@ -235,7 +272,7 @@ class MicroBatcher:
         pending = [
             future
             for queue in self._queues.values()
-            for _, future in queue
+            for _, future, _ in queue
         ]
         if pending:  # pragma: no cover - _flush empties the queues
             await asyncio.gather(*pending, return_exceptions=True)
@@ -350,6 +387,7 @@ class PenguinServer:
         max_batch: int = 32,
         default_deadline_ms: Optional[float] = None,
         max_in_flight: int = 64,
+        slo_targets: Optional[List[SloTarget]] = None,
     ) -> None:
         self.session = session
         self.host = host
@@ -361,6 +399,26 @@ class PenguinServer:
         self.default_deadline_ms = default_deadline_ms
         #: Admission high-water mark: requests past it are shed with 503.
         self.max_in_flight = max_in_flight
+        if slo_targets is None:
+            slo_targets = [
+                SloTarget.latency(
+                    "write_latency",
+                    "serve_write_ms",
+                    threshold_ms=250.0,
+                    objective=0.95,
+                    description="p95 of write requests under 250ms",
+                ),
+                SloTarget.availability(
+                    "availability",
+                    "serve_http_requests_total",
+                    objective=0.999,
+                    description="non-5xx fraction of HTTP responses",
+                ),
+            ]
+        #: Burn-rate tracker sampled on every ``/health`` poll.
+        self.slo: Optional[SloTracker] = (
+            SloTracker(slo_targets) if slo_targets else None
+        )
         self.batcher: Optional[MicroBatcher] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self.requests_served = 0
@@ -429,16 +487,21 @@ class PenguinServer:
                     break
                 request_line, headers = self._parse_head(head)
                 if request_line is None:
+                    # Even an unparseable request gets a correlation id
+                    # so the client's error report can name something.
                     await self._respond(
                         writer, 400, {"error": "malformed request"},
-                        close=True,
+                        close=True, request_id=new_request_id(),
                     )
                     break
                 method, target = request_line
+                ctx = self._trace_context(headers)
+                request_id = ctx.request_id
                 length = int(headers.get("content-length", "0") or "0")
                 if length > MAX_BODY_BYTES:
                     await self._respond(
-                        writer, 400, {"error": "body too large"}, close=True
+                        writer, 400, {"error": "body too large"},
+                        close=True, request_id=request_id, trace=ctx,
                     )
                     break
                 body = await reader.readexactly(length) if length else b""
@@ -448,7 +511,7 @@ class PenguinServer:
                     # the ones already dispatched run to completion.
                     await self._respond(
                         writer, 503, {"error": "server is draining"},
-                        close=True,
+                        close=True, request_id=request_id, trace=ctx,
                     )
                     break
                 if self._active >= self.max_in_flight:
@@ -458,6 +521,7 @@ class PenguinServer:
                         writer, 503,
                         {"error": "server at capacity; retry later"},
                         close=not keep_alive,
+                        request_id=request_id, trace=ctx,
                     )
                     if not keep_alive:
                         break
@@ -467,8 +531,28 @@ class PenguinServer:
                     self._idle.clear()
                 obs.metrics().gauge("serve_in_flight").set(self._active)
                 try:
-                    status, payload, content_type = await self._dispatch(
-                        method, target, body, headers
+                    started = time.perf_counter()
+                    with attach(ctx):
+                        with obs.tracer().span(
+                            "http.request",
+                            method=method,
+                            path=target.partition("?")[0],
+                            request_id=request_id,
+                        ) as span:
+                            status, payload, content_type = (
+                                await self._dispatch(
+                                    method, target, body, headers
+                                )
+                            )
+                            span.set(status=status)
+                    elapsed_ms = (time.perf_counter() - started) * 1000
+                    op = (
+                        "write"
+                        if method in ("POST", "PUT", "DELETE")
+                        else "read"
+                    )
+                    obs.metrics().histogram(f"serve_{op}_ms").observe(
+                        elapsed_ms
                     )
                     self.requests_served += 1
                     if status == 504:
@@ -484,6 +568,10 @@ class PenguinServer:
                     await self._respond(
                         writer, status, payload,
                         content_type=content_type, close=not keep_alive,
+                        request_id=request_id,
+                        trace=TraceContext(
+                            ctx.trace_id, span.span_id or "", ctx.baggage
+                        ),
                     )
                 finally:
                     # The response is already on the wire: a concurrent
@@ -501,6 +589,19 @@ class PenguinServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    @staticmethod
+    def _trace_context(headers: Dict[str, str]) -> TraceContext:
+        """The request's trace context: joined from a ``traceparent``
+        header when the client sent a valid one, fresh otherwise. The
+        ``X-Request-Id`` (client-sent or generated) rides in baggage."""
+        request_id = headers.get("x-request-id") or new_request_id()
+        parent = parse_traceparent(headers.get("traceparent"))
+        if parent is not None:
+            return TraceContext(
+                parent.trace_id, parent.span_id, {"request_id": request_id}
+            )
+        return TraceContext(new_trace_id(), "", {"request_id": request_id})
 
     @staticmethod
     def _parse_head(
@@ -530,6 +631,8 @@ class PenguinServer:
         payload: Any,
         content_type: str = "application/json",
         close: bool = False,
+        request_id: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         if content_type == "application/json":
             body = (json.dumps(payload) + "\n").encode("utf-8")
@@ -542,6 +645,10 @@ class PenguinServer:
             f"Content-Length: {len(body)}",
             "Connection: " + ("close" if close else "keep-alive"),
         ]
+        if request_id:
+            headers.append(f"X-Request-Id: {request_id}")
+        if trace is not None:
+            headers.append(f"Traceparent: {format_traceparent(trace)}")
         if status == 503:
             headers.append("Retry-After: 1")
         writer.write(
@@ -565,11 +672,20 @@ class PenguinServer:
             if path == "/health" and method == "GET":
                 return (
                     200,
-                    await self._run(self.session.health, deadline),
+                    await self._run(self._collect_health, deadline),
                     "application/json",
                 )
             if path == "/metrics" and method == "GET":
-                text = await self._run(self.session.metrics_text, deadline)
+                params = self._query_params(query_string)
+                component = params.get("component")
+                if params.get("format") == "json":
+                    snapshot = await self._run(
+                        lambda: self._metrics_snapshot(component), deadline
+                    )
+                    return 200, snapshot, "application/json"
+                text = await self._run(
+                    lambda: self._metrics_text(component), deadline
+                )
                 return 200, text, "text/plain; version=0.0.4"
             if path == "/objects" and method == "GET":
                 return 200, await self._objects_index(), "application/json"
@@ -615,6 +731,37 @@ class PenguinServer:
         except BaseException as exc:
             error = _classify(exc)
             return error.status, {"error": str(error)}, "application/json"
+
+    def _collect_health(self) -> Dict[str, Any]:
+        payload = self.session.health()
+        if self.slo is not None:
+            payload["slo"] = self.slo.sample()
+        return payload
+
+    def _metrics_text(self, component: Optional[str] = None) -> str:
+        fn = getattr(self.session, "metrics_text", None)
+        if fn is not None:
+            return fn(component)
+        return ClusterMetrics().render_text(component)
+
+    def _metrics_snapshot(
+        self, component: Optional[str] = None
+    ) -> Dict[str, Any]:
+        fn = getattr(self.session, "metrics_snapshot", None)
+        if fn is not None:
+            return fn(component)
+        return ClusterMetrics().snapshot(component)
+
+    @staticmethod
+    def _query_params(query_string: str) -> Dict[str, str]:
+        params: Dict[str, str] = {}
+        if not query_string:
+            return params
+        for pair in query_string.split("&"):
+            key, _, value = pair.partition("=")
+            if key:
+                params[key] = _url_unquote(value)
+        return params
 
     def _request_deadline(
         self, headers: Dict[str, str]

@@ -260,6 +260,7 @@ class ShardedPenguin:
                 breaker=breakers[shard_id] if breakers else CircuitBreaker(),
             )
             serving.metric_labels = {"shard": str(shard_id)}
+            serving.component = f"shard{shard_id}"
             replica_set = None
             if replication is not None:
                 replica_set = ReplicaSet(
@@ -814,8 +815,34 @@ class ShardedPenguin:
             )
         return sorted(outcomes)
 
-    def metrics_text(self) -> str:
-        return obs.metrics().render_text()
+    def metrics_text(self, component: Optional[str] = None) -> str:
+        """The cluster-wide merged exposition (every shard + replica)."""
+        from repro.obs.cluster import ClusterMetrics
+
+        return ClusterMetrics().render_text(component)
+
+    def metrics_snapshot(
+        self, component: Optional[str] = None
+    ) -> Dict[str, Any]:
+        from repro.obs.cluster import ClusterMetrics
+
+        return ClusterMetrics().snapshot(component)
+
+    def attach_flight_recorder(self, recorder) -> None:
+        """Register every stack's audit tail as a bundle section and
+        install the recorder on the active hub."""
+        for shard_id, shard in self._shards.items():
+            audit = shard.serving.penguin.audit
+            if audit is not None:
+                recorder.add_audit_source(f"audit/shard{shard_id}", audit)
+            if shard.replica_set is not None:
+                for replica in shard.replica_set.replicas:
+                    if replica.audit is not None:
+                        recorder.add_audit_source(
+                            f"audit/shard{shard_id}/{replica.name}",
+                            replica.audit,
+                        )
+        recorder.install()
 
     def cache_stats(self) -> Dict[str, Dict[str, Dict[str, float]]]:
         return {

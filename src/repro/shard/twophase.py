@@ -161,13 +161,16 @@ def two_phase_apply(
             for shard_id in order:
                 checkpoint("prepare", shard_id)
                 shard = participants[shard_id]
-                images = plan_images(shard.engine, split[shard_id])
-                images_by_shard[shard_id] = images
-                entry_ids[shard_id] = shard.journal.begin(
-                    split[shard_id],
-                    images,
-                    label=twophase_label(txn_id, len(order), shard_id),
-                )
+                with obs.tracer().span(
+                    "2pc.prepare", txn=txn_id, shard=shard_id
+                ):
+                    images = plan_images(shard.engine, split[shard_id])
+                    images_by_shard[shard_id] = images
+                    entry_ids[shard_id] = shard.journal.begin(
+                        split[shard_id],
+                        images,
+                        label=twophase_label(txn_id, len(order), shard_id),
+                    )
 
             # Phase 2: apply. An ordinary failure aborts the whole
             # transaction — applied participants are reverted via their
@@ -178,7 +181,13 @@ def two_phase_apply(
                 for shard_id in order:
                     checkpoint("apply", shard_id)
                     shard = participants[shard_id]
-                    shard.engine.apply_batch(split[shard_id].operations)
+                    with obs.tracer().span(
+                        "2pc.apply",
+                        txn=txn_id,
+                        shard=shard_id,
+                        ops=len(split[shard_id].operations),
+                    ):
+                        shard.engine.apply_batch(split[shard_id].operations)
                     applied.append(shard_id)
                 if post_apply is not None:
                     checkpoint("replicate", -1)
@@ -314,6 +323,12 @@ def recover_two_phase(
         else:
             report.rolled_back.append(txn_id)
 
+    if report.conflicts:
+        obs.anomaly(
+            "torn_recovery",
+            conflicts=len(report.conflicts),
+            transactions=sorted({c[0] for c in report.conflicts}),
+        )
     registry = obs.metrics()
     registry.counter("shard_recoveries_total").inc()
     registry.counter("shard_txns_rolled_forward_total").inc(
